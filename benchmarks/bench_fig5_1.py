@@ -1,0 +1,25 @@
+"""Benchmark: Figure 5.1 — messages vs elements per distribution method.
+
+Paper shape: flooding ≫ random ≈ round-robin; cumulative curves concave.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_1(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_1", bench_config)
+    for result in results:
+        flooding = result.series_by_name("flooding").ys
+        random = result.series_by_name("random").ys
+        round_robin = result.series_by_name("round_robin").ys
+        assert flooding[-1] > 2 * random[-1], result.title
+        assert abs(random[-1] - round_robin[-1]) / random[-1] < 0.25
+        # Concavity proxy: the second half adds fewer messages than the
+        # first half (message rate decays as the sample stabilizes).
+        mid = len(flooding) // 2
+        for ys in (flooding, random):
+            assert ys[-1] - ys[mid] < ys[mid] - 0

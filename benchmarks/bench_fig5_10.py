@@ -1,0 +1,17 @@
+"""Benchmark: Figure 5.10 — sliding windows: messages vs sites.
+
+Paper shape: total messages grow with the number of sites.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_10(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_10", bench_config)
+    for result in results:
+        ys = result.series_by_name("messages").ys
+        assert all(a < b for a, b in zip(ys, ys[1:])), result.title

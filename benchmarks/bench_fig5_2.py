@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5.2 — messages vs sample size s.
+
+Paper shape: near-linear growth in s, distribution-dependent slope.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_2(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_2", bench_config)
+    for result in results:
+        for name in ("flooding", "random"):
+            series = result.series_by_name(name)
+            assert all(a < b for a, b in zip(series.ys, series.ys[1:]))
+        flooding = result.series_by_name("flooding").ys
+        random = result.series_by_name("random").ys
+        assert flooding[-1] > 2 * random[-1]

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 5.3 — messages vs number of sites k.
+
+Paper shape: flooding linear in k; random nearly independent of k.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_3(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_3", bench_config)
+    for result in results:
+        ks = result.series_by_name("flooding").xs
+        flooding = result.series_by_name("flooding").ys
+        random = result.series_by_name("random").ys
+        # Flooding grows at least half-proportionally to k.
+        assert flooding[-1] / flooding[0] > 0.5 * ks[-1] / ks[0]
+        # Random: < 2.5x growth across a 25x range of k.
+        assert random[-1] / random[0] < 2.5

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 5.4 — ours vs Algorithm Broadcast over the stream.
+
+Paper shape: Broadcast sends several times more messages at k=100.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_4(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_4", bench_config)
+    for result in results:
+        ours = result.series_by_name("ours").ys
+        broadcast = result.series_by_name("broadcast").ys
+        assert broadcast[-1] > 2 * ours[-1], result.title
+        # Both cumulative series are non-decreasing.
+        for ys in (ours, broadcast):
+            assert all(a <= b for a, b in zip(ys, ys[1:]))

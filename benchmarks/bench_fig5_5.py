@@ -1,0 +1,23 @@
+"""Benchmark: Figure 5.5 — ours vs Broadcast across sample sizes.
+
+Paper shape: both linear in s; Broadcast's slope considerably higher.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_5(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_5", bench_config)
+    for result in results:
+        ours = result.series_by_name("ours").ys
+        broadcast = result.series_by_name("broadcast").ys
+        assert all(b > o for o, b in zip(ours, broadcast))
+        # Slope comparison between the first and last sample sizes.
+        xs = result.series_by_name("ours").xs
+        slope_ours = (ours[-1] - ours[0]) / (xs[-1] - xs[0])
+        slope_bc = (broadcast[-1] - broadcast[0]) / (xs[-1] - xs[0])
+        assert slope_bc > slope_ours

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 5.6 — ours vs Broadcast across dominate rates.
+
+Paper shape: our cost falls as one site dominates (approaching
+centralized monitoring); Broadcast stays above it throughout.  A
+reproduction finding: Broadcast's cost is exactly distribution-
+independent (synced thresholds), so its curve is flat.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_6(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_6", bench_config)
+    for result in results:
+        ours = result.series_by_name("ours").ys
+        broadcast = result.series_by_name("broadcast").ys
+        assert ours[-1] < ours[0]
+        assert all(b > o for o, b in zip(ours, broadcast))
+        assert max(broadcast) - min(broadcast) < 0.05 * max(broadcast)

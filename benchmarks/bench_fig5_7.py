@@ -1,0 +1,22 @@
+"""Benchmark: Figure 5.7 — sliding windows: per-site memory vs window size.
+
+Paper shape: memory grows logarithmically in w (Lemma 10), far below w.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_7(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_7", bench_config)
+    for result in results:
+        mean = result.series_by_name("mean").ys
+        ws = result.series_by_name("mean").xs
+        # Sublinear: 32x window growth yields < 4x memory growth.
+        assert mean[-1] / mean[0] < 4
+        assert all(m < w for m, w in zip(mean, ws))
+        maxima = result.series_by_name("max").ys
+        assert all(mx >= mn for mx, mn in zip(maxima, mean))

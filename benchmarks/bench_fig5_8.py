@@ -1,0 +1,20 @@
+"""Benchmark: Figure 5.8 — sliding windows: messages vs window size.
+
+Paper shape: messages decrease as the window grows (rarer sample churn).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_8(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_8", bench_config)
+    for result in results:
+        ys = result.series_by_name("messages").ys
+        assert ys[-1] < ys[0], result.title
+        # Mostly monotone decreasing (tiny-scale noise tolerated once).
+        decreases = sum(a >= b for a, b in zip(ys, ys[1:]))
+        assert decreases >= len(ys) - 2

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 5.9 — sliding windows: per-site memory vs sites.
+
+Paper shape: per-site memory decreases as sites are added (each sees a
+smaller share of the stream).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_9(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "fig5_9", bench_config)
+    for result in results:
+        ys = result.series_by_name("mean").ys
+        assert ys[-1] < ys[0], result.title

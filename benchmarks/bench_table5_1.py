@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 5.1 (dataset summary)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table5_1(benchmark, bench_config):
+    results = run_once(benchmark, run_experiment, "table5_1", bench_config)
+    (result,) = results
+    # Distinct ratios match the paper's datasets to within 0.3 %.
+    ratios = result.series_by_name("ratio").ys
+    paper = result.series_by_name("paper_ratio").ys
+    for got, want in zip(ratios, paper):
+        assert abs(got - want) < 0.003

@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper table/figure has a ``bench_*`` module here.  Benchmarks run
+the same experiment code as ``python -m repro run <id>`` at a reduced
+scale (so ``pytest benchmarks/ --benchmark-only`` completes in minutes)
+and assert the paper's qualitative shape on the produced series.
+
+To regenerate figures at a larger scale, use the CLI:
+``python -m repro run fig5_4 --scale medium --runs 10``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The scale at which benchmark runs execute."""
+    return ExperimentConfig(scale="tiny", runs=2)
+
+
+@pytest.fixture(scope="session")
+def bench_config_small() -> ExperimentConfig:
+    """A single-run small-scale config for the heavier figures."""
+    return ExperimentConfig(scale="small", runs=1)
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Distinct counting from the distributed sample — KMV in action.
+
+The coordinator's bottom-s sketch doubles as an F0 (distinct count)
+estimator: d̂ = (s-1)/u where u is the s-th smallest hash.  This example
+sweeps the sample size and shows the classic 1/sqrt(s) error decay,
+entirely from samples maintained with O(ks log(d/s)) messages.
+
+Usage::
+
+    python examples/distinct_count_estimation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import infinite_window_sampler
+from repro.estimators import estimate_from_sampler
+from repro.streams import get_dataset
+
+NUM_SITES = 4
+SAMPLE_SIZES = (16, 64, 256)
+RUNS = 5
+
+
+def main() -> None:
+    spec = get_dataset("oc48", "tiny")
+    print(f"stream: {spec.n_elements:,} elements, "
+          f"{spec.n_distinct:,} distinct (ground truth)\n")
+    print(f"{'s':>5} {'mean d̂':>12} {'mean |err|':>12} "
+          f"{'theory RSE':>12} {'messages':>10}")
+    for s in SAMPLE_SIZES:
+        estimates = []
+        errors = []
+        messages = []
+        for run in range(RUNS):
+            rng = np.random.default_rng(run)
+            stream = spec.generate(rng).tolist()
+            system = infinite_window_sampler(
+                num_sites=NUM_SITES, sample_size=s, seed=run * 31 + 1
+            )
+            sites = rng.integers(0, NUM_SITES, len(stream)).tolist()
+            for element, site in zip(stream, sites):
+                system.observe(site, element)
+            est = estimate_from_sampler(system)
+            estimates.append(est.estimate)
+            errors.append(abs(est.estimate - spec.n_distinct) / spec.n_distinct)
+            messages.append(system.total_messages)
+        theory = 1.0 / np.sqrt(max(s - 2, 1))
+        print(
+            f"{s:>5} {np.mean(estimates):>12,.0f} {np.mean(errors):>11.1%} "
+            f"{theory:>11.1%} {np.mean(messages):>10,.0f}"
+        )
+    print("\nobserved error tracks the 1/sqrt(s-2) theory; message cost "
+          "grows ~linearly in s (Figure 5.2's shape)")
+
+
+if __name__ == "__main__":
+    main()

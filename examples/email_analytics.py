@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Sliding-window e-mail analytics — the paper's Enron scenario.
+
+Mail relays at three data centers observe sender->recipient events.
+Compliance wants a *recent* picture: a uniform sample of the distinct
+correspondent pairs active in the last ``w`` time slots, maintained
+continuously with minimal cross-site traffic.
+
+Demonstrates the sliding-window samplers (s = 1 lazy-feedback and the
+bottom-s generalization), window churn, and the memory/message costs.
+
+Usage::
+
+    python examples/email_analytics.py [--window 200] [--sample-size 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import sliding_window_sampler
+from repro.analysis import harmonic
+from repro.streams import SlottedArrivals, email_stream
+
+NUM_SITES = 3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window", type=int, default=200)
+    parser.add_argument("--sample-size", type=int, default=8)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(4)
+    pairs = email_stream("tiny", rng, as_strings=True)
+    schedule = SlottedArrivals(pairs, NUM_SITES, per_slot=5, rng=rng)
+    print(f"Enron-like stream: {len(pairs):,} messages over "
+          f"{schedule.num_slots:,} time slots, window w={args.window}")
+
+    # s = 1: the paper-faithful lazy-feedback protocol.
+    single = sliding_window_sampler(
+        num_sites=NUM_SITES, window=args.window, seed=9
+    )
+    # s > 1: the bottom-s lazy-feedback generalization.
+    multi = sliding_window_sampler(
+        num_sites=NUM_SITES,
+        window=args.window,
+        sample_size=args.sample_size,
+        seed=9,
+    )
+
+    peak_memory = 0
+    for slot, arrivals in schedule.slots():
+        single.process_slot(slot, arrivals)
+        multi.process_slot(slot, arrivals)
+        peak_memory = max(peak_memory, max(single.per_site_memory()))
+        if slot % (schedule.num_slots // 4) == 0:
+            print(f"\nslot {slot:4d}:")
+            print(f"  window sample (s=1): {single.query()}")
+            sample = multi.query()
+            print(f"  window sample (s={args.sample_size}): "
+                  f"{len(sample)} pairs, e.g. {sample[:3]}")
+
+    print("\n--- costs ---")
+    print(f"s=1 lazy feedback : {single.total_messages:,} messages, "
+          f"peak per-site memory {peak_memory} entries "
+          f"(Lemma 10 predicts ~H_w = {harmonic(args.window):.1f} on average)")
+    print(f"s={args.sample_size} lazy feedback : {multi.total_messages:,} messages")
+    print("note: a naive approach would ship every event "
+          f"({len(pairs):,} messages) or store the whole window per site "
+          f"({args.window * 5 // NUM_SITES}+ entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The Lemma 9 adversary, live.
+
+Constructs the paper's lower-bound input — a brand-new element flooded to
+every site each round — and runs the real algorithm against it, printing
+measured messages next to the Lemma 4 upper bound and Lemma 9 lower
+bound.  The measured cost hugs the upper bound, pinning the optimality
+gap at the paper's factor ≈ 4.
+
+Usage::
+
+    python examples/lower_bound_adversary.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistinctSamplerSystem
+from repro.analysis import lower_bound_total, upper_bound_total
+from repro.hashing import unit_hash_array
+from repro.streams import adversarial_input
+
+K = 5
+S = 10
+ROUNDS = (100, 300, 1000, 3000, 10_000)
+RUNS = 5
+
+
+def measure(d: int) -> float:
+    elements, _ = adversarial_input(d, K)
+    totals = []
+    for seed in range(RUNS):
+        system = DistinctSamplerSystem(K, S, seed=seed, algorithm="mix64")
+        hashes = unit_hash_array(elements, seed)
+        for element, h in zip(elements.tolist(), hashes.tolist()):
+            system.flood_hashed(element, h)
+        totals.append(system.total_messages)
+    return float(np.mean(totals))
+
+
+def main() -> None:
+    print(f"adversarial input: fresh element flooded to all k={K} sites "
+          f"each round; s={S}; mean of {RUNS} runs\n")
+    print(f"{'d':>7} {'measured':>10} {'upper (L4)':>11} "
+          f"{'lower (L9)':>11} {'meas/lower':>11}")
+    for d in ROUNDS:
+        measured = measure(d)
+        upper = upper_bound_total(K, S, d)
+        lower = lower_bound_total(K, S, d)
+        print(f"{d:>7,} {measured:>10,.0f} {upper:>11,.0f} "
+              f"{lower:>11,.0f} {measured / lower:>11.2f}")
+    print("\nmeasured ≈ upper bound (this input is the algorithm's worst "
+          "case); measured/lower ≈ 4 = the paper's optimality gap")
+
+
+if __name__ == "__main__":
+    main()

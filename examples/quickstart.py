@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: a 60-second tour of the public API.
+
+Runs the three sampler families on a toy workload and prints what each
+maintains and what it costs in messages — the paper's currency.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    infinite_window_sampler,
+    sliding_window_sampler,
+    with_replacement_sampler,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # ------------------------------------------------------------------
+    # 1. Infinite window: a distinct sample of everything seen so far.
+    # ------------------------------------------------------------------
+    print("=== infinite window ===")
+    system = infinite_window_sampler(num_sites=5, sample_size=8, seed=42)
+    # A skewed workload: user 'hotshot' produces 90% of the traffic.
+    users = ["hotshot"] * 900 + [f"user{i}" for i in range(100)]
+    rng.shuffle(users)
+    for user in users:
+        system.observe(int(rng.integers(0, 5)), user)
+
+    print(f"stream: {len(users)} events, 101 distinct users")
+    print(f"sample ({len(system.sample())} distinct users): {system.sample()}")
+    print(f"messages exchanged: {system.total_messages}")
+    hot = sum(member == "hotshot" for member in system.sample())
+    print(f"'hotshot' (90% of events) holds {hot} of {len(system.sample())} "
+          "sample slots — frequency does not bias a distinct sample\n")
+
+    # ------------------------------------------------------------------
+    # 2. Sliding window: only the most recent w time slots matter.
+    # ------------------------------------------------------------------
+    print("=== sliding window (w=20 slots) ===")
+    window_system = sliding_window_sampler(num_sites=3, window=20, seed=42)
+    for slot in range(1, 101):
+        arrivals = [
+            (int(rng.integers(0, 3)), f"flow{int(rng.integers(0, 50))}")
+            for _ in range(3)
+        ]
+        window_system.process_slot(slot, arrivals)
+        if slot % 25 == 0:
+            print(f"slot {slot:3d}: window sample = {window_system.query()}")
+    print(f"messages exchanged: {window_system.total_messages}")
+    print(f"per-site candidate sets: {window_system.per_site_memory()} "
+          "(O(log window) — not O(window))\n")
+
+    # ------------------------------------------------------------------
+    # 3. With replacement: s independent uniform draws.
+    # ------------------------------------------------------------------
+    print("=== with replacement (5 independent draws) ===")
+    wr = with_replacement_sampler(num_sites=2, sample_size=5, seed=42)
+    for item in range(40):
+        wr.observe(item % 2, f"item{item}")
+    print(f"draws: {wr.sample()}")
+    print(f"messages exchanged: {wr.total_messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Needed because the offline execution environment lacks the ``wheel``
+package, which the PEP 517 editable-install path requires.  All real
+metadata lives in pyproject.toml; install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — Distinct Random Sampling from a Distributed Stream.
+
+A from-scratch Python reproduction of Chung & Tirthapura's distributed
+distinct sampling system (M.S. thesis, Iowa State, 2013; IPDPS 2015):
+continuous maintenance, at a coordinator, of a uniform random sample of the
+*distinct* elements observed across ``k`` distributed stream-monitoring
+sites, with provably near-optimal message complexity — plus the sliding-
+window extension, the Broadcast baseline, lower-bound machinery, and the
+full experimental harness for the paper's Table 5.1 and Figures 5.1–5.10.
+
+Quickstart::
+
+    from repro import infinite_window_sampler
+
+    system = infinite_window_sampler(num_sites=5, sample_size=10, seed=42)
+    system.observe(0, "alice")      # site 0 saw "alice"
+    system.observe(3, "bob")        # site 3 saw "bob"
+    system.observe(1, "alice")      # duplicates never skew the sample
+    print(system.sample())          # uniform sample of distinct elements
+    print(system.total_messages)    # the paper's cost metric
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from ._version import __version__
+from .core import (
+    BroadcastSamplerSystem,
+    CachingSamplerSystem,
+    CentralizedDistinctSampler,
+    CentralizedWindowSampler,
+    DistinctSamplerSystem,
+    SlidingWindowBottomS,
+    SlidingWindowSystem,
+    SlidingWindowWithReplacement,
+    WithReplacementSampler,
+    infinite_window_sampler,
+    restore,
+    sliding_window_sampler,
+    snapshot,
+    with_replacement_sampler,
+)
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    EstimationError,
+    ProtocolError,
+    ReproError,
+)
+from .hashing import SeededHashFamily, UnitHasher
+
+__all__ = [
+    "__version__",
+    "infinite_window_sampler",
+    "sliding_window_sampler",
+    "with_replacement_sampler",
+    "DistinctSamplerSystem",
+    "BroadcastSamplerSystem",
+    "CachingSamplerSystem",
+    "snapshot",
+    "restore",
+    "SlidingWindowSystem",
+    "SlidingWindowBottomS",
+    "WithReplacementSampler",
+    "SlidingWindowWithReplacement",
+    "CentralizedDistinctSampler",
+    "CentralizedWindowSampler",
+    "UnitHasher",
+    "SeededHashFamily",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "DatasetError",
+    "EstimationError",
+]

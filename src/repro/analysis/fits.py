@@ -1,0 +1,150 @@
+"""Curve-shape fitting: turning "grows logarithmically" into a number.
+
+The paper's evaluation narrates shapes — "memory grows logarithmically
+with the window size", "messages increase almost linearly with s",
+"flooding grows linearly in k".  This module fits the claimed functional
+forms by least squares and reports the goodness of fit, so the benchmark
+suite can assert *which shape fits best* rather than eyeballing.
+
+Models: ``linear`` (a·x + b), ``log`` (a·ln x + b), ``powerlaw``
+(a·x^c — fitted in log-log space), ``constant`` (b), and
+``inverse`` (a/x + b).  All fits are closed-form least squares on (a, b)
+with NumPy — no iterative optimizers, no scipy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ShapeFit", "fit_shape", "best_shape", "SHAPE_MODELS"]
+
+#: Model names accepted by :func:`fit_shape`.
+SHAPE_MODELS = ("linear", "log", "powerlaw", "constant", "inverse")
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeFit:
+    """One fitted model.
+
+    Attributes:
+        model: Model name from :data:`SHAPE_MODELS`.
+        params: Fitted parameters ``(a, b)`` — for ``powerlaw`` these are
+            ``(a, c)`` of ``a·x^c``; for ``constant`` ``(0, b)``.
+        r_squared: Coefficient of determination in the original y-space.
+        predictions: Fitted values at the input xs.
+    """
+
+    model: str
+    params: tuple[float, float]
+    r_squared: float
+    predictions: tuple[float, ...]
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at ``x``."""
+        a, b = self.params
+        if self.model == "linear":
+            return a * x + b
+        if self.model == "log":
+            return a * math.log(x) + b
+        if self.model == "powerlaw":
+            return a * x**b
+        if self.model == "constant":
+            return b
+        if self.model == "inverse":
+            return a / x + b
+        raise AssertionError(self.model)  # pragma: no cover
+
+
+def _r_squared(ys: np.ndarray, preds: np.ndarray) -> float:
+    ss_res = float(np.sum((ys - preds) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_shape(
+    xs: Sequence[float], ys: Sequence[float], model: str
+) -> ShapeFit:
+    """Least-squares fit of one model.
+
+    Args:
+        xs: Positive x values (>= 2 points; > 0 for log/powerlaw/inverse).
+        ys: Matching y values (> 0 required for powerlaw).
+        model: One of :data:`SHAPE_MODELS`.
+
+    Returns:
+        A :class:`ShapeFit` with R² computed in the original y-space.
+
+    Raises:
+        ValueError: For unknown models or unusable inputs.
+    """
+    if model not in SHAPE_MODELS:
+        raise ValueError(f"unknown model {model!r}; expected {SHAPE_MODELS}")
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+
+    if model == "constant":
+        b = float(y.mean())
+        preds = np.full_like(y, b)
+        return ShapeFit("constant", (0.0, b), _r_squared(y, preds), tuple(preds))
+
+    if model == "powerlaw":
+        if np.any(x <= 0) or np.any(y <= 0):
+            raise ValueError("powerlaw fit requires positive xs and ys")
+        coeffs = np.polyfit(np.log(x), np.log(y), 1)
+        c, log_a = float(coeffs[0]), float(coeffs[1])
+        a = math.exp(log_a)
+        preds = a * x**c
+        return ShapeFit("powerlaw", (a, c), _r_squared(y, preds), tuple(preds))
+
+    if model == "linear":
+        basis = x
+    elif model == "log":
+        if np.any(x <= 0):
+            raise ValueError("log fit requires positive xs")
+        basis = np.log(x)
+    else:  # inverse
+        if np.any(x == 0):
+            raise ValueError("inverse fit requires non-zero xs")
+        basis = 1.0 / x
+    coeffs = np.polyfit(basis, y, 1)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    preds = a * basis + b
+    return ShapeFit(model, (a, b), _r_squared(y, preds), tuple(preds))
+
+
+def best_shape(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Sequence[str] = SHAPE_MODELS,
+) -> ShapeFit:
+    """Fit several models and return the best by R².
+
+    Args:
+        xs: X values.
+        ys: Y values.
+        models: Candidate models (defaults to all applicable ones; models
+            whose preconditions fail are skipped).
+
+    Returns:
+        The :class:`ShapeFit` with the highest R².
+
+    Raises:
+        ValueError: If no candidate model is applicable.
+    """
+    fits = []
+    for model in models:
+        try:
+            fits.append(fit_shape(xs, ys, model))
+        except ValueError:
+            continue
+    if not fits:
+        raise ValueError("no applicable model for the given data")
+    return max(fits, key=lambda f: f.r_squared)

@@ -1,0 +1,69 @@
+"""Harmonic numbers — the currency of the paper's message bounds.
+
+Every bound in Chapter 3 is expressed through ``H_n = sum_{j=1..n} 1/j``.
+Exact summation is used up to a cached cutoff; beyond it the Euler–
+Maclaurin expansion ``H_n ≈ ln n + γ + 1/(2n) − 1/(12n²)`` is accurate to
+well below 1e-12, far tighter than anything the experiments resolve.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["harmonic", "harmonic_diff", "EULER_GAMMA"]
+
+#: The Euler–Mascheroni constant.
+EULER_GAMMA = 0.5772156649015328606
+
+_EXACT_LIMIT = 1_000_000
+_cache: np.ndarray | None = None
+
+
+def _exact_table() -> np.ndarray:
+    global _cache
+    if _cache is None:
+        _cache = np.concatenate(
+            [[0.0], np.cumsum(1.0 / np.arange(1, _EXACT_LIMIT + 1))]
+        )
+    return _cache
+
+
+def harmonic(n: int | float) -> float:
+    """The n-th harmonic number H_n (H_0 = 0).
+
+    Args:
+        n: Non-negative index; floats are truncated.
+
+    Returns:
+        H_n, exact for n <= 1e6, Euler–Maclaurin beyond.
+
+    Raises:
+        ValueError: If n < 0.
+    """
+    n = int(n)
+    if n < 0:
+        raise ValueError(f"harmonic number undefined for n={n}")
+    if n <= _EXACT_LIMIT:
+        return float(_exact_table()[n])
+    inv = 1.0 / n
+    return math.log(n) + EULER_GAMMA + 0.5 * inv - inv * inv / 12.0
+
+
+def harmonic_diff(n: int, m: int) -> float:
+    """``H_n - H_m`` computed stably (both large indices allowed).
+
+    Args:
+        n: Upper index.
+        m: Lower index (0 <= m <= n).
+
+    Returns:
+        The difference, ~``ln(n/m)`` for large arguments.
+    """
+    if m > n:
+        raise ValueError(f"harmonic_diff requires m <= n, got n={n}, m={m}")
+    if n <= _EXACT_LIMIT:
+        table = _exact_table()
+        return float(table[n] - table[m])
+    return harmonic(n) - harmonic(m)

@@ -1,0 +1,72 @@
+"""Small statistics helpers for experiment reporting.
+
+The paper reports each data point as the average of 50 (infinite window)
+or 10 (sliding window) independent runs.  These helpers compute the means
+and normal-approximation confidence intervals the experiment runner prints,
+plus the empirical-vs-theory ratio used in the theory-validation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Summary", "summarize", "ratio_to_bound"]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Mean / spread summary of repeated measurements.
+
+    Attributes:
+        mean: Sample mean.
+        std: Sample standard deviation (ddof=1; 0 for a single run).
+        low: ~95 % CI lower bound on the mean.
+        high: ~95 % CI upper bound on the mean.
+        n: Number of measurements.
+    """
+
+    mean: float
+    std: float
+    low: float
+    high: float
+    n: int
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize repeated measurements.
+
+    Args:
+        values: At least one measurement.
+
+    Raises:
+        ValueError: If ``values`` is empty.
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot summarize zero measurements")
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+        half = 1.96 * std / math.sqrt(n)
+    else:
+        std = 0.0
+        half = 0.0
+    return Summary(mean=mean, std=std, low=mean - half, high=mean + half, n=n)
+
+
+def ratio_to_bound(measured: float, bound: float) -> float:
+    """``measured / bound`` with a guard for degenerate bounds.
+
+    Args:
+        measured: Empirical value.
+        bound: Theoretical value (> 0 expected).
+
+    Returns:
+        The ratio, or ``inf`` when the bound is non-positive.
+    """
+    if bound <= 0:
+        return math.inf
+    return measured / bound

@@ -1,0 +1,14 @@
+"""Baseline algorithms: frequency-sensitive sampling and classic samplers."""
+
+from .drs import DistributedRandomSampler, DRSCoordinator, DRSSite
+from .priority_window import PriorityWindowSampler
+from .reservoir import ReservoirSampler, WeightedReservoirSampler
+
+__all__ = [
+    "DistributedRandomSampler",
+    "DRSCoordinator",
+    "DRSSite",
+    "PriorityWindowSampler",
+    "ReservoirSampler",
+    "WeightedReservoirSampler",
+]

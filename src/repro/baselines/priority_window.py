@@ -1,0 +1,67 @@
+"""Single-stream sliding-window priority sampling (Babcock–Datar–Motwani).
+
+The building block the paper adapts for its per-site candidate sets: over a
+single stream, assign each element a random priority (here: its hash) and
+maintain the set of elements that could still become the window minimum.
+The expected candidate-set size is ``H_M = O(log M)``.
+
+This standalone sampler is used to test the dominance-set machinery in
+isolation and as the "what a single site would do" reference in examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..hashing.unit import UnitHasher
+from ..structures.dominance import DominanceEntry, SortedDominanceSet
+
+__all__ = ["PriorityWindowSampler"]
+
+
+class PriorityWindowSampler:
+    """Bottom-s distinct sample over a single stream's sliding window.
+
+    Args:
+        window: Window size w in slots.
+        sample_size: Sample size s (>= 1).
+        hasher: Hash function supplying the random priorities.
+    """
+
+    __slots__ = ("window", "sample_size", "hasher", "candidates", "_now")
+
+    def __init__(self, window: int, sample_size: int, hasher: UnitHasher) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.sample_size = sample_size
+        self.hasher = hasher
+        self.candidates = SortedDominanceSet(sample_size)
+        self._now = 0
+
+    def observe(self, element: Any, now: int) -> None:
+        """Process an arrival at slot ``now``."""
+        self._now = max(self._now, now)
+        self.candidates.expire(self._now)
+        self.candidates.observe(element, now + self.window, self.hasher.unit(element))
+
+    def advance(self, now: int) -> None:
+        """Advance time without arrivals."""
+        self._now = max(self._now, now)
+        self.candidates.expire(self._now)
+
+    def sample(self) -> list[Any]:
+        """Bottom-s distinct sample of the live window, ascending by hash."""
+        self.candidates.expire(self._now)
+        return [e.element for e in self.candidates.bottom(self.sample_size)]
+
+    def min_entry(self) -> Optional[DominanceEntry]:
+        """The live minimum-hash entry, or None."""
+        self.candidates.expire(self._now)
+        return self.candidates.min_entry()
+
+    @property
+    def memory_size(self) -> int:
+        """Current candidate-set size."""
+        return len(self.candidates)

@@ -1,0 +1,116 @@
+"""Classic single-stream reservoir samplers.
+
+These are *frequency-sensitive* samplers (an element's inclusion
+probability grows with its frequency) — the contrast class the paper's
+introduction draws against distinct sampling:
+
+* :class:`ReservoirSampler` — Vitter's Algorithm R (1985): uniform sample
+  of size s over stream *occurrences*.
+* :class:`WeightedReservoirSampler` — Efraimidis & Spirakis (2006): each
+  occurrence carries a weight; inclusion probability proportional to
+  weight, via the key ``rand()^(1/w)`` trick (equivalently
+  ``-log(rand())/w`` as an exponential race, which we use for numerical
+  robustness).
+
+They serve the examples (showing *why* distinct sampling answers different
+queries) and the statistical test harness (a known-correct uniform sampler
+to calibrate the uniformity tests against).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ReservoirSampler", "WeightedReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Vitter's Algorithm R: uniform sample of s stream occurrences.
+
+    Args:
+        sample_size: Reservoir capacity s.
+        rng: Source of randomness.
+    """
+
+    __slots__ = ("sample_size", "rng", "reservoir", "count")
+
+    def __init__(self, sample_size: int, rng: np.random.Generator) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self.rng = rng
+        self.reservoir: list[Any] = []
+        self.count = 0
+
+    def observe(self, element: Any) -> None:
+        """Process one stream element."""
+        self.count += 1
+        if len(self.reservoir) < self.sample_size:
+            self.reservoir.append(element)
+            return
+        # Replace a random slot with probability s / count.
+        j = int(self.rng.integers(0, self.count))
+        if j < self.sample_size:
+            self.reservoir[j] = element
+
+    def extend(self, elements: Sequence[Any]) -> None:
+        """Process a batch of elements."""
+        for element in elements:
+            self.observe(element)
+
+    def sample(self) -> list[Any]:
+        """The current reservoir (uniform over occurrences seen)."""
+        return list(self.reservoir)
+
+
+class WeightedReservoirSampler:
+    """Efraimidis–Spirakis weighted reservoir sampling (A-Res).
+
+    Keeps the s occurrences with the smallest exponential keys
+    ``Exp(weight)``; inclusion probability is proportional to weight.
+
+    Args:
+        sample_size: Reservoir capacity s.
+        rng: Source of randomness.
+    """
+
+    __slots__ = ("sample_size", "rng", "_keyed", "count")
+
+    def __init__(self, sample_size: int, rng: np.random.Generator) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self.rng = rng
+        self._keyed: list[tuple[float, int, Any]] = []  # sorted by key
+        self.count = 0
+
+    def observe(self, element: Any, weight: float = 1.0) -> None:
+        """Process one element with the given positive weight.
+
+        Raises:
+            ConfigurationError: If ``weight <= 0``.
+        """
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        self.count += 1
+        key = -math.log(1.0 - float(self.rng.random())) / weight
+        if len(self._keyed) < self.sample_size:
+            self._keyed.append((key, self.count, element))
+            self._keyed.sort()
+            return
+        if key < self._keyed[-1][0]:
+            self._keyed[-1] = (key, self.count, element)
+            self._keyed.sort()
+
+    def sample(self) -> list[Any]:
+        """The current weighted sample, ascending by key."""
+        return [element for _, _, element in self._keyed]

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Commands:
+
+* ``repro list`` — show all registered experiments.
+* ``repro run <id> [...]`` — run one (or ``all``) experiments and print
+  paper-style tables; ``--csv DIR`` also writes CSV files.
+* ``repro bounds --k K --s S --d D`` — print the theoretical bounds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .analysis.bounds import (
+    lower_bound_total,
+    optimality_gap,
+    upper_bound_total,
+)
+from .errors import ReproError
+from .experiments.config import ExperimentConfig
+from .experiments.registry import EXPERIMENTS, run_experiment
+from .streams.datasets import SCALES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distinct random sampling from a distributed stream — "
+        "reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run experiments")
+    run_p.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list') or 'all'",
+    )
+    run_p.add_argument(
+        "--scale", default="small", choices=SCALES, help="dataset scale"
+    )
+    run_p.add_argument(
+        "--runs", type=int, default=0, help="repetitions per point (0 = default)"
+    )
+    run_p.add_argument("--seed", type=int, default=20150525, help="master seed")
+    run_p.add_argument(
+        "--datasets",
+        default="oc48,enron",
+        help="comma-separated dataset families",
+    )
+    run_p.add_argument(
+        "--csv", default=None, metavar="DIR", help="also write CSVs here"
+    )
+
+    bounds_p = sub.add_parser("bounds", help="print theoretical bounds")
+    bounds_p.add_argument("--k", type=int, required=True, help="number of sites")
+    bounds_p.add_argument("--s", type=int, required=True, help="sample size")
+    bounds_p.add_argument("--d", type=int, required=True, help="distinct elements")
+
+    sub.add_parser("datasets", help="list calibrated dataset profiles")
+
+    demo_p = sub.add_parser(
+        "demo",
+        help="run a distributed sampler over a calibrated dataset and "
+        "print the sample, the distinct-count estimate, and the costs",
+    )
+    demo_p.add_argument("--dataset", default="oc48", help="dataset family")
+    demo_p.add_argument("--scale", default="tiny", choices=SCALES)
+    demo_p.add_argument("--sites", type=int, default=5, help="number of sites")
+    demo_p.add_argument("--sample-size", type=int, default=16)
+    demo_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for experiment_id in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id.ljust(width)}  {exp.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        scale=args.scale,
+        runs=args.runs,
+        seed=args.seed,
+        datasets=tuple(d for d in args.datasets.split(",") if d),
+    )
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    csv_dir = pathlib.Path(args.csv) if args.csv else None
+    if csv_dir:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        started = time.perf_counter()
+        results = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - started
+        for i, result in enumerate(results):
+            print(result.render())
+            if csv_dir:
+                suffix = f"_{i}" if len(results) > 1 else ""
+                path = csv_dir / f"{experiment_id}{suffix}.csv"
+                path.write_text(result.to_csv())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    upper = upper_bound_total(args.k, args.s, args.d)
+    lower = lower_bound_total(args.k, args.s, args.d)
+    print(f"k={args.k} s={args.s} d={args.d}")
+    print(f"  Lemma 4 upper bound : {upper:,.1f} messages")
+    print(f"  Lemma 9 lower bound : {lower:,.1f} messages")
+    print(f"  upper/lower gap     : {optimality_gap(args.k, args.s, args.d):.3f}")
+    return 0
+
+
+def _cmd_datasets() -> int:
+    from .streams.datasets import DATASETS
+
+    print(f"{'name':<14} {'elements':>12} {'distinct':>10} {'ratio':>7} {'skew':>5}")
+    for name in sorted(DATASETS):
+        spec = DATASETS[name]
+        print(
+            f"{name:<14} {spec.n_elements:>12,} {spec.n_distinct:>10,} "
+            f"{spec.distinct_ratio:>7.3f} {spec.skew:>5.2f}"
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.infinite import DistinctSamplerSystem
+    from .estimators.distinct_count import estimate_from_sampler
+    from .hashing.unit import unit_hash_array
+    from .streams.datasets import get_dataset
+
+    spec = get_dataset(args.dataset, args.scale)
+    rng = np.random.default_rng(args.seed)
+    ids = spec.generate(rng)
+    hashes = unit_hash_array(ids, args.seed)
+    sites = rng.integers(0, args.sites, ids.size)
+    system = DistinctSamplerSystem(
+        num_sites=args.sites,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        algorithm="mix64",
+    )
+    started = time.perf_counter()
+    system.process_batch(sites, ids.tolist(), hashes)
+    elapsed = time.perf_counter() - started
+    estimate = estimate_from_sampler(system)
+    print(
+        f"dataset {spec.name}: {spec.n_elements:,} elements, "
+        f"{spec.n_distinct:,} distinct"
+    )
+    print(
+        f"k={args.sites}, s={args.sample_size}: processed in {elapsed:.2f}s "
+        f"({spec.n_elements / max(elapsed, 1e-9) / 1e6:.1f}M el/s)"
+    )
+    print(f"sample (first 10 ids): {system.sample()[:10]}")
+    print(
+        f"distinct-count estimate: {estimate.estimate:,.0f} "
+        f"[{estimate.low:,.0f}, {estimate.high:,.0f}] "
+        f"(truth {spec.n_distinct:,})"
+    )
+    print(f"messages: {system.total_messages:,}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "bounds":
+            return _cmd_bounds(args)
+        if args.command == "datasets":
+            return _cmd_datasets()
+        if args.command == "demo":
+            return _cmd_demo(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""High-level convenience API.
+
+Most users want one of three things; each maps to a factory here:
+
+* a distinct sample of *everything seen so far* across distributed streams
+  → :func:`infinite_window_sampler`
+* a distinct sample of the *last w time slots* → :func:`sliding_window_sampler`
+* independent draws (with replacement) → :func:`with_replacement_sampler`
+
+The returned objects are the full-featured system facades from the
+submodules; these factories only centralize defaults and validation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .infinite import DistinctSamplerSystem
+from .sliding import SlidingWindowSystem
+from .sliding_feedback import SlidingWindowBottomSFeedback
+from .sliding_general import SlidingWindowBottomS
+from .with_replacement import SlidingWindowWithReplacement, WithReplacementSampler
+
+__all__ = [
+    "infinite_window_sampler",
+    "sliding_window_sampler",
+    "with_replacement_sampler",
+]
+
+
+def infinite_window_sampler(
+    num_sites: int,
+    sample_size: int,
+    seed: int = 0,
+    algorithm: str = "murmur2",
+) -> DistinctSamplerSystem:
+    """Distributed distinct sampler over the full stream history.
+
+    Args:
+        num_sites: Number of distributed sites.
+        sample_size: Desired sample size s (sample has size min(s, d)).
+        seed: Hash seed (fix it for reproducible runs).
+        algorithm: Hash algorithm (see ``repro.hashing.HASH_ALGORITHMS``).
+
+    Returns:
+        A :class:`~repro.core.infinite.DistinctSamplerSystem`.
+    """
+    return DistinctSamplerSystem(
+        num_sites=num_sites, sample_size=sample_size, seed=seed, algorithm=algorithm
+    )
+
+
+def sliding_window_sampler(
+    num_sites: int,
+    window: int,
+    sample_size: int = 1,
+    seed: int = 0,
+    algorithm: str = "murmur2",
+    feedback: bool = True,
+):
+    """Distributed distinct sampler over a sliding window of ``window`` slots.
+
+    For ``sample_size == 1`` this returns the paper-faithful lazy-feedback
+    system (Algorithms 3–4).  For larger samples: the general-s
+    lazy-feedback system (``feedback=True``, default) or the one-way
+    local-push variant (``feedback=False``).
+
+    Args:
+        num_sites: Number of distributed sites.
+        window: Window size in time slots.
+        sample_size: Desired sample size s.
+        seed: Hash seed.
+        algorithm: Hash algorithm name.
+        feedback: Whether the coordinator replies with expiring thresholds
+            (ignored for s = 1, which always uses Algorithms 3-4).
+
+    Returns:
+        A :class:`~repro.core.sliding.SlidingWindowSystem` (s = 1),
+        :class:`~repro.core.sliding_feedback.SlidingWindowBottomSFeedback`,
+        or :class:`~repro.core.sliding_general.SlidingWindowBottomS`.
+    """
+    if sample_size < 1:
+        raise ConfigurationError(f"sample_size must be >= 1, got {sample_size}")
+    if sample_size == 1:
+        return SlidingWindowSystem(
+            num_sites=num_sites, window=window, seed=seed, algorithm=algorithm
+        )
+    cls = SlidingWindowBottomSFeedback if feedback else SlidingWindowBottomS
+    return cls(
+        num_sites=num_sites,
+        window=window,
+        sample_size=sample_size,
+        seed=seed,
+        algorithm=algorithm,
+    )
+
+
+def with_replacement_sampler(
+    num_sites: int,
+    sample_size: int,
+    window: int = 0,
+    seed: int = 0,
+    algorithm: str = "murmur2",
+):
+    """Distinct sampler producing s independent (with-replacement) draws.
+
+    Args:
+        num_sites: Number of distributed sites.
+        sample_size: Number of independent draws s.
+        window: 0 for infinite window, otherwise the sliding-window size.
+        seed: Master seed for the hash family.
+        algorithm: Hash algorithm name.
+
+    Returns:
+        A :class:`~repro.core.with_replacement.WithReplacementSampler` or
+        :class:`~repro.core.with_replacement.SlidingWindowWithReplacement`.
+    """
+    if window < 0:
+        raise ConfigurationError(f"window must be >= 0, got {window}")
+    if window == 0:
+        return WithReplacementSampler(
+            num_sites=num_sites, sample_size=sample_size, seed=seed, algorithm=algorithm
+        )
+    return SlidingWindowWithReplacement(
+        num_sites=num_sites,
+        window=window,
+        sample_size=sample_size,
+        seed=seed,
+        algorithm=algorithm,
+    )

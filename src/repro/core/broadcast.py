@@ -1,0 +1,166 @@
+"""Algorithm Broadcast — the eager-synchronization baseline (Section 5.2).
+
+The only difference from Algorithms 1–2 is the feedback policy: instead of
+lazily refreshing a single site's threshold in reply to its report, the
+coordinator *broadcasts* the new global threshold ``u`` to **all** ``k``
+sites every time ``u`` changes.  Site views are then always exact
+(``u_i == u``), so sites never send a report the coordinator would reject
+on threshold grounds — but each sample change costs ``k`` messages, which
+the paper shows is far more expensive overall ("typically it is not worth
+keeping the different sites synchronized with respect to the value of u").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError, ProtocolError
+from ..hashing.unit import UnitHasher
+from ..netsim.message import COORDINATOR, Message, MessageKind
+from ..netsim.network import Network
+from ..structures.bottomk import BottomK
+
+__all__ = [
+    "BroadcastSite",
+    "BroadcastCoordinator",
+    "BroadcastSamplerSystem",
+]
+
+
+class BroadcastSite:
+    """Site protocol under eager synchronization.
+
+    Identical trigger to Algorithm 1 (report iff ``h(e) < u_i``) but the
+    threshold is updated by coordinator broadcasts rather than replies.
+    """
+
+    __slots__ = ("site_id", "hasher", "u_local")
+
+    def __init__(self, site_id: int, hasher: UnitHasher) -> None:
+        self.site_id = site_id
+        self.hasher = hasher
+        self.u_local = 1.0
+
+    def observe(self, element: Any, network: Network) -> None:
+        """Process one local stream element (hashes internally)."""
+        h = self.hasher.unit(element)
+        if h < self.u_local:
+            network.send(
+                self.site_id, COORDINATOR, MessageKind.REPORT, (element, h, self.site_id)
+            )
+
+    def observe_hashed(self, element: Any, h: float, network: Network) -> None:
+        """Fast path with a precomputed hash."""
+        if h < self.u_local:
+            network.send(
+                self.site_id, COORDINATOR, MessageKind.REPORT, (element, h, self.site_id)
+            )
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Adopt a broadcast threshold."""
+        if message.kind is not MessageKind.BROADCAST:
+            raise ProtocolError(
+                f"broadcast site {self.site_id} cannot handle {message.kind!r}"
+            )
+        self.u_local = message.payload
+
+
+class BroadcastCoordinator:
+    """Coordinator that broadcasts ``u`` to all sites whenever it changes."""
+
+    __slots__ = ("sample_store", "site_ids", "reports_received", "broadcasts_sent")
+
+    def __init__(self, sample_size: int, site_ids: list[int]) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.sample_store = BottomK(sample_size)
+        self.site_ids = list(site_ids)
+        self.reports_received = 0
+        self.broadcasts_sent = 0
+
+    @property
+    def threshold(self) -> float:
+        """Current global threshold u."""
+        return self.sample_store.threshold()
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Absorb a report; broadcast iff the threshold changed."""
+        if message.kind is not MessageKind.REPORT:
+            raise ProtocolError(f"coordinator cannot handle {message.kind!r}")
+        element, h, _site_id = message.payload
+        self.reports_received += 1
+        before = self.sample_store.threshold()
+        self.sample_store.offer(h, element)
+        after = self.sample_store.threshold()
+        if after != before:
+            self.broadcasts_sent += 1
+            network.broadcast(
+                COORDINATOR, self.site_ids, MessageKind.BROADCAST, after
+            )
+
+    def sample(self) -> list[Any]:
+        """The current distinct sample, ascending by hash."""
+        return self.sample_store.elements()
+
+
+class BroadcastSamplerSystem:
+    """Facade for Algorithm Broadcast, mirroring
+    :class:`~repro.core.infinite.DistinctSamplerSystem`.
+
+    Args:
+        num_sites: Number of sites k.
+        sample_size: Sample size s.
+        seed: Hash seed (ignored if ``hasher`` given).
+        algorithm: Hash algorithm name.
+        hasher: Optional shared pre-built hasher.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        sample_size: int,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+        hasher: Optional[UnitHasher] = None,
+    ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
+        self.network = Network()
+        self.sites = [BroadcastSite(i, self.hasher) for i in range(num_sites)]
+        self.coordinator = BroadcastCoordinator(
+            sample_size, [site.site_id for site in self.sites]
+        )
+        self.network.register(COORDINATOR, self.coordinator)
+        for site in self.sites:
+            self.network.register(site.site_id, site)
+
+    def observe(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id``."""
+        self.sites[site_id].observe(element, self.network)
+
+    def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
+        """Fast path with a precomputed hash."""
+        self.sites[site_id].observe_hashed(element, h, self.network)
+
+    def flood_hashed(self, element: Any, h: float) -> None:
+        """Deliver a pre-hashed element to every site."""
+        network = self.network
+        for site in self.sites:
+            site.observe_hashed(element, h, network)
+
+    def sample(self) -> list[Any]:
+        """The coordinator's current distinct sample."""
+        return self.coordinator.sample()
+
+    @property
+    def threshold(self) -> float:
+        """The coordinator's current threshold u."""
+        return self.coordinator.threshold
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages exchanged so far."""
+        return self.network.stats.total_messages

@@ -1,0 +1,134 @@
+"""Centralized reference samplers — the correctness oracles.
+
+A single-machine bottom-s sketch over the union stream defines *exactly*
+the sample the distributed protocols must reproduce (given the same hash
+function, the bottom-s of the union is deterministic).  The differential
+tests drive a distributed system and a centralized oracle with the same
+stream and assert the samples are identical at every step.
+
+:class:`CentralizedWindowSampler` is the sliding-window analogue: it keeps
+the full live window multiset (no pruning — it is an oracle, not an
+algorithm) and answers bottom-s over live distinct elements.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..hashing.unit import UnitHasher
+from ..structures.bottomk import BottomK
+
+__all__ = ["CentralizedDistinctSampler", "CentralizedWindowSampler"]
+
+
+class CentralizedDistinctSampler:
+    """Single-stream bottom-s distinct sampler (Gibbons-style sketch).
+
+    Args:
+        sample_size: Sample size s.
+        hasher: Hash function (must be shared with any system this oracle
+            is compared against).
+    """
+
+    __slots__ = ("hasher", "sample_store", "elements_seen")
+
+    def __init__(self, sample_size: int, hasher: UnitHasher) -> None:
+        self.hasher = hasher
+        self.sample_store = BottomK(sample_size)
+        self.elements_seen = 0
+
+    def observe(self, element: Any) -> None:
+        """Process one stream element."""
+        self.elements_seen += 1
+        self.sample_store.offer(self.hasher.unit(element), element)
+
+    def observe_hashed(self, element: Any, h: float) -> None:
+        """Fast path with a precomputed hash."""
+        self.elements_seen += 1
+        self.sample_store.offer(h, element)
+
+    def sample(self) -> list[Any]:
+        """The bottom-s distinct sample, ascending by hash."""
+        return self.sample_store.elements()
+
+    def sample_pairs(self) -> list[tuple[float, Any]]:
+        """``(hash, element)`` pairs, ascending by hash."""
+        return self.sample_store.pairs()
+
+    @property
+    def threshold(self) -> float:
+        """The s-th smallest hash seen so far (1.0 while under-full)."""
+        return self.sample_store.threshold()
+
+    @property
+    def sample_size(self) -> int:
+        """Configured sample size s."""
+        return self.sample_store.capacity
+
+
+class CentralizedWindowSampler:
+    """Oracle for sliding windows: exact bottom-s over the live window.
+
+    Memory is O(window) by design — this is the *specification*, not a
+    competitive algorithm.
+
+    Args:
+        window: Window size w in slots.
+        sample_size: Sample size s.
+        hasher: Shared hash function.
+    """
+
+    __slots__ = ("window", "sample_size", "hasher", "_last_seen", "_now")
+
+    def __init__(self, window: int, sample_size: int, hasher: UnitHasher) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.window = window
+        self.sample_size = sample_size
+        self.hasher = hasher
+        self._last_seen: OrderedDict[Any, int] = OrderedDict()
+        self._now = 0
+
+    def observe(self, element: Any, now: int) -> None:
+        """Record an arrival at slot ``now``."""
+        self._now = max(self._now, now)
+        # Move-to-end keeps the dict ordered by most-recent occurrence.
+        if element in self._last_seen:
+            del self._last_seen[element]
+        self._last_seen[element] = now
+
+    def advance(self, now: int) -> None:
+        """Advance time without arrivals."""
+        self._now = max(self._now, now)
+
+    def _evict(self) -> None:
+        horizon = self._now - self.window
+        while self._last_seen:
+            element, seen = next(iter(self._last_seen.items()))
+            if seen > horizon:
+                break
+            del self._last_seen[element]
+
+    def live_elements(self) -> list[Any]:
+        """All distinct elements live in the current window."""
+        self._evict()
+        return list(self._last_seen)
+
+    def sample(self) -> list[Any]:
+        """Bottom-s over live distinct elements, ascending by hash."""
+        self._evict()
+        scored = sorted(
+            (self.hasher.unit(element), element) for element in self._last_seen
+        )
+        return [element for _, element in scored[: self.sample_size]]
+
+    def min_element(self) -> Optional[Any]:
+        """The live element with the smallest hash, or None."""
+        members = self.sample()
+        return members[0] if members else None

@@ -1,0 +1,132 @@
+"""Reductions between with- and without-replacement distinct samples.
+
+The paper's Section 3.1 closes with two observations we make executable:
+
+* A without-replacement sample *of a larger size* yields a
+  with-replacement sample: draw ``s`` members independently (with
+  repetition) from a without-replacement sample of size ``s' >= s`` —
+  each draw is uniform over the distinct population **conditioned on the
+  retained set**, which is itself uniform, so the composition is a valid
+  with-replacement sample as long as ``s' >= s`` gives enough variety.
+  (Exactness requires drawing from the *whole* population; conditioning
+  on a uniform subset of size ``s'`` is exchangeable, hence uniform.)
+
+* A with-replacement sample of size slightly above ``s`` yields a
+  without-replacement sample of size ``s``: deduplicate the draws and
+  keep the first ``s`` distinct values — uniform by exchangeability.
+  :func:`without_replacement_needed` computes (via the birthday/coupon
+  bound) how many with-replacement draws make that succeed with
+  probability ``1 − delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import EstimationError
+
+__all__ = [
+    "with_replacement_from_without",
+    "without_replacement_from_with",
+    "without_replacement_needed",
+]
+
+
+def with_replacement_from_without(
+    sample: Sequence[Any], draws: int, rng: np.random.Generator
+) -> list[Any]:
+    """Derive ``draws`` with-replacement draws from a without-replacement
+    distinct sample.
+
+    Args:
+        sample: A uniform without-replacement distinct sample (its size
+            bounds the variety available; use ``len(sample) >= draws``
+            for full fidelity).
+        draws: Number of independent draws wanted.
+        rng: Randomness for the resampling.
+
+    Returns:
+        ``draws`` elements, each uniform over the distinct population.
+
+    Raises:
+        EstimationError: If the source sample is empty.
+    """
+    if len(sample) == 0:
+        raise EstimationError("cannot resample from an empty sample")
+    indices = rng.integers(0, len(sample), size=draws)
+    return [sample[int(i)] for i in indices]
+
+
+def without_replacement_from_with(
+    draws: Sequence[Any], sample_size: int
+) -> list[Any]:
+    """Derive a without-replacement sample from with-replacement draws.
+
+    Deduplicates in draw order and keeps the first ``sample_size``
+    distinct values — uniform over distinct-subsets by exchangeability.
+
+    Args:
+        draws: Independent uniform draws (with repetition possible).
+        sample_size: Desired without-replacement size s.
+
+    Returns:
+        The first ``sample_size`` distinct draws.
+
+    Raises:
+        EstimationError: If the draws contain fewer than ``sample_size``
+            distinct values (caller should have drawn more; see
+            :func:`without_replacement_needed`).
+    """
+    seen: dict[Any, None] = {}
+    for draw in draws:
+        if draw not in seen:
+            seen[draw] = None
+            if len(seen) == sample_size:
+                return list(seen)
+    raise EstimationError(
+        f"only {len(seen)} distinct values among {len(draws)} draws; "
+        f"needed {sample_size} — draw more copies "
+        "(see without_replacement_needed)"
+    )
+
+
+def without_replacement_needed(
+    sample_size: int, population: int, delta: float = 0.01
+) -> int:
+    """How many with-replacement draws guarantee ``sample_size`` distinct
+    values with probability at least ``1 − delta``.
+
+    Uses the coupon-collector tail: after ``m`` uniform draws from a
+    population of ``d``, the expected shortfall below ``s`` distinct is at
+    most ``s·exp(−m·(d−s)/(d·s))``-ish; we use the standard union bound
+    ``m = ceil( s + d·ln(s/delta)·s/(d−s+1) )`` simplified conservatively.
+
+    Args:
+        sample_size: Desired distinct count s.
+        population: Distinct population size d (s <= d).
+        delta: Allowed failure probability.
+
+    Returns:
+        A sufficient number of draws m.
+
+    Raises:
+        EstimationError: If ``sample_size > population``.
+    """
+    if sample_size > population:
+        raise EstimationError(
+            f"cannot collect {sample_size} distinct from a population of "
+            f"{population}"
+        )
+    if sample_size == population:
+        # Full coupon collection: d·(H_d + ln(1/delta)) draws suffice.
+        d = population
+        return math.ceil(d * (math.log(d) + 1 + math.log(1.0 / delta)))
+    # While fewer than s of d coupons are held, each draw is fresh with
+    # probability >= (d - s + 1)/d; a Chernoff-ish inflation covers delta.
+    p_fresh = (population - sample_size + 1) / population
+    base = sample_size / p_fresh
+    slack = 3.0 * math.sqrt(base * math.log(1.0 / delta)) + math.log(1.0 / delta)
+    return math.ceil(base + slack)

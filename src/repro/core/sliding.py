@@ -1,0 +1,376 @@
+"""Sliding-window distributed distinct sampling (paper Algorithms 3 & 4).
+
+Maintains, over a time-based window of ``w`` slots, the live distinct
+element with the *smallest hash* (the paper presents sample size ``s = 1``;
+see :mod:`repro.core.sliding_general` for the ``s >= 1`` generalization and
+:mod:`repro.core.with_replacement` for with-replacement samples of any
+size).
+
+Protocol sketch (paper Section 4.1):
+
+* Each **site** keeps a dominance-pruned candidate set ``T_i`` (everything
+  that could still become the window minimum — expected size
+  ``O(log |D_i|)`` by Lemma 10) plus its view ``(e_i, u_i, t_i)`` of the
+  global sample: element, hash, and the slot at which it *expires*.
+* On an arrival ``e`` at slot ``t``: refresh/insert ``(e, t + w)`` in
+  ``T_i``; report to the coordinator iff ``h(e) < u_i``.
+* The **coordinator** keeps one ``(e*, u*, t*)``.  A report replaces it iff
+  the reported hash is smaller **or** the current sample has expired; the
+  reply always carries the (possibly new) global sample *and its expiry* —
+  the lazy-feedback trick that lets every synced site wake up exactly when
+  the global sample dies, instead of requiring a broadcast.
+* At each slot boundary a site whose view has expired (``t_i <= now``)
+  falls back to its local candidate set: it selects the min-hash entry of
+  ``T_i``, pushes it, and adopts the coordinator's reply.
+
+Expiry convention: an element observed at slot ``t`` is live for queries at
+slots ``t .. t+w-1`` and carries expiry stamp ``t + w``; "live at ``now``"
+means ``expiry > now``.  (The thesis' pseudocode is off by one against its
+own window definition ``S_i^w(t) = arrivals in (t-w, t]``; we follow the
+definition.)
+
+**Coordinator modes — a reproduction finding.**  Algorithm 4 as printed
+keeps a *single* tuple ``(e*, t*)``.  That loses information: if the
+coordinator abandons sample ``a`` for a smaller-hash report ``b`` whose
+expiry is *earlier* (``b`` arrived before ``a`` did — e.g. a fallback push
+of an older element), then when ``b`` dies only sites synced to ``b`` wake
+up; ``a`` survives solely at its observing site, which sleeps until ``a``'s
+own expiry — so for a period the coordinator serves a live but
+*non-minimal* element, i.e. not the defined distinct sample.  (The thesis
+proves space and message bounds for this algorithm but never a sliding-
+window correctness lemma; the gap is real and our differential tests
+trigger it within a few hundred slots.)  The repair is the paper's own
+device one level up: the coordinator keeps a *dominance set* of reported
+entries (expected size ``O(log d_w)``) instead of one tuple.  Both variants
+are provided:
+
+* ``coordinator_mode="exact"`` (default) — dominance-set coordinator;
+  after each slot's processing the sample provably equals the minimum-hash
+  live distinct element (the tests check this against a brute-force
+  oracle at every slot).
+* ``coordinator_mode="paper"`` — the literal Algorithm 4 single tuple;
+  the sample is always a *live* window element and re-synchronizes at
+  fallback storms, but can transiently be non-minimal.
+
+Message costs of the two modes are nearly identical (see the
+``ablation_sync`` experiment); the figures use ``exact``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..errors import ConfigurationError, ProtocolError
+from ..hashing.unit import UnitHasher
+from ..netsim.clock import SlotClock
+from ..netsim.message import COORDINATOR, Message, MessageKind
+from ..netsim.network import Network
+from ..structures.dominance import SortedDominanceSet, TreapDominanceSet
+
+# SortedDominanceSet doubles as the exact coordinator's candidate store.
+
+__all__ = [
+    "SlidingWindowSite",
+    "SlidingWindowCoordinator",
+    "SlidingWindowSystem",
+]
+
+_INF = math.inf
+
+
+def _make_structure(kind: str):
+    if kind == "treap":
+        return TreapDominanceSet(1)
+    if kind == "sorted":
+        return SortedDominanceSet(1)
+    raise ConfigurationError(
+        f"unknown dominance structure {kind!r}; expected 'treap' or 'sorted'"
+    )
+
+
+class SlidingWindowSite:
+    """Algorithm 3: the per-site sliding-window protocol.
+
+    Args:
+        site_id: Network address.
+        hasher: Shared hash function.
+        window: Window size w in slots (>= 1).
+        structure: ``"treap"`` (paper-faithful) or ``"sorted"`` backing
+            store for the candidate set ``T_i``.
+    """
+
+    __slots__ = (
+        "site_id",
+        "hasher",
+        "window",
+        "candidates",
+        "sample_element",
+        "u_local",
+        "sample_expiry",
+        "reports_sent",
+        "fallbacks",
+    )
+
+    def __init__(
+        self,
+        site_id: int,
+        hasher: UnitHasher,
+        window: int,
+        structure: str = "treap",
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.site_id = site_id
+        self.hasher = hasher
+        self.window = window
+        self.candidates = _make_structure(structure)
+        self.sample_element: Optional[Any] = None
+        self.u_local = 1.0
+        self.sample_expiry: float = _INF
+        self.reports_sent = 0
+        self.fallbacks = 0
+
+    @property
+    def memory_size(self) -> int:
+        """Current candidate-set size |T_i| (the paper's memory metric)."""
+        return len(self.candidates)
+
+    def tick(self, now: int, network: Network) -> None:
+        """Slot-boundary maintenance (Algorithm 3 lines 21-25).
+
+        If the site's view of the global sample has expired, fall back to
+        the local candidate set: select the min-hash live entry, adopt it
+        provisionally, and push it to the coordinator (whose reply, handled
+        synchronously, re-syncs ``(e_i, u_i, t_i)`` to the global sample).
+        """
+        if self.sample_expiry > now:
+            return
+        self.fallbacks += 1
+        self.candidates.expire(now)
+        entry = self.candidates.min_entry()
+        if entry is None:
+            # Nothing live locally; accept the next arrival unconditionally.
+            self.sample_element = None
+            self.u_local = 1.0
+            self.sample_expiry = _INF
+            return
+        self.sample_element = entry.element
+        self.u_local = entry.hash
+        self.sample_expiry = entry.expiry
+        self.reports_sent += 1
+        network.send(
+            self.site_id,
+            COORDINATOR,
+            MessageKind.SW_REPORT,
+            (entry.element, entry.hash, entry.expiry, self.site_id),
+        )
+
+    def observe(self, element: Any, now: int, network: Network) -> None:
+        """Process an arrival in slot ``now`` (Algorithm 3 lines 3-15)."""
+        h = self.hasher.unit(element)
+        self.observe_hashed(element, h, now, network)
+
+    def observe_hashed(
+        self, element: Any, h: float, now: int, network: Network
+    ) -> None:
+        """Fast path: arrival with a precomputed hash."""
+        expiry = now + self.window
+        self.candidates.expire(now)
+        self.candidates.observe(element, expiry, h)
+        if h < self.u_local:
+            self.reports_sent += 1
+            network.send(
+                self.site_id,
+                COORDINATOR,
+                MessageKind.SW_REPORT,
+                (element, h, expiry, self.site_id),
+            )
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Adopt the coordinator's sample reply (Algorithm 3 lines 16-20)."""
+        if message.kind is not MessageKind.SW_SAMPLE:
+            raise ProtocolError(
+                f"sliding-window site {self.site_id} cannot handle {message.kind!r}"
+            )
+        element, h, expiry = message.payload
+        self.sample_element = element
+        self.u_local = h
+        self.sample_expiry = expiry
+        # Algorithm 3 line 18: the global sample joins the local candidates,
+        # pruning local entries it dominates (they can never be the global
+        # minimum while it lives).
+        self.candidates.observe(element, expiry, h)
+
+
+class SlidingWindowCoordinator:
+    """The coordinator's sliding-window protocol.
+
+    Two modes (see the module docstring for the background):
+
+    * ``"exact"`` — reported entries accumulate in a dominance set; the
+      sample is its live minimum.  Replies carry that minimum and *its*
+      expiry.
+    * ``"paper"`` — the literal Algorithm 4 single tuple ``(e*, u*, t*)``,
+      replaced iff a report hashes lower or the tuple has expired.
+
+    Args:
+        clock: Shared slot clock (used to detect sample expiry).
+        mode: ``"exact"`` or ``"paper"``.
+    """
+
+    __slots__ = (
+        "clock",
+        "mode",
+        "candidates",
+        "sample_element",
+        "u_star",
+        "sample_expiry",
+        "reports_received",
+    )
+
+    def __init__(self, clock: SlotClock, mode: str = "exact") -> None:
+        if mode not in ("exact", "paper"):
+            raise ConfigurationError(
+                f"coordinator mode must be 'exact' or 'paper', got {mode!r}"
+            )
+        self.clock = clock
+        self.mode = mode
+        self.candidates = SortedDominanceSet(1) if mode == "exact" else None
+        self.sample_element: Optional[Any] = None
+        self.u_star = 1.0
+        self.sample_expiry: float = -1.0  # expired from the start
+        self.reports_received = 0
+
+    def _refresh_exact(self, now: int) -> None:
+        self.candidates.expire(now)
+        entry = self.candidates.min_entry()
+        if entry is None:
+            self.sample_element = None
+            self.u_star = 1.0
+            self.sample_expiry = -1.0
+        else:
+            self.sample_element = entry.element
+            self.u_star = entry.hash
+            self.sample_expiry = entry.expiry
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Absorb a site report; always reply with the global sample."""
+        if message.kind is not MessageKind.SW_REPORT:
+            raise ProtocolError(f"coordinator cannot handle {message.kind!r}")
+        element, h, expiry, site_id = message.payload
+        self.reports_received += 1
+        now = self.clock.now
+        if self.mode == "exact":
+            self.candidates.observe(element, expiry, h)
+            self._refresh_exact(now)
+        else:
+            if self.sample_expiry <= now or h < self.u_star:
+                self.sample_element = element
+                self.u_star = h
+                self.sample_expiry = expiry
+        network.send(
+            COORDINATOR,
+            site_id,
+            MessageKind.SW_SAMPLE,
+            (self.sample_element, self.u_star, self.sample_expiry),
+        )
+
+    def query(self) -> Optional[Any]:
+        """The current window's distinct sample, or None if the window is
+        empty (or, in paper mode, the tuple expired with no replacement)."""
+        now = self.clock.now
+        if self.mode == "exact":
+            self._refresh_exact(now)
+        if self.sample_expiry <= now:
+            return None
+        return self.sample_element
+
+    @property
+    def memory_size(self) -> int:
+        """Coordinator candidate-set size (1 in paper mode)."""
+        if self.candidates is None:
+            return 1
+        return len(self.candidates)
+
+
+class SlidingWindowSystem:
+    """Facade: k sliding-window sites + coordinator on one network.
+
+    Drive it slot by slot::
+
+        system = SlidingWindowSystem(num_sites=10, window=100, seed=7)
+        for slot, arrivals in schedule:          # arrivals: [(site, elem)]
+            system.process_slot(slot, arrivals)
+            sample = system.query()
+
+    Args:
+        num_sites: Number of sites k.
+        window: Window size w in slots.
+        seed: Hash seed (ignored if ``hasher`` given).
+        algorithm: Hash algorithm name.
+        structure: Candidate-set backing store (``"treap"``/``"sorted"``).
+        coordinator_mode: ``"exact"`` (default, provably correct) or
+            ``"paper"`` (literal Algorithm 4) — see the module docstring.
+        hasher: Optional shared pre-built hasher.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        window: int,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+        structure: str = "treap",
+        coordinator_mode: str = "exact",
+        hasher: Optional[UnitHasher] = None,
+    ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
+        self.window = window
+        self.clock = SlotClock(0)
+        self.network = Network()
+        self.coordinator = SlidingWindowCoordinator(self.clock, coordinator_mode)
+        self.network.register(COORDINATOR, self.coordinator)
+        self.sites = [
+            SlidingWindowSite(i, self.hasher, window, structure)
+            for i in range(num_sites)
+        ]
+        for site in self.sites:
+            self.network.register(site.site_id, site)
+
+    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
+        """Advance to ``slot`` and deliver its arrivals.
+
+        Slot numbers must be non-decreasing across calls; gaps are fine
+        (expiry logic is driven by timestamps, not tick counts).
+
+        Args:
+            slot: The timestep being processed.
+            arrivals: ``(site_id, element)`` pairs arriving in this slot.
+        """
+        self.clock.advance_to(slot)
+        network = self.network
+        for site in self.sites:
+            site.tick(slot, network)
+        for site_id, element in arrivals:
+            self.sites[site_id].observe(element, slot, network)
+
+    def query(self) -> Optional[Any]:
+        """The distinct sample of the current window (None if empty)."""
+        return self.coordinator.query()
+
+    def per_site_memory(self) -> list[int]:
+        """Current candidate-set sizes, one per site (Fig 5.7/5.9 metric)."""
+        return [site.memory_size for site in self.sites]
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages exchanged so far."""
+        return self.network.stats.total_messages
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites k."""
+        return len(self.sites)

@@ -1,0 +1,256 @@
+"""General-s sliding-window sampling with lazy feedback.
+
+The full generalization of Algorithms 3–4 to sample size ``s >= 1``,
+combining the two devices this package already has:
+
+* every node (sites *and* the coordinator) maintains an **s-dominance
+  set** of live candidates;
+* the coordinator's replies carry a *threshold with an expiry*:
+  ``u`` = the s-th smallest live hash it knows (1.0 while it knows fewer
+  than ``s``), valid until ``t_u`` = the earliest expiry among its
+  current bottom-s — the first moment the threshold could *rise*.
+
+Protocol:
+
+* **Site, arrival ``e`` at slot ``t``:** refresh ``(e, t+w)`` in ``T_i``;
+  report ``(e, h(e), t+w)`` iff ``h(e) < u_i``.
+* **Coordinator, report:** merge into its candidate set, then reply
+  ``(u, t_u)``.
+* **Site, slot boundary:** if ``t_i <= now`` (threshold validity
+  expired), push its **entire local bottom-s** (up to ``s`` reports —
+  each a constant-size message, counted individually) and adopt the last
+  reply.
+
+Correctness (checked against a brute-force oracle every slot): suppose
+``g`` is in the true global bottom-s at slot ``t`` and lives at site
+``j``.  If ``h(g) >= u_j`` with ``t_j > t``, then the coordinator
+bottom-s that produced ``(u_j, t_j)`` consists of ``s`` elements, each
+with hash ``<= u_j <= h(g)`` and expiry ``>= t_j > t`` — i.e. ``s`` live
+elements all hashing below ``g``, contradicting ``g``'s membership.  So
+either ``g`` cleared the threshold when it (last) arrived and was
+reported fresh, or site ``j``'s validity lapsed by ``t`` and its
+fallback pushed its local bottom-s, which provably contains ``g``
+(s-dominance cannot evict a global bottom-s member).  Either way the
+coordinator knows ``g`` with a current expiry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..errors import ConfigurationError, ProtocolError
+from ..hashing.unit import UnitHasher
+from ..netsim.clock import SlotClock
+from ..netsim.message import COORDINATOR, Message, MessageKind
+from ..netsim.network import Network
+from ..structures.dominance import SortedDominanceSet
+
+__all__ = [
+    "FeedbackBottomSSite",
+    "FeedbackBottomSCoordinator",
+    "SlidingWindowBottomSFeedback",
+]
+
+_INF = math.inf
+
+
+class FeedbackBottomSSite:
+    """Per-site protocol: s-dominance candidates + expiring threshold."""
+
+    __slots__ = (
+        "site_id",
+        "hasher",
+        "window",
+        "sample_size",
+        "candidates",
+        "u_local",
+        "valid_until",
+        "reports_sent",
+        "fallbacks",
+    )
+
+    def __init__(
+        self, site_id: int, hasher: UnitHasher, window: int, sample_size: int
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.site_id = site_id
+        self.hasher = hasher
+        self.window = window
+        self.sample_size = sample_size
+        self.candidates = SortedDominanceSet(sample_size)
+        self.u_local = 1.0
+        self.valid_until: float = _INF
+        self.reports_sent = 0
+        self.fallbacks = 0
+
+    @property
+    def memory_size(self) -> int:
+        """Current candidate-set size |T_i|."""
+        return len(self.candidates)
+
+    def tick(self, now: int, network: Network) -> None:
+        """Slot boundary: on threshold lapse, push the local bottom-s."""
+        if self.valid_until > now:
+            return
+        self.fallbacks += 1
+        self.candidates.expire(now)
+        bottom = self.candidates.bottom(self.sample_size)
+        if not bottom:
+            self.u_local = 1.0
+            self.valid_until = _INF
+            return
+        # Each push is answered; the last reply leaves the freshest
+        # (u, t_u).  Conservatively reset the threshold first so replies
+        # rule.
+        self.u_local = 1.0
+        self.valid_until = _INF
+        for entry in bottom:
+            self.reports_sent += 1
+            network.send(
+                self.site_id,
+                COORDINATOR,
+                MessageKind.SW_REPORT,
+                (entry.element, entry.hash, entry.expiry, self.site_id),
+            )
+
+    def observe(self, element: Any, now: int, network: Network) -> None:
+        """Process an arrival in slot ``now``."""
+        self.observe_hashed(element, self.hasher.unit(element), now, network)
+
+    def observe_hashed(
+        self, element: Any, h: float, now: int, network: Network
+    ) -> None:
+        """Fast path: arrival with a precomputed hash."""
+        expiry = now + self.window
+        self.candidates.expire(now)
+        self.candidates.observe(element, expiry, h)
+        if h < self.u_local:
+            self.reports_sent += 1
+            network.send(
+                self.site_id,
+                COORDINATOR,
+                MessageKind.SW_REPORT,
+                (element, h, expiry, self.site_id),
+            )
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Adopt the coordinator's (threshold, validity) reply."""
+        if message.kind is not MessageKind.SW_SAMPLE:
+            raise ProtocolError(
+                f"feedback site {self.site_id} cannot handle {message.kind!r}"
+            )
+        u, valid_until = message.payload
+        self.u_local = u
+        self.valid_until = valid_until
+
+
+class FeedbackBottomSCoordinator:
+    """Coordinator: s-dominance candidate set + expiring threshold replies."""
+
+    __slots__ = ("clock", "sample_size", "candidates", "reports_received")
+
+    def __init__(self, clock: SlotClock, sample_size: int) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.clock = clock
+        self.sample_size = sample_size
+        self.candidates = SortedDominanceSet(sample_size)
+        self.reports_received = 0
+
+    def _threshold(self, now: int) -> tuple[float, float]:
+        """Current ``(u, valid_until)`` over live candidates."""
+        self.candidates.expire(now)
+        bottom = self.candidates.bottom(self.sample_size)
+        if len(bottom) < self.sample_size:
+            return 1.0, _INF
+        u = bottom[-1].hash
+        valid_until = min(entry.expiry for entry in bottom)
+        return u, valid_until
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Merge a report; reply with the fresh (u, t_u)."""
+        if message.kind is not MessageKind.SW_REPORT:
+            raise ProtocolError(f"coordinator cannot handle {message.kind!r}")
+        element, h, expiry, site_id = message.payload
+        self.reports_received += 1
+        now = self.clock.now
+        self.candidates.observe(element, expiry, h)
+        u, valid_until = self._threshold(now)
+        network.send(
+            COORDINATOR, site_id, MessageKind.SW_SAMPLE, (u, valid_until)
+        )
+
+    def query(self, now: int) -> list[Any]:
+        """The window's bottom-s distinct sample, ascending by hash."""
+        self.candidates.expire(now)
+        return [
+            entry.element for entry in self.candidates.bottom(self.sample_size)
+        ]
+
+
+class SlidingWindowBottomSFeedback:
+    """Facade: general-s sliding-window sampling with lazy feedback.
+
+    Args:
+        num_sites: Number of sites k.
+        window: Window size w in slots.
+        sample_size: Sample size s (>= 1).
+        seed: Hash seed (ignored if ``hasher`` given).
+        algorithm: Hash algorithm name.
+        hasher: Optional shared pre-built hasher.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        window: int,
+        sample_size: int = 1,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+        hasher: Optional[UnitHasher] = None,
+    ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
+        self.window = window
+        self.sample_size = sample_size
+        self.clock = SlotClock(0)
+        self.network = Network()
+        self.coordinator = FeedbackBottomSCoordinator(self.clock, sample_size)
+        self.network.register(COORDINATOR, self.coordinator)
+        self.sites = [
+            FeedbackBottomSSite(i, self.hasher, window, sample_size)
+            for i in range(num_sites)
+        ]
+        for site in self.sites:
+            self.network.register(site.site_id, site)
+
+    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
+        """Advance to ``slot`` and deliver its arrivals."""
+        self.clock.advance_to(slot)
+        network = self.network
+        for site in self.sites:
+            site.tick(slot, network)
+        for site_id, element in arrivals:
+            self.sites[site_id].observe(element, slot, network)
+
+    def query(self) -> list[Any]:
+        """The current window's distinct sample (ascending by hash)."""
+        return self.coordinator.query(self.clock.now)
+
+    def per_site_memory(self) -> list[int]:
+        """Current candidate-set sizes, one per site."""
+        return [site.memory_size for site in self.sites]
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages exchanged so far."""
+        return self.network.stats.total_messages

@@ -1,0 +1,224 @@
+"""Sliding-window distinct sampling for general sample size ``s`` —
+the *local-push* protocol.
+
+The paper presents its sliding-window algorithm for ``s = 1`` and notes the
+extension to larger samples is straightforward.  This module implements the
+generalization along the lines of the paper's "Intuition" paragraph
+(Section 4.1): each site continuously tracks its **local bottom-s** (the
+``s`` smallest-hash live local distinct elements, maintained inside an
+*s-dominance* candidate set) and informs the coordinator whenever its local
+bottom-s gains an entry or an entry's expiry is refreshed.  The coordinator
+merges all reports into its own s-dominance set; its live bottom-s is then
+exactly the global bottom-s — a perfect without-replacement distinct sample
+of size ``min(s, |D_w|)``.
+
+Unlike Algorithms 3–4 there is **no coordinator feedback**: messages flow
+one way.  For ``s = 1`` this is precisely the paper's pre-optimization
+algorithm, making it the natural ablation baseline quantifying the value of
+lazy feedback (see ``repro.experiments.ablations``).
+
+Correctness sketch: a member ``g`` of the global bottom-s is live at some
+site; fewer than ``s`` live elements hash below ``g`` globally, hence
+locally at any site where ``g`` is live — so ``g`` survives local
+s-dominance pruning *and* sits in the local bottom-s there, and the site
+holding ``g``'s freshest occurrence reports that freshest expiry.  The
+coordinator therefore knows every global bottom-s member with its current
+expiry; s-dominance pruning at the coordinator never discards a current or
+future bottom-s member.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError, ProtocolError
+from ..hashing.unit import UnitHasher
+from ..netsim.message import COORDINATOR, Message, MessageKind
+from ..netsim.network import Network
+from ..structures.dominance import SortedDominanceSet
+
+__all__ = [
+    "LocalPushSite",
+    "LocalPushCoordinator",
+    "SlidingWindowBottomS",
+]
+
+
+class LocalPushSite:
+    """A site that pushes every change of its local bottom-s.
+
+    Args:
+        site_id: Network address.
+        hasher: Shared hash function.
+        window: Window size w in slots.
+        sample_size: Sample size s (>= 1).
+    """
+
+    __slots__ = (
+        "site_id",
+        "hasher",
+        "window",
+        "sample_size",
+        "candidates",
+        "_reported",
+        "reports_sent",
+    )
+
+    def __init__(
+        self, site_id: int, hasher: UnitHasher, window: int, sample_size: int
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.site_id = site_id
+        self.hasher = hasher
+        self.window = window
+        self.sample_size = sample_size
+        self.candidates = SortedDominanceSet(sample_size)
+        # element -> expiry most recently reported to the coordinator
+        self._reported: dict[Any, int] = {}
+        self.reports_sent = 0
+
+    @property
+    def memory_size(self) -> int:
+        """Current candidate-set size |T_i|."""
+        return len(self.candidates)
+
+    def _sync_bottom(self, now: int, network: Network) -> None:
+        """Report every (element, expiry) newly in the local bottom-s."""
+        bottom = self.candidates.bottom(self.sample_size)
+        live_elements = set()
+        for entry in bottom:
+            live_elements.add(entry.element)
+            if self._reported.get(entry.element) != entry.expiry:
+                self._reported[entry.element] = entry.expiry
+                self.reports_sent += 1
+                network.send(
+                    self.site_id,
+                    COORDINATOR,
+                    MessageKind.SW_REPORT,
+                    (entry.element, entry.hash, entry.expiry, self.site_id),
+                )
+        # Forget book-keeping for elements that left the bottom or expired,
+        # so a later re-entry is re-reported.
+        for element in [e for e in self._reported if e not in live_elements]:
+            del self._reported[element]
+
+    def tick(self, now: int, network: Network) -> None:
+        """Slot-boundary maintenance: expire, then re-sync the bottom-s."""
+        before = len(self.candidates)
+        self.candidates.expire(now)
+        if len(self.candidates) != before or self._reported:
+            self._sync_bottom(now, network)
+
+    def observe(self, element: Any, now: int, network: Network) -> None:
+        """Process an arrival in slot ``now``."""
+        self.observe_hashed(element, self.hasher.unit(element), now, network)
+
+    def observe_hashed(
+        self, element: Any, h: float, now: int, network: Network
+    ) -> None:
+        """Fast path: arrival with a precomputed hash."""
+        self.candidates.expire(now)
+        self.candidates.observe(element, now + self.window, h)
+        self._sync_bottom(now, network)
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        """Local-push sites receive no protocol messages."""
+        raise ProtocolError(
+            f"local-push site {self.site_id} received unexpected {message.kind!r}"
+        )
+
+
+class LocalPushCoordinator:
+    """Merges site reports into a global s-dominance set.
+
+    Args:
+        sample_size: Sample size s.
+    """
+
+    __slots__ = ("sample_size", "candidates", "reports_received")
+
+    def __init__(self, sample_size: int) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.sample_size = sample_size
+        self.candidates = SortedDominanceSet(sample_size)
+        self.reports_received = 0
+
+    def handle_message(self, message: Message, network: Network) -> None:
+        if message.kind is not MessageKind.SW_REPORT:
+            raise ProtocolError(f"coordinator cannot handle {message.kind!r}")
+        element, h, expiry, _site_id = message.payload
+        self.reports_received += 1
+        self.candidates.observe(element, expiry, h)
+
+    def query(self, now: int) -> list[Any]:
+        """The window's distinct sample (size min(s, |D_w|)) at slot ``now``."""
+        self.candidates.expire(now)
+        return [entry.element for entry in self.candidates.bottom(self.sample_size)]
+
+
+class SlidingWindowBottomS:
+    """Facade: general-s sliding-window distinct sampling (local push).
+
+    Args:
+        num_sites: Number of sites k.
+        window: Window size w in slots.
+        sample_size: Sample size s (>= 1).
+        seed: Hash seed (ignored if ``hasher`` given).
+        algorithm: Hash algorithm name.
+        hasher: Optional shared pre-built hasher.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        window: int,
+        sample_size: int = 1,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+        hasher: Optional[UnitHasher] = None,
+    ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
+        self.window = window
+        self.sample_size = sample_size
+        self.network = Network()
+        self.coordinator = LocalPushCoordinator(sample_size)
+        self.network.register(COORDINATOR, self.coordinator)
+        self.sites = [
+            LocalPushSite(i, self.hasher, window, sample_size)
+            for i in range(num_sites)
+        ]
+        for site in self.sites:
+            self.network.register(site.site_id, site)
+        self._now = 0
+
+    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
+        """Advance to ``slot`` and deliver its arrivals."""
+        self._now = slot
+        network = self.network
+        for site in self.sites:
+            site.tick(slot, network)
+        for site_id, element in arrivals:
+            self.sites[site_id].observe(element, slot, network)
+
+    def query(self) -> list[Any]:
+        """The current window's distinct sample (ascending by hash)."""
+        return self.coordinator.query(self._now)
+
+    def per_site_memory(self) -> list[int]:
+        """Current candidate-set sizes, one per site."""
+        return [site.memory_size for site in self.sites]
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages exchanged so far."""
+        return self.network.stats.total_messages

@@ -1,0 +1,107 @@
+"""Checkpoint / restore for the infinite-window system.
+
+Production deployments of a continuous monitor need to survive
+coordinator restarts.  The infinite-window protocol makes this cheap:
+the *entire* global state is the coordinator's ``(hash, element)``
+bottom-s plus each site's scalar threshold — and the site thresholds are
+soft state (any value ≥ the true ``u`` is safe; sites re-learn the exact
+threshold on their next report).
+
+:func:`snapshot` captures the coordinator's sample and threshold;
+:func:`restore` rebuilds a working system around it.  Restored sites
+start with ``u_i = u`` (the checkpointed threshold), which is exact —
+messages after restore are what they would have been, modulo the
+in-flight reports lost with the crash.
+
+The snapshot is a plain JSON-serializable dict: no pickle, safe to store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..hashing.unit import UnitHasher
+from .infinite import DistinctSamplerSystem
+
+__all__ = ["snapshot", "restore", "SNAPSHOT_VERSION"]
+
+#: Format version written into every snapshot.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot(system: DistinctSamplerSystem) -> dict[str, Any]:
+    """Capture the full logical state of an infinite-window system.
+
+    Args:
+        system: The system to checkpoint (can keep running afterwards).
+
+    Returns:
+        A JSON-serializable dict.  Elements are stored as-is; they must
+        themselves be JSON-friendly (int/str) for on-disk storage, or the
+        caller may serialize the dict with a richer codec.
+    """
+    return {
+        "version": SNAPSHOT_VERSION,
+        "num_sites": system.num_sites,
+        "sample_size": system.sample_size,
+        "hash_seed": system.hasher.seed,
+        "hash_algorithm": system.hasher.algorithm,
+        "sample": [[h, element] for h, element in system.sample_pairs()],
+        "messages_so_far": system.total_messages,
+    }
+
+
+def restore(state: dict[str, Any]) -> DistinctSamplerSystem:
+    """Rebuild a system from a :func:`snapshot` dict.
+
+    Args:
+        state: A snapshot produced by :func:`snapshot`.
+
+    Returns:
+        A fresh :class:`~repro.core.infinite.DistinctSamplerSystem` whose
+        coordinator holds the checkpointed sample and whose sites start
+        from the checkpointed threshold.  Message counters restart at
+        zero (the pre-crash count is in ``state["messages_so_far"]``).
+
+    Raises:
+        ConfigurationError: If the snapshot is malformed or from an
+            unsupported version.
+    """
+    try:
+        version = state["version"]
+        num_sites = state["num_sites"]
+        sample_size = state["sample_size"]
+        seed = state["hash_seed"]
+        algorithm = state["hash_algorithm"]
+        sample = state["sample"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed snapshot: {exc}") from exc
+    if version != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot version {version}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    system = DistinctSamplerSystem(
+        num_sites=num_sites,
+        sample_size=sample_size,
+        hasher=UnitHasher(seed, algorithm),
+    )
+    store = system.coordinator.sample_store
+    for h, element in sample:
+        accepted, _ = store.offer(float(h), _revive(element))
+        if not accepted:
+            raise ConfigurationError(
+                "snapshot sample contains duplicates or unsorted entries"
+            )
+    threshold = store.threshold()
+    for site in system.sites:
+        site.u_local = threshold
+    return system
+
+
+def _revive(element: Any) -> Any:
+    """JSON round-trips tuples into lists; undo that for tuple elements."""
+    if isinstance(element, list):
+        return tuple(_revive(item) for item in element)
+    return element

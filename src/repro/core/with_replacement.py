@@ -1,0 +1,128 @@
+"""Distinct sampling *with replacement* — s parallel single-sample copies.
+
+The paper (end of Section 3.1): "One solution to distinct sampling with
+replacement is to repeat s parallel copies of the single element sampling
+algorithm, each copy using a different hash function. ... the message cost
+is s times the cost of a single element sampling algorithm, which is
+O(sk log de)."
+
+Each copy is an independent ``s = 1`` instance of the corresponding
+without-replacement system, seeded from one
+:class:`~repro.hashing.unit.SeededHashFamily`, so the ``s`` samples are
+mutually independent uniform draws from the distinct population.  The
+facade aggregates message counts across the copies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..hashing.unit import SeededHashFamily
+from .infinite import DistinctSamplerSystem
+from .sliding import SlidingWindowSystem
+
+__all__ = ["WithReplacementSampler", "SlidingWindowWithReplacement"]
+
+
+class WithReplacementSampler:
+    """Infinite-window distinct sampling with replacement.
+
+    Args:
+        num_sites: Number of sites k.
+        sample_size: Number of independent samples s.
+        seed: Master seed for the hash family.
+        algorithm: Hash algorithm for every family member.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        sample_size: int,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+    ) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        family = SeededHashFamily(seed, algorithm)
+        self.copies = [
+            DistinctSamplerSystem(
+                num_sites=num_sites, sample_size=1, hasher=family.member(i)
+            )
+            for i in range(sample_size)
+        ]
+
+    def observe(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id`` in every copy."""
+        for copy in self.copies:
+            copy.observe(site_id, element)
+
+    def sample(self) -> list[Optional[Any]]:
+        """One independent uniform distinct draw per copy.
+
+        Entries are None for copies that have not yet seen any element
+        (only before the first observation).
+        """
+        out: list[Optional[Any]] = []
+        for copy in self.copies:
+            members = copy.sample()
+            out.append(members[0] if members else None)
+        return out
+
+    @property
+    def total_messages(self) -> int:
+        """Aggregate messages across all s copies."""
+        return sum(copy.total_messages for copy in self.copies)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of independent samples s."""
+        return len(self.copies)
+
+
+class SlidingWindowWithReplacement:
+    """Sliding-window distinct sampling with replacement.
+
+    Args:
+        num_sites: Number of sites k.
+        window: Window size w in slots.
+        sample_size: Number of independent samples s.
+        seed: Master seed for the hash family.
+        algorithm: Hash algorithm for every family member.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        window: int,
+        sample_size: int,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+    ) -> None:
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        family = SeededHashFamily(seed, algorithm)
+        self.copies = [
+            SlidingWindowSystem(
+                num_sites=num_sites, window=window, hasher=family.member(i)
+            )
+            for i in range(sample_size)
+        ]
+
+    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
+        """Advance every copy to ``slot`` and deliver its arrivals."""
+        for copy in self.copies:
+            copy.process_slot(slot, arrivals)
+
+    def sample(self) -> list[Optional[Any]]:
+        """One independent uniform distinct draw per copy (None = empty)."""
+        return [copy.query() for copy in self.copies]
+
+    @property
+    def total_messages(self) -> int:
+        """Aggregate messages across all s copies."""
+        return sum(copy.total_messages for copy in self.copies)

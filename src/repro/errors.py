@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or experiment was configured with invalid parameters.
+
+    Examples: non-positive sample size, window size of zero, a site id that
+    is out of range for the simulated network.
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed-protocol invariant was violated at runtime.
+
+    This signals a bug (ours or a user extension's), never bad user input:
+    e.g. a coordinator receiving a message kind it does not understand, or a
+    reply routed to a node that never sent a request.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset specification could not be resolved or generated."""
+
+
+class EstimationError(ReproError):
+    """An estimator was queried in a state where no estimate is defined.
+
+    For example, asking the KMV distinct-count estimator for an estimate
+    before the sample has filled to its configured size.
+    """

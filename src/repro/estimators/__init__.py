@@ -1,0 +1,27 @@
+"""Estimators consuming distinct samples: F0 counting and predicate queries."""
+
+from .distinct_count import (
+    DistinctCountEstimate,
+    estimate_from_sampler,
+    kmv_estimate,
+)
+from .predicate import (
+    PredicateEstimate,
+    estimate_count,
+    estimate_fraction,
+    estimate_mean,
+)
+from .quantiles import QuantileEstimate, estimate_cdf_band, estimate_quantile
+
+__all__ = [
+    "DistinctCountEstimate",
+    "kmv_estimate",
+    "estimate_from_sampler",
+    "PredicateEstimate",
+    "estimate_fraction",
+    "estimate_count",
+    "estimate_mean",
+    "QuantileEstimate",
+    "estimate_quantile",
+    "estimate_cdf_band",
+]

@@ -1,0 +1,120 @@
+"""Distinct-count (F0) estimation from a bottom-s sample — the KMV estimator.
+
+A bottom-s distinct sample carries more than the sample members: the
+threshold ``u`` (the s-th smallest hash) is itself an estimator of the
+distinct count.  If ``d`` distinct elements map to i.i.d. Uniform(0,1)
+hashes, the s-th order statistic concentrates around ``s/d``, and the
+classical unbiased KMV ("k minimum values", Bar-Yossef et al. 2002)
+estimator is::
+
+    d̂ = (s - 1) / u
+
+with relative standard error approximately ``1/sqrt(s - 2)``.
+
+This is the "simple distinct count query" use-case the paper motivates
+distinct samples with; the estimator consumes any of this package's
+samplers through their ``sample_pairs()``/``threshold`` surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import EstimationError
+
+__all__ = ["DistinctCountEstimate", "kmv_estimate", "estimate_from_sampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class DistinctCountEstimate:
+    """A distinct-count estimate with a normal-approximation interval.
+
+    Attributes:
+        estimate: Point estimate d̂.
+        std_error: Approximate standard error of d̂.
+        low: Lower bound of the ~95 % confidence interval (clamped >= s).
+        high: Upper bound of the ~95 % confidence interval.
+        sample_size: The s used.
+        exact: True if the estimate is exact (sample not yet full: the
+            sample *is* the distinct set).
+    """
+
+    estimate: float
+    std_error: float
+    low: float
+    high: float
+    sample_size: int
+    exact: bool
+
+
+def kmv_estimate(sample_size: int, threshold: float, retained: int) -> DistinctCountEstimate:
+    """KMV distinct-count estimate from bottom-s sketch state.
+
+    Args:
+        sample_size: Configured sample size s.
+        threshold: The s-th smallest hash u (1.0 if the sketch is not full).
+        retained: Number of elements currently retained (min(s, d)).
+
+    Returns:
+        A :class:`DistinctCountEstimate`.  While the sketch is under-full
+        the count is known exactly (d = retained).
+
+    Raises:
+        EstimationError: If inputs are inconsistent (e.g. full sketch with
+            threshold 1.0 would divide by ~0 meaninglessly).
+    """
+    if retained < 0 or sample_size < 1:
+        raise EstimationError(
+            f"invalid sketch state: s={sample_size}, retained={retained}"
+        )
+    if retained < sample_size:
+        exact = float(retained)
+        return DistinctCountEstimate(
+            estimate=exact,
+            std_error=0.0,
+            low=exact,
+            high=exact,
+            sample_size=sample_size,
+            exact=True,
+        )
+    if not (0.0 < threshold <= 1.0):
+        raise EstimationError(f"threshold must be in (0, 1], got {threshold}")
+    if sample_size < 2:
+        # (s-1)/u degenerates for s = 1; fall back to the ML-ish 1/u.
+        est = 1.0 / threshold
+        return DistinctCountEstimate(
+            estimate=est,
+            std_error=est,  # RSE ~ 100 % for a single order statistic
+            low=float(sample_size),
+            high=3.0 * est,
+            sample_size=sample_size,
+            exact=False,
+        )
+    est = (sample_size - 1) / threshold
+    rse = 1.0 / math.sqrt(max(sample_size - 2, 1))
+    std_error = est * rse
+    return DistinctCountEstimate(
+        estimate=est,
+        std_error=std_error,
+        low=max(float(sample_size), est - 1.96 * std_error),
+        high=est + 1.96 * std_error,
+        sample_size=sample_size,
+        exact=False,
+    )
+
+
+def estimate_from_sampler(sampler) -> DistinctCountEstimate:
+    """Estimate the distinct count from any bottom-s sampler facade.
+
+    Args:
+        sampler: An object exposing ``sample()`` and ``threshold`` the way
+            :class:`~repro.core.infinite.DistinctSamplerSystem` and
+            :class:`~repro.core.centralized.CentralizedDistinctSampler` do,
+            plus ``sample_size``.
+
+    Returns:
+        A :class:`DistinctCountEstimate`.
+    """
+    retained = len(sampler.sample())
+    return kmv_estimate(sampler.sample_size, sampler.threshold, retained)

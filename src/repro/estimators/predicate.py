@@ -1,0 +1,158 @@
+"""Predicate (subset) queries over a distinct sample.
+
+The paper's motivating queries: "how many distinct visitors ... come from a
+particular country?", "what is the average age of the distinct users?" —
+i.e. aggregates over the subset of *distinct* elements satisfying a
+predicate supplied only at query time.
+
+Given a uniform without-replacement distinct sample ``S`` of size ``s``
+from a population of ``d`` distinct elements:
+
+* the fraction of distinct elements satisfying predicate ``P`` is estimated
+  by the sample fraction ``p̂`` with hypergeometric (≈ binomial) error;
+* the *count* is ``p̂ · d̂`` where ``d̂`` comes from the KMV estimator —
+  both factors derive from the same sketch, no extra passes needed;
+* a mean of ``f(e)`` over distinct elements satisfying ``P`` is the sample
+  mean over the matching sample members.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import EstimationError
+from .distinct_count import DistinctCountEstimate
+
+__all__ = ["PredicateEstimate", "estimate_fraction", "estimate_count", "estimate_mean"]
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateEstimate:
+    """An estimated aggregate over distinct elements matching a predicate.
+
+    Attributes:
+        value: Point estimate.
+        std_error: Approximate standard error.
+        low: ~95 % interval lower bound.
+        high: ~95 % interval upper bound.
+        matched: Number of sample members matching the predicate.
+        sample_size: Sample size used.
+    """
+
+    value: float
+    std_error: float
+    low: float
+    high: float
+    matched: int
+    sample_size: int
+
+
+def estimate_fraction(
+    sample: Sequence[Any], predicate: Callable[[Any], bool]
+) -> PredicateEstimate:
+    """Estimate the fraction of *distinct* elements satisfying ``predicate``.
+
+    Args:
+        sample: A uniform distinct sample (e.g. ``system.sample()``).
+        predicate: Boolean test applied to each sample member.
+
+    Returns:
+        A :class:`PredicateEstimate` of the population fraction.
+
+    Raises:
+        EstimationError: If the sample is empty.
+    """
+    n = len(sample)
+    if n == 0:
+        raise EstimationError("cannot estimate from an empty sample")
+    matched = sum(1 for element in sample if predicate(element))
+    p = matched / n
+    std_error = math.sqrt(max(p * (1.0 - p) / n, 0.0))
+    return PredicateEstimate(
+        value=p,
+        std_error=std_error,
+        low=max(0.0, p - 1.96 * std_error),
+        high=min(1.0, p + 1.96 * std_error),
+        matched=matched,
+        sample_size=n,
+    )
+
+
+def estimate_count(
+    sample: Sequence[Any],
+    predicate: Callable[[Any], bool],
+    distinct_count: DistinctCountEstimate,
+) -> PredicateEstimate:
+    """Estimate the *number* of distinct elements satisfying ``predicate``.
+
+    Combines the sample fraction with a distinct-count estimate (error
+    propagation assumes independence, adequate for s >= ~16).
+
+    Args:
+        sample: A uniform distinct sample.
+        predicate: Boolean test.
+        distinct_count: Output of the KMV estimator over the same sketch.
+
+    Returns:
+        A :class:`PredicateEstimate` of the matching distinct count.
+    """
+    frac = estimate_fraction(sample, predicate)
+    d_hat = distinct_count.estimate
+    value = frac.value * d_hat
+    # Var(p̂·d̂) ≈ d̂²·Var(p̂) + p̂²·Var(d̂) for independent factors.
+    var = (d_hat * frac.std_error) ** 2 + (frac.value * distinct_count.std_error) ** 2
+    std_error = math.sqrt(var)
+    return PredicateEstimate(
+        value=value,
+        std_error=std_error,
+        low=max(0.0, value - 1.96 * std_error),
+        high=value + 1.96 * std_error,
+        matched=frac.matched,
+        sample_size=frac.sample_size,
+    )
+
+
+def estimate_mean(
+    sample: Sequence[Any],
+    value_fn: Callable[[Any], float],
+    predicate: Optional[Callable[[Any], bool]] = None,
+) -> PredicateEstimate:
+    """Estimate the mean of ``value_fn`` over distinct elements.
+
+    Args:
+        sample: A uniform distinct sample.
+        value_fn: Numeric attribute of an element (e.g. "age of the user").
+        predicate: Optional filter; the mean is over matching distinct
+            elements only.
+
+    Returns:
+        A :class:`PredicateEstimate` of the population mean.
+
+    Raises:
+        EstimationError: If no sample member matches.
+    """
+    values = [
+        value_fn(element)
+        for element in sample
+        if predicate is None or predicate(element)
+    ]
+    if not values:
+        raise EstimationError("no sample member matches the predicate")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std_error = math.sqrt(var / n)
+    else:
+        var = 0.0
+        std_error = float("inf")
+    return PredicateEstimate(
+        value=mean,
+        std_error=std_error,
+        low=mean - 1.96 * std_error if n > 1 else -math.inf,
+        high=mean + 1.96 * std_error if n > 1 else math.inf,
+        matched=n,
+        sample_size=len(sample),
+    )

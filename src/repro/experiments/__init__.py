@@ -1,0 +1,29 @@
+"""Experimental harness reproducing the paper's Chapter 5."""
+
+from .config import ExperimentConfig
+from .registry import EXPERIMENTS, Experiment, get_experiment, run_experiment
+from .report import FigureResult, Series
+from .runner import (
+    InfiniteRunResult,
+    SlidingRunResult,
+    checkpoints_for,
+    prepare_stream,
+    run_infinite_once,
+    run_sliding_once,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_experiment",
+    "FigureResult",
+    "Series",
+    "InfiniteRunResult",
+    "SlidingRunResult",
+    "prepare_stream",
+    "run_infinite_once",
+    "run_sliding_once",
+    "checkpoints_for",
+]

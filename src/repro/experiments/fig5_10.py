@@ -1,0 +1,40 @@
+"""Figure 5.10 — sliding windows: communication vs number of sites.
+
+Paper setup: window fixed at 100.  Expected shape: total messages grow
+with the number of sites (more local samples change and expire across the
+system), sub-linearly — the per-site report rate falls as each site's
+share of the stream shrinks.
+"""
+
+from __future__ import annotations
+
+from ._sliding import sliding_sweep
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+
+__all__ = ["run", "WINDOW", "SITE_COUNTS"]
+
+WINDOW = 100
+SITE_COUNTS = (2, 5, 10, 20, 50)
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.10 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        grid = sliding_sweep(config, family, SITE_COUNTS, [WINDOW])
+        messages = [grid[(k, WINDOW)]["messages"] for k in SITE_COUNTS]
+        results.append(
+            FigureResult(
+                figure_id="fig5_10",
+                title=f"SW messages vs number of sites ({family})",
+                x_label="k",
+                y_label="total messages",
+                series=[Series("messages", list(SITE_COUNTS), messages)],
+                notes=(
+                    f"w={WINDOW}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,61 @@
+"""Figure 5.2 — messages as a function of the sample size s.
+
+Paper setup: 5 sites; message complexity grows almost linearly in ``s``
+(the bound is ``2ks(1 + ln(d/s))``), with distribution-dependent slopes —
+flooding's slope is roughly ``k``× the random slope.
+"""
+
+from __future__ import annotations
+
+from ..streams.partition import make_distributor
+from ._common import mean, run_rngs
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+from .runner import prepare_stream, run_infinite_once
+
+__all__ = ["run", "NUM_SITES", "SAMPLE_SIZES", "METHODS"]
+
+NUM_SITES = 5
+SAMPLE_SIZES = (1, 2, 5, 10, 20, 50)
+METHODS = ("flooding", "random")
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.2 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        series: list[Series] = []
+        for method in METHODS:
+            ys: list[float] = []
+            for s in SAMPLE_SIZES:
+                finals: list[float] = []
+                for rng, hash_seed in run_rngs(config):
+                    elements, hashes, _d = prepare_stream(
+                        family, config.scale, rng, hash_seed
+                    )
+                    out = run_infinite_once(
+                        elements,
+                        hashes,
+                        NUM_SITES,
+                        s,
+                        make_distributor(method, NUM_SITES),
+                        rng,
+                        hash_seed,
+                    )
+                    finals.append(float(out.messages))
+                ys.append(mean(finals))
+            series.append(Series(method, list(SAMPLE_SIZES), ys))
+        results.append(
+            FigureResult(
+                figure_id="fig5_2",
+                title=f"Messages vs sample size ({family})",
+                x_label="s",
+                y_label="total messages",
+                series=series,
+                notes=(
+                    f"k={NUM_SITES}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

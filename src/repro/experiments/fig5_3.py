@@ -1,0 +1,63 @@
+"""Figure 5.3 — messages as a function of the number of sites k.
+
+Paper setup: sample size 10.  Expected shape: flooding grows linearly in
+``k`` (every site sees every distinct element: cost ``≈ 2ks ln(d/s)``);
+random distribution is almost *independent* of ``k`` (Observation 1: the
+per-site harmonic sums telescope — ``Σ_i ln(d_i/s)`` with ``d_i ≈ d/k``
+barely moves as k grows).
+"""
+
+from __future__ import annotations
+
+from ..streams.partition import make_distributor
+from ._common import mean, run_rngs
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+from .runner import prepare_stream, run_infinite_once
+
+__all__ = ["run", "SITE_COUNTS", "SAMPLE_SIZE", "METHODS"]
+
+SITE_COUNTS = (2, 5, 10, 20, 50)
+SAMPLE_SIZE = 10
+METHODS = ("flooding", "random")
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.3 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        series: list[Series] = []
+        for method in METHODS:
+            ys: list[float] = []
+            for k in SITE_COUNTS:
+                finals: list[float] = []
+                for rng, hash_seed in run_rngs(config):
+                    elements, hashes, _d = prepare_stream(
+                        family, config.scale, rng, hash_seed
+                    )
+                    out = run_infinite_once(
+                        elements,
+                        hashes,
+                        k,
+                        SAMPLE_SIZE,
+                        make_distributor(method, k),
+                        rng,
+                        hash_seed,
+                    )
+                    finals.append(float(out.messages))
+                ys.append(mean(finals))
+            series.append(Series(method, list(SITE_COUNTS), ys))
+        results.append(
+            FigureResult(
+                figure_id="fig5_3",
+                title=f"Messages vs number of sites ({family})",
+                x_label="k",
+                y_label="total messages",
+                series=series,
+                notes=(
+                    f"s={SAMPLE_SIZE}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,65 @@
+"""Figure 5.4 — our algorithm vs Algorithm Broadcast over the stream.
+
+Paper setup: 100 sites, sample size 20, random distribution.  Expected
+shape: Broadcast requires dramatically more messages — every change of the
+global threshold costs ``k`` broadcast messages, and the sample changes
+``Θ(s ln d)`` times, so Broadcast pays ``Θ(ks ln d)`` on the coordinator
+side alone while saving only the per-report reply.
+"""
+
+from __future__ import annotations
+
+from ..streams.partition import make_distributor
+from ._common import averaged, run_rngs
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+from .runner import checkpoints_for, prepare_stream, run_infinite_once
+
+__all__ = ["run", "NUM_SITES", "SAMPLE_SIZE", "SYSTEMS"]
+
+NUM_SITES = 100
+SAMPLE_SIZE = 20
+SYSTEMS = ("ours", "broadcast")
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.4 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        series: list[Series] = []
+        xs_ref: list[int] = []
+        for system in SYSTEMS:
+            per_run: list[list[float]] = []
+            for rng, hash_seed in run_rngs(config):
+                elements, hashes, _d = prepare_stream(
+                    family, config.scale, rng, hash_seed
+                )
+                cps = checkpoints_for(len(elements))
+                out = run_infinite_once(
+                    elements,
+                    hashes,
+                    NUM_SITES,
+                    SAMPLE_SIZE,
+                    make_distributor("random", NUM_SITES),
+                    rng,
+                    hash_seed,
+                    system=system,
+                    checkpoints=cps,
+                )
+                xs_ref = [x for x, _ in out.trace]
+                per_run.append([float(m) for _, m in out.trace])
+            series.append(Series(system, xs_ref, averaged(per_run)))
+        results.append(
+            FigureResult(
+                figure_id="fig5_4",
+                title=f"Ours vs Algorithm Broadcast ({family})",
+                x_label="elements",
+                y_label="cumulative messages",
+                series=series,
+                notes=(
+                    f"k={NUM_SITES}, s={SAMPLE_SIZE}, random distribution, "
+                    f"scale={config.scale}, runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,62 @@
+"""Figure 5.5 — ours vs Algorithm Broadcast across sample sizes.
+
+Paper setup: as Figure 5.4 (k=100, random distribution) but sweeping the
+sample size.  Both algorithms scale linearly in ``s``; Broadcast's slope
+is considerably higher (each sample change broadcasts to all k sites).
+"""
+
+from __future__ import annotations
+
+from ..streams.partition import make_distributor
+from ._common import mean, run_rngs
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+from .runner import prepare_stream, run_infinite_once
+
+__all__ = ["run", "NUM_SITES", "SAMPLE_SIZES", "SYSTEMS"]
+
+NUM_SITES = 100
+SAMPLE_SIZES = (1, 2, 5, 10, 20, 50)
+SYSTEMS = ("ours", "broadcast")
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.5 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        series: list[Series] = []
+        for system in SYSTEMS:
+            ys: list[float] = []
+            for s in SAMPLE_SIZES:
+                finals: list[float] = []
+                for rng, hash_seed in run_rngs(config):
+                    elements, hashes, _d = prepare_stream(
+                        family, config.scale, rng, hash_seed
+                    )
+                    out = run_infinite_once(
+                        elements,
+                        hashes,
+                        NUM_SITES,
+                        s,
+                        make_distributor("random", NUM_SITES),
+                        rng,
+                        hash_seed,
+                        system=system,
+                    )
+                    finals.append(float(out.messages))
+                ys.append(mean(finals))
+            series.append(Series(system, list(SAMPLE_SIZES), ys))
+        results.append(
+            FigureResult(
+                figure_id="fig5_5",
+                title=f"Ours vs Broadcast across sample sizes ({family})",
+                x_label="s",
+                y_label="total messages",
+                series=series,
+                notes=(
+                    f"k={NUM_SITES}, random distribution, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

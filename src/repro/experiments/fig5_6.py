@@ -1,0 +1,64 @@
+"""Figure 5.6 — ours vs Algorithm Broadcast across dominate rates.
+
+Paper setup: one site receives each element with probability ``alpha``
+times that of any other site (Section 5.2).  As the dominate rate grows
+the input approaches centralized monitoring and total messages fall; our
+algorithm stays below Broadcast throughout.
+"""
+
+from __future__ import annotations
+
+from ..streams.partition import make_distributor
+from ._common import mean, run_rngs
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+from .runner import prepare_stream, run_infinite_once
+
+__all__ = ["run", "NUM_SITES", "SAMPLE_SIZE", "DOMINATE_RATES", "SYSTEMS"]
+
+NUM_SITES = 100
+SAMPLE_SIZE = 20
+DOMINATE_RATES = (1, 10, 50, 100, 200, 500)
+SYSTEMS = ("ours", "broadcast")
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.6 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        series: list[Series] = []
+        for system in SYSTEMS:
+            ys: list[float] = []
+            for alpha in DOMINATE_RATES:
+                finals: list[float] = []
+                for rng, hash_seed in run_rngs(config):
+                    elements, hashes, _d = prepare_stream(
+                        family, config.scale, rng, hash_seed
+                    )
+                    out = run_infinite_once(
+                        elements,
+                        hashes,
+                        NUM_SITES,
+                        SAMPLE_SIZE,
+                        make_distributor("dominate", NUM_SITES, alpha=alpha),
+                        rng,
+                        hash_seed,
+                        system=system,
+                    )
+                    finals.append(float(out.messages))
+                ys.append(mean(finals))
+            series.append(Series(system, list(DOMINATE_RATES), ys))
+        results.append(
+            FigureResult(
+                figure_id="fig5_6",
+                title=f"Ours vs Broadcast across dominate rates ({family})",
+                x_label="dominate rate",
+                y_label="total messages",
+                series=series,
+                notes=(
+                    f"k={NUM_SITES}, s={SAMPLE_SIZE}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

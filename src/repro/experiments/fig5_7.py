@@ -1,0 +1,43 @@
+"""Figure 5.7 — sliding windows: per-site memory vs window size.
+
+Paper setup: 10 sites.  Expected shape: memory grows *logarithmically* in
+the window size (Lemma 10: expected candidate-set size ``H_{M_i}`` with
+``M_i`` the live local distinct count, itself capped by the window).
+"""
+
+from __future__ import annotations
+
+from ._sliding import sliding_sweep
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+
+__all__ = ["run", "NUM_SITES", "WINDOWS"]
+
+NUM_SITES = 10
+WINDOWS = (50, 100, 200, 400, 800, 1600)
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.7 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        grid = sliding_sweep(config, family, [NUM_SITES], WINDOWS)
+        mem_mean = [grid[(NUM_SITES, w)]["mem_mean"] for w in WINDOWS]
+        mem_max = [grid[(NUM_SITES, w)]["mem_max"] for w in WINDOWS]
+        results.append(
+            FigureResult(
+                figure_id="fig5_7",
+                title=f"SW per-site memory vs window size ({family})",
+                x_label="w",
+                y_label="candidate-set size |T_i|",
+                series=[
+                    Series("mean", list(WINDOWS), mem_mean),
+                    Series("max", list(WINDOWS), mem_max),
+                ],
+                notes=(
+                    f"k={NUM_SITES}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

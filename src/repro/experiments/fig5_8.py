@@ -1,0 +1,40 @@
+"""Figure 5.8 — sliding windows: number of messages vs window size.
+
+Paper setup: 10 sites.  Expected shape: messages *decrease* as the window
+grows — a larger window holds more live distinct elements, so both sample
+changes (new arrival beats the minimum) and sample expiries become rarer
+(Lemma 11: per-slot report probability ~ b/M).
+"""
+
+from __future__ import annotations
+
+from ._sliding import sliding_sweep
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+
+__all__ = ["run", "NUM_SITES", "WINDOWS"]
+
+NUM_SITES = 10
+WINDOWS = (50, 100, 200, 400, 800, 1600)
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.8 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        grid = sliding_sweep(config, family, [NUM_SITES], WINDOWS)
+        messages = [grid[(NUM_SITES, w)]["messages"] for w in WINDOWS]
+        results.append(
+            FigureResult(
+                figure_id="fig5_8",
+                title=f"SW messages vs window size ({family})",
+                x_label="w",
+                y_label="total messages",
+                series=[Series("messages", list(WINDOWS), messages)],
+                notes=(
+                    f"k={NUM_SITES}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

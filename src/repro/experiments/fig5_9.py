@@ -1,0 +1,43 @@
+"""Figure 5.9 — sliding windows: per-site memory vs number of sites.
+
+Paper setup: window fixed at 100.  Expected shape: per-site memory falls
+as sites are added — each site sees fewer elements per window, so its live
+local distinct count ``M_i`` (and hence ``H_{M_i}``) shrinks.
+"""
+
+from __future__ import annotations
+
+from ._sliding import sliding_sweep
+from .config import ExperimentConfig
+from .report import FigureResult, Series
+
+__all__ = ["run", "WINDOW", "SITE_COUNTS"]
+
+WINDOW = 100
+SITE_COUNTS = (2, 5, 10, 20, 50)
+
+
+def run(config: ExperimentConfig) -> list[FigureResult]:
+    """Reproduce Figure 5.9 (one result per dataset family)."""
+    results = []
+    for family in config.datasets:
+        grid = sliding_sweep(config, family, SITE_COUNTS, [WINDOW])
+        mem_mean = [grid[(k, WINDOW)]["mem_mean"] for k in SITE_COUNTS]
+        mem_max = [grid[(k, WINDOW)]["mem_max"] for k in SITE_COUNTS]
+        results.append(
+            FigureResult(
+                figure_id="fig5_9",
+                title=f"SW per-site memory vs number of sites ({family})",
+                x_label="k",
+                y_label="candidate-set size |T_i|",
+                series=[
+                    Series("mean", list(SITE_COUNTS), mem_mean),
+                    Series("max", list(SITE_COUNTS), mem_max),
+                ],
+                notes=(
+                    f"w={WINDOW}, scale={config.scale}, "
+                    f"runs={config.effective_runs}"
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,131 @@
+"""Result containers and paper-style reporting.
+
+Each experiment produces a :class:`FigureResult` holding one or more named
+:class:`Series` — the exact rows/curves the corresponding paper figure
+plots.  Rendering is plain ASCII (the environment is headless); ``to_csv``
+emits the same data for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "FigureResult"]
+
+
+@dataclass(slots=True)
+class Series:
+    """One curve of a figure.
+
+    Attributes:
+        name: Legend label (e.g. ``"flooding"``).
+        xs: X coordinates.
+        ys: Y values (means over runs).
+        errs: Optional per-point spread (std over runs).
+    """
+
+    name: str
+    xs: list
+    ys: list
+    errs: list | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if self.errs is not None and len(self.errs) != len(self.xs):
+            raise ValueError(f"series {self.name!r}: errs length mismatch")
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """All series reproducing one paper table/figure.
+
+    Attributes:
+        figure_id: e.g. ``"fig5_4"`` or ``"table5_1"``.
+        title: The paper's caption, abbreviated.
+        x_label: X-axis meaning.
+        y_label: Y-axis meaning.
+        series: The curves.
+        notes: Free-form provenance (scale, runs, parameters).
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def series_by_name(self, name: str) -> Series:
+        """Look up a series by its legend label.
+
+        Raises:
+            KeyError: If absent.
+        """
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"{self.figure_id}: no series named {name!r}")
+
+    def render(self) -> str:
+        """ASCII table: one row per x, one column per series."""
+        out = io.StringIO()
+        out.write(f"== {self.figure_id}: {self.title} ==\n")
+        if self.notes:
+            out.write(f"   {self.notes}\n")
+        if not self.series:
+            out.write("   (no data)\n")
+            return out.getvalue()
+        names = [s.name for s in self.series]
+        xs = self.series[0].xs
+        header = [self.x_label] + names
+        rows: list[list[str]] = []
+        for i, x in enumerate(xs):
+            row = [_fmt(x)]
+            for s in self.series:
+                row.append(_fmt(s.ys[i]) if i < len(s.ys) else "-")
+            rows.append(row)
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+        ]
+        out.write(
+            "   " + "  ".join(h.rjust(w) for h, w in zip(header, widths)) + "\n"
+        )
+        out.write("   " + "  ".join("-" * w for w in widths) + "\n")
+        for row in rows:
+            out.write(
+                "   " + "  ".join(v.rjust(w) for v, w in zip(row, widths)) + "\n"
+            )
+        out.write(f"   (y = {self.y_label})\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV with columns ``x, <series...>``."""
+        out = io.StringIO()
+        names = [s.name for s in self.series]
+        out.write(",".join([self.x_label.replace(",", " ")] + names) + "\n")
+        if self.series:
+            for i, x in enumerate(self.series[0].xs):
+                row = [str(x)] + [
+                    str(s.ys[i]) if i < len(s.ys) else "" for s in self.series
+                ]
+                out.write(",".join(row) + "\n")
+        return out.getvalue()
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    if isinstance(v, int) and abs(v) >= 1000:
+        return f"{v:,d}"
+    return str(v)

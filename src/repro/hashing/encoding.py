@@ -1,0 +1,64 @@
+"""Canonical element-to-bytes encoding.
+
+Stream elements may be strings (IP pairs, email pairs), integers (synthetic
+ids), bytes, or tuples of those.  Hash functions need a stable byte
+representation that is injective across the supported types, so that e.g.
+the int ``1`` and the string ``"1"`` never collide by construction.
+
+The encoding is a one-byte type tag followed by a type-specific payload.
+Tuples are encoded recursively with length-prefixed components.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Element = Union[int, str, bytes, tuple]
+"""Type alias for the element types accepted by the samplers."""
+
+_TAG_INT = b"\x01"
+_TAG_STR = b"\x02"
+_TAG_BYTES = b"\x03"
+_TAG_TUPLE = b"\x04"
+
+__all__ = ["Element", "encode_element"]
+
+
+def encode_element(element: Element) -> bytes:
+    """Encode ``element`` into a canonical, injective byte string.
+
+    Args:
+        element: An ``int`` (arbitrary precision, may be negative), ``str``,
+            ``bytes``, or a (possibly nested) tuple of those.
+
+    Returns:
+        A byte string such that distinct elements (across all supported
+        types) map to distinct byte strings.
+
+    Raises:
+        TypeError: If the element type is not supported.
+    """
+    if isinstance(element, bool):
+        # bool is an int subclass; refuse rather than silently aliasing 0/1.
+        raise TypeError("bool elements are ambiguous; use int 0/1 explicitly")
+    if isinstance(element, int):
+        # Two's-complement-ish minimal encoding: sign byte + magnitude.
+        sign = b"\x01" if element >= 0 else b"\x00"
+        mag = abs(element)
+        payload = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, "little")
+        return _TAG_INT + sign + payload
+    if isinstance(element, str):
+        return _TAG_STR + element.encode("utf-8")
+    if isinstance(element, (bytes, bytearray)):
+        return _TAG_BYTES + bytes(element)
+    if isinstance(element, tuple):
+        parts = [_TAG_TUPLE, len(element).to_bytes(4, "little")]
+        for item in element:
+            enc = encode_element(item)
+            parts.append(len(enc).to_bytes(4, "little"))
+            parts.append(enc)
+        return b"".join(parts)
+    raise TypeError(
+        f"unsupported element type {type(element).__name__!r}; "
+        "expected int, str, bytes, or tuple thereof"
+    )

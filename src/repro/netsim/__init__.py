@@ -1,0 +1,27 @@
+"""Distributed-system simulation substrate.
+
+Implements the paper's system model (Ch. 2): ``k`` sites plus one
+coordinator on a synchronous, zero-delay network.  The network's purpose is
+exact *message accounting* — the paper's performance metric.
+"""
+
+from .clock import SlotClock
+from .delayed import DelayedNetwork
+from .message import COORDINATOR, Message, MessageKind
+from .network import MessageStats, Network
+from .node import Node, SlottedSite, StreamSite
+from .trace import MessageTrace
+
+__all__ = [
+    "COORDINATOR",
+    "Message",
+    "MessageKind",
+    "Network",
+    "DelayedNetwork",
+    "MessageStats",
+    "Node",
+    "StreamSite",
+    "SlottedSite",
+    "SlotClock",
+    "MessageTrace",
+]

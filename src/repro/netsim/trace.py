@@ -1,0 +1,47 @@
+"""Time-series recording of network cost counters.
+
+Figures 5.1 and 5.4 plot cumulative message counts against the number of
+elements processed.  :class:`MessageTrace` samples the network counters at
+caller-chosen checkpoints (e.g. every 1000 elements) without adding any
+per-message overhead.
+"""
+
+from __future__ import annotations
+
+from .network import Network
+
+__all__ = ["MessageTrace"]
+
+
+class MessageTrace:
+    """Cumulative message-count series sampled at explicit checkpoints.
+
+    Args:
+        network: The network whose counters are sampled.
+    """
+
+    __slots__ = ("_network", "xs", "messages", "bytes")
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self.xs: list[int] = []
+        self.messages: list[int] = []
+        self.bytes: list[int] = []
+
+    def sample(self, x: int) -> None:
+        """Record the current totals against position ``x``.
+
+        Args:
+            x: The x-axis value (typically: elements processed so far).
+        """
+        stats = self._network.stats
+        self.xs.append(x)
+        self.messages.append(stats.total_messages)
+        self.bytes.append(stats.total_bytes)
+
+    def series(self) -> list[tuple[int, int]]:
+        """Return ``[(x, cumulative_messages), ...]``."""
+        return list(zip(self.xs, self.messages))
+
+    def __len__(self) -> int:
+        return len(self.xs)

@@ -1,0 +1,50 @@
+"""Stream generation: calibrated datasets, distributors, arrival processes."""
+
+from .adversarial import adversarial_input
+from .bursty import bursty_stream, mean_run_length
+from .datasets import DATASETS, SCALES, DatasetSpec, dataset_names, get_dataset
+from .email import email_stream, enron_like, format_email_pair
+from .ipstream import flow_stream, format_flow, oc48_like
+from .partition import (
+    Distributor,
+    DominateDistributor,
+    FloodingDistributor,
+    RandomDistributor,
+    RoundRobinDistributor,
+    make_distributor,
+)
+from .slotted import SlottedArrivals
+from .synthetic import (
+    all_distinct_stream,
+    calibrated_stream,
+    uniform_stream,
+    zipf_weights,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SCALES",
+    "get_dataset",
+    "dataset_names",
+    "calibrated_stream",
+    "uniform_stream",
+    "all_distinct_stream",
+    "zipf_weights",
+    "format_flow",
+    "oc48_like",
+    "flow_stream",
+    "format_email_pair",
+    "enron_like",
+    "email_stream",
+    "Distributor",
+    "FloodingDistributor",
+    "RandomDistributor",
+    "RoundRobinDistributor",
+    "DominateDistributor",
+    "make_distributor",
+    "SlottedArrivals",
+    "adversarial_input",
+    "bursty_stream",
+    "mean_run_length",
+]

@@ -1,0 +1,53 @@
+"""Enron-like e-mail correspondent stream.
+
+The paper forms elements by concatenating sender and receiver e-mail
+addresses of the Enron corpus.  As with the IP stream, we map calibrated
+synthetic ids to deterministic ``"sender->recipient"`` strings for the
+examples, while experiments run on raw ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hashing.murmur import fmix64
+from .datasets import DatasetSpec, get_dataset
+
+__all__ = ["format_email_pair", "enron_like", "email_stream"]
+
+_DOMAINS = ("enron.com", "mail.com", "corp.net", "example.org")
+
+
+def format_email_pair(pair_id: int) -> str:
+    """Deterministically render a pair id as ``"userA@dom->userB@dom"``."""
+    mixed = fmix64(pair_id)
+    a = (mixed >> 40) & 0xFFFFFF
+    b = (mixed >> 16) & 0xFFFFFF
+    dom_a = _DOMAINS[(mixed >> 8) & 0x3]
+    dom_b = _DOMAINS[mixed & 0x3]
+    return f"u{a:06x}@{dom_a}->u{b:06x}@{dom_b}"
+
+
+def enron_like(scale: str = "small") -> DatasetSpec:
+    """The Enron-calibrated dataset spec at ``scale``."""
+    return get_dataset("enron", scale)
+
+
+def email_stream(
+    scale: str, rng: np.random.Generator, as_strings: bool = False
+) -> list:
+    """Generate an Enron-like stream.
+
+    Args:
+        scale: Dataset scale (see :data:`repro.streams.datasets.SCALES`).
+        rng: Source of randomness.
+        as_strings: If True, return formatted address-pair strings.
+
+    Returns:
+        A Python list of elements (ints or strings).
+    """
+    ids = enron_like(scale).generate(rng)
+    if not as_strings:
+        return ids.tolist()
+    unique = {int(i): format_email_pair(int(i)) for i in np.unique(ids)}
+    return [unique[int(i)] for i in ids]

@@ -1,0 +1,159 @@
+"""Distribution strategies: how stream elements are dealt to sites.
+
+The paper's Section 5.1 studies three strategies — *flooding* (every
+element to every site), *random* (one uniformly random site per element),
+and *round-robin* — plus, in Section 5.2, a *dominate-rate* skew where site
+0 is ``alpha`` times likelier than any other site to receive an element.
+
+Single-site strategies produce a vectorized per-element site-id array;
+flooding is flagged so drivers replicate each element to all sites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Distributor",
+    "FloodingDistributor",
+    "RandomDistributor",
+    "RoundRobinDistributor",
+    "DominateDistributor",
+    "make_distributor",
+]
+
+
+@runtime_checkable
+class Distributor(Protocol):
+    """Assigns each stream position to one site (or to all, if flooding)."""
+
+    num_sites: int
+    floods: bool
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> Optional[np.ndarray]:
+        """Per-position site ids (``int64`` array of length ``n``).
+
+        Returns None for flooding distributors (every position goes to all
+        sites).
+        """
+        ...
+
+
+def _check_sites(num_sites: int) -> None:
+    if num_sites < 1:
+        raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+
+
+class FloodingDistributor:
+    """Every element is observed by every site (paper's "flooding")."""
+
+    floods = True
+
+    def __init__(self, num_sites: int) -> None:
+        _check_sites(num_sites)
+        self.num_sites = num_sites
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> Optional[np.ndarray]:
+        return None
+
+
+class RandomDistributor:
+    """Each element goes to one uniformly random site."""
+
+    floods = False
+
+    def __init__(self, num_sites: int) -> None:
+        _check_sites(num_sites)
+        self.num_sites = num_sites
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        if rng is None:
+            raise ConfigurationError("RandomDistributor requires an rng")
+        return rng.integers(0, self.num_sites, size=n, dtype=np.int64)
+
+
+class RoundRobinDistributor:
+    """Element ``j`` goes to site ``j mod k`` (paper's "round-robin")."""
+
+    floods = False
+
+    def __init__(self, num_sites: int) -> None:
+        _check_sites(num_sites)
+        self.num_sites = num_sites
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        return np.arange(n, dtype=np.int64) % self.num_sites
+
+
+class DominateDistributor:
+    """Site 0 dominates: it is ``alpha`` times likelier than any other site.
+
+    With ``k`` sites, site 0 receives an element with probability
+    ``alpha / (alpha + k - 1)`` and each other site with probability
+    ``1 / (alpha + k - 1)`` (paper Section 5.2, "dominate rate").
+
+    Args:
+        num_sites: Number of sites (k >= 1).
+        alpha: Dominate rate (>= 1; 1 reduces to uniform random).
+    """
+
+    floods = False
+
+    def __init__(self, num_sites: int, alpha: float) -> None:
+        _check_sites(num_sites)
+        if alpha < 1:
+            raise ConfigurationError(f"dominate rate must be >= 1, got {alpha}")
+        self.num_sites = num_sites
+        self.alpha = float(alpha)
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        if rng is None:
+            raise ConfigurationError("DominateDistributor requires an rng")
+        k = self.num_sites
+        if k == 1:
+            return np.zeros(n, dtype=np.int64)
+        probs = np.full(k, 1.0 / (self.alpha + k - 1))
+        probs[0] = self.alpha / (self.alpha + k - 1)
+        return rng.choice(k, size=n, p=probs).astype(np.int64)
+
+
+def make_distributor(
+    name: str, num_sites: int, alpha: float = 1.0
+) -> Distributor:
+    """Construct a distributor by name.
+
+    Args:
+        name: ``"flooding"``, ``"random"``, ``"round_robin"``, or
+            ``"dominate"``.
+        num_sites: Number of sites.
+        alpha: Dominate rate, used only by ``"dominate"``.
+
+    Raises:
+        ConfigurationError: For an unknown name.
+    """
+    if name == "flooding":
+        return FloodingDistributor(num_sites)
+    if name == "random":
+        return RandomDistributor(num_sites)
+    if name == "round_robin":
+        return RoundRobinDistributor(num_sites)
+    if name == "dominate":
+        return DominateDistributor(num_sites, alpha)
+    raise ConfigurationError(
+        f"unknown distribution strategy {name!r}; expected flooding, random, "
+        "round_robin, or dominate"
+    )

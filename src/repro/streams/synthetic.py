@@ -1,0 +1,110 @@
+"""Synthetic stream generators.
+
+The paper's datasets (CAIDA OC48 IP pairs, Enron e-mail pairs) are not
+redistributable, so experiments run on synthetic streams *calibrated* to
+the statistics that matter for message complexity: total element count,
+distinct element count, and a heavy-tailed repetition profile.  See
+DESIGN.md §2 for the substitution argument.
+
+All generators are NumPy-vectorized and deterministic given a
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = [
+    "zipf_weights",
+    "calibrated_stream",
+    "uniform_stream",
+    "all_distinct_stream",
+]
+
+
+def zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalized power-law weights ``w_r ∝ 1/r^skew`` over ranks 1..count.
+
+    Args:
+        count: Number of ranks.
+        skew: Power-law exponent; 0 gives uniform weights.
+
+    Returns:
+        Float64 array of length ``count`` summing to 1.
+    """
+    if count < 1:
+        raise DatasetError(f"need at least one rank, got {count}")
+    if skew < 0:
+        raise DatasetError(f"skew must be non-negative, got {skew}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    return weights
+
+
+def calibrated_stream(
+    n_elements: int,
+    n_distinct: int,
+    skew: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate a stream with *exactly* ``n_distinct`` distinct elements.
+
+    Construction: every id in ``[0, n_distinct)`` appears at least once; the
+    remaining ``n_elements - n_distinct`` occurrences are allocated across
+    ids with Zipf(``skew``) probabilities; the multiset is then uniformly
+    shuffled.  The realized distinct count is exact (not just in
+    expectation), which keeps Table 5.1 reproducible to the digit.
+
+    Args:
+        n_elements: Total stream length.
+        n_distinct: Number of distinct element ids (must be <= n_elements).
+        skew: Power-law exponent of the repetition profile.
+        rng: Source of randomness.
+
+    Returns:
+        ``int64`` array of length ``n_elements`` with ids in
+        ``[0, n_distinct)``.
+
+    Raises:
+        DatasetError: If the counts are inconsistent.
+    """
+    if n_distinct < 1:
+        raise DatasetError(f"n_distinct must be >= 1, got {n_distinct}")
+    if n_elements < n_distinct:
+        raise DatasetError(
+            f"n_elements ({n_elements}) must be >= n_distinct ({n_distinct})"
+        )
+    base = np.arange(n_distinct, dtype=np.int64)
+    extra_count = n_elements - n_distinct
+    if extra_count:
+        weights = zipf_weights(n_distinct, skew)
+        extras = rng.choice(n_distinct, size=extra_count, p=weights)
+        stream = np.concatenate([base, extras.astype(np.int64)])
+    else:
+        stream = base
+    rng.shuffle(stream)
+    return stream
+
+
+def uniform_stream(
+    n_elements: int, universe: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Stream of ``n_elements`` ids drawn uniformly from ``[0, universe)``.
+
+    The realized distinct count is random (coupon-collector profile).
+    """
+    if universe < 1:
+        raise DatasetError(f"universe must be >= 1, got {universe}")
+    return rng.integers(0, universe, size=n_elements, dtype=np.int64)
+
+
+def all_distinct_stream(n_elements: int) -> np.ndarray:
+    """Stream ``0, 1, ..., n_elements - 1`` — every element distinct.
+
+    The workload on which the paper's message bounds are exact; used by the
+    theory-validation tests and the Lemma 9 adversary.
+    """
+    return np.arange(n_elements, dtype=np.int64)

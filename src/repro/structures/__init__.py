@@ -1,0 +1,22 @@
+"""Core data structures: treap, dominance sets, bottom-k."""
+
+from .bottomk import BottomK
+from .dominance import (
+    DominanceEntry,
+    DominanceSet,
+    SortedDominanceSet,
+    TreapDominanceSet,
+    brute_force_survivors,
+)
+from .treap import Treap, TreapNode
+
+__all__ = [
+    "BottomK",
+    "Treap",
+    "TreapNode",
+    "DominanceEntry",
+    "DominanceSet",
+    "SortedDominanceSet",
+    "TreapDominanceSet",
+    "brute_force_survivors",
+]

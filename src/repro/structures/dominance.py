@@ -1,0 +1,332 @@
+"""Dominance-pruned candidate sets for sliding-window sampling.
+
+A sliding-window site must answer, at any slot, "which live local element
+has the smallest hash?" without storing the whole window.  The paper (after
+Babcock, Datar & Motwani 2002) keeps only elements that could *ever* become
+the minimum: tuple ``(e, t)`` **dominates** ``(e', t')`` iff ``t > t'`` and
+``h(e) < h(e')`` — a dominated element can never be the minimum while the
+dominating one is live, so it is dropped.  Lemma 10 shows the surviving set
+has expected size ``H_M = O(log M)`` for ``M`` live distinct elements.
+
+We generalize to sample size ``s`` (*s-dominance*): an entry is dropped iff
+**at least s** entries with strictly later expiry have strictly smaller
+hash; the survivors always contain the ``s`` smallest-hash live elements.
+
+Two interchangeable implementations (differentially tested):
+
+* :class:`SortedDominanceSet` — a list sorted by ``(expiry, hash)`` plus an
+  element index; pruning is an O(n log s) right-to-left sweep.  Supports any
+  ``s >= 1``.
+* :class:`TreapDominanceSet` — the paper's treap (s = 1 only): key
+  ``(expiry, hash)``, priority ``hash``; min-hash is the root, expiry is an
+  O(log n) split, and dominance pruning exploits the *staircase invariant*
+  (surviving hashes increase with expiry), removing only a contiguous run
+  of predecessors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional, Protocol
+
+from .treap import Treap
+
+__all__ = [
+    "DominanceEntry",
+    "DominanceSet",
+    "SortedDominanceSet",
+    "TreapDominanceSet",
+    "brute_force_survivors",
+]
+
+
+class DominanceEntry:
+    """A candidate tuple ``(element, expiry, hash)`` held by a site."""
+
+    __slots__ = ("element", "expiry", "hash")
+
+    def __init__(self, element: Any, expiry: int, hash_value: float) -> None:
+        self.element = element
+        self.expiry = expiry
+        self.hash = hash_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DominanceEntry({self.element!r}, expiry={self.expiry}, "
+            f"hash={self.hash:.6f})"
+        )
+
+    def as_tuple(self) -> tuple[Any, int, float]:
+        """Return ``(element, expiry, hash)``."""
+        return (self.element, self.expiry, self.hash)
+
+
+class DominanceSet(Protocol):
+    """Protocol implemented by both dominance-set variants."""
+
+    def observe(self, element: Any, expiry: int, hash_value: float) -> None:
+        """Insert ``element`` or refresh its expiry to ``expiry``, then prune."""
+        ...
+
+    def expire(self, now: int) -> None:
+        """Drop every entry with ``expiry <= now``."""
+        ...
+
+    def min_entry(self) -> Optional[DominanceEntry]:
+        """Entry with the smallest hash, or None if empty."""
+        ...
+
+    def bottom(self, count: int) -> list[DominanceEntry]:
+        """The ``count`` smallest-hash entries, ascending by hash."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, element: Any) -> bool: ...
+
+    def entries(self) -> list[DominanceEntry]:
+        """All entries, ordered by ``(expiry, hash)``."""
+        ...
+
+
+def brute_force_survivors(
+    entries: list[tuple[Any, int, float]], s: int = 1
+) -> list[tuple[Any, int, float]]:
+    """Reference s-dominance filter used by the tests.
+
+    Args:
+        entries: ``(element, expiry, hash)`` tuples (unique elements).
+        s: Dominance order.
+
+    Returns:
+        Surviving tuples sorted by ``(expiry, hash)``: an entry survives iff
+        strictly fewer than ``s`` other entries have strictly later expiry
+        and strictly smaller hash.
+    """
+    survivors = []
+    for elem, exp, h in entries:
+        dominators = sum(
+            1 for _, exp2, h2 in entries if exp2 > exp and h2 < h
+        )
+        if dominators < s:
+            survivors.append((elem, exp, h))
+    survivors.sort(key=lambda t: (t[1], t[2]))
+    return survivors
+
+
+class SortedDominanceSet:
+    """s-dominance set backed by a sorted list.
+
+    Args:
+        s: Dominance order (sample size the survivors must be able to
+            serve).  ``s = 1`` reproduces the paper's structure.
+
+    Raises:
+        ValueError: If ``s < 1``.
+    """
+
+    __slots__ = ("_s", "_entries", "_index")
+
+    def __init__(self, s: int = 1) -> None:
+        if s < 1:
+            raise ValueError(f"dominance order s must be >= 1, got {s}")
+        self._s = s
+        self._entries: list[DominanceEntry] = []  # sorted by (expiry, hash)
+        self._index: dict[Any, DominanceEntry] = {}
+
+    @property
+    def s(self) -> int:
+        """Dominance order."""
+        return self._s
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._index
+
+    def entries(self) -> list[DominanceEntry]:
+        return list(self._entries)
+
+    def observe(self, element: Any, expiry: int, hash_value: float) -> None:
+        old = self._index.get(element)
+        if old is not None:
+            if expiry <= old.expiry:
+                return  # refresh can only extend life
+            self._entries.remove(old)
+        entry = DominanceEntry(element, expiry, hash_value)
+        self._index[element] = entry
+        self._insert_sorted(entry)
+        self._prune()
+
+    def _insert_sorted(self, entry: DominanceEntry) -> None:
+        # Most arrivals carry the largest expiry so far; test the tail first
+        # to keep the common case O(1) before falling back to binary search.
+        entries = self._entries
+        key = (entry.expiry, entry.hash)
+        if not entries or (entries[-1].expiry, entries[-1].hash) <= key:
+            entries.append(entry)
+            return
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (entries[mid].expiry, entries[mid].hash) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        entries.insert(lo, entry)
+
+    def _prune(self) -> None:
+        """Right-to-left sweep dropping s-dominated entries.
+
+        Maintains a max-heap of the ``s`` smallest hashes among entries with
+        *strictly later* expiry; entries in the same expiry slot are judged
+        as a group before joining the heap (equal expiry never dominates).
+        """
+        entries = self._entries
+        if len(entries) <= self._s:
+            return
+        s = self._s
+        worst: list[float] = []  # negated hashes: max-heap of s smallest
+        kept_rev: list[DominanceEntry] = []
+        removed = False
+        i = len(entries) - 1
+        while i >= 0:
+            # Identify the group of equal expiry ending at i.
+            j = i
+            expiry = entries[i].expiry
+            while j >= 0 and entries[j].expiry == expiry:
+                j -= 1
+            group = entries[j + 1 : i + 1]
+            threshold = -worst[0] if len(worst) == s else None
+            for entry in reversed(group):
+                if threshold is not None and entry.hash > threshold:
+                    del self._index[entry.element]
+                    removed = True
+                else:
+                    kept_rev.append(entry)
+            # Survivors of this group now count as "later" for earlier slots.
+            for entry in group:
+                if self._index.get(entry.element) is entry:
+                    if len(worst) < s:
+                        heapq.heappush(worst, -entry.hash)
+                    elif entry.hash < -worst[0]:
+                        heapq.heapreplace(worst, -entry.hash)
+            i = j
+        if removed:
+            kept_rev.reverse()
+            self._entries = kept_rev
+
+    def expire(self, now: int) -> None:
+        entries = self._entries
+        cut = 0
+        while cut < len(entries) and entries[cut].expiry <= now:
+            del self._index[entries[cut].element]
+            cut += 1
+        if cut:
+            del entries[:cut]
+
+    def min_entry(self) -> Optional[DominanceEntry]:
+        if not self._entries:
+            return None
+        return min(self._entries, key=lambda e: e.hash)
+
+    def bottom(self, count: int) -> list[DominanceEntry]:
+        return sorted(self._entries, key=lambda e: e.hash)[:count]
+
+    def check_invariants(self) -> None:
+        """Assert sortedness, index consistency, and s-dominance minimality."""
+        assert len(self._entries) == len(self._index)
+        for a, b in zip(self._entries, self._entries[1:]):
+            assert (a.expiry, a.hash) <= (b.expiry, b.hash), "sort order broken"
+        raw = [(e.element, e.expiry, e.hash) for e in self._entries]
+        expected = brute_force_survivors(raw, self._s)
+        assert raw == expected, "set contains a dominated entry"
+
+
+class TreapDominanceSet:
+    """Paper-faithful treap-backed dominance set (s = 1).
+
+    Key: ``(expiry, hash)`` (hash breaks same-slot ties); priority: hash,
+    min-heap — so :meth:`min_entry` is the root.  The staircase invariant
+    (hash strictly increases across strictly increasing expiry) makes the
+    dominated region after an insert a contiguous run of predecessor keys.
+    """
+
+    __slots__ = ("_treap", "_index")
+
+    def __init__(self, s: int = 1) -> None:
+        if s != 1:
+            raise ValueError(
+                "TreapDominanceSet implements the paper's s=1 structure; "
+                "use SortedDominanceSet for s > 1"
+            )
+        self._treap = Treap()
+        self._index: dict[Any, tuple[int, float]] = {}  # element -> key
+
+    @property
+    def s(self) -> int:
+        """Dominance order (always 1 for this implementation)."""
+        return 1
+
+    def __len__(self) -> int:
+        return len(self._treap)
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._index
+
+    def entries(self) -> list[DominanceEntry]:
+        return [
+            DominanceEntry(node.value, node.key[0], node.key[1])
+            for node in self._treap
+        ]
+
+    def observe(self, element: Any, expiry: int, hash_value: float) -> None:
+        old_key = self._index.get(element)
+        if old_key is not None:
+            if expiry <= old_key[0]:
+                return
+            self._treap.remove(old_key)
+        key = (expiry, hash_value)
+
+        # Is the newcomer itself dominated?  The minimum hash among strictly
+        # later expiries is the first entry of the next expiry band.
+        succ = self._treap.successor((expiry, float("inf")))
+        if succ is not None and succ.key[1] < hash_value:
+            if old_key is not None:
+                del self._index[element]
+            return
+
+        # Drop now-dominated predecessors: strictly earlier expiry, larger
+        # hash.  By the staircase invariant they are a contiguous run.
+        while True:
+            pred = self._treap.predecessor((expiry, -1.0))
+            if pred is None or pred.key[1] < hash_value:
+                break
+            del self._index[pred.value]
+            self._treap.remove(pred.key)
+
+        self._treap.insert(key, hash_value, element)
+        self._index[element] = key
+
+    def expire(self, now: int) -> None:
+        for node in self._treap.split_leq((now, float("inf"))):
+            del self._index[node.value]
+
+    def min_entry(self) -> Optional[DominanceEntry]:
+        node = self._treap.min_priority()
+        if node is None:
+            return None
+        return DominanceEntry(node.value, node.key[0], node.key[1])
+
+    def bottom(self, count: int) -> list[DominanceEntry]:
+        out = sorted(self.entries(), key=lambda e: e.hash)
+        return out[:count]
+
+    def check_invariants(self) -> None:
+        """Assert treap invariants plus dominance minimality."""
+        self._treap.check_invariants()
+        assert len(self._treap) == len(self._index)
+        raw = [(e.element, e.expiry, e.hash) for e in self.entries()]
+        expected = brute_force_survivors(raw, 1)
+        assert sorted(raw, key=lambda t: (t[1], t[2])) == expected

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import UnitHasher
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def hasher() -> UnitHasher:
+    """A deterministic murmur2 unit hasher."""
+    return UnitHasher(seed=42, algorithm="murmur2")
+
+
+@pytest.fixture
+def mix_hasher() -> UnitHasher:
+    """The integer fast-path hasher."""
+    return UnitHasher(seed=42, algorithm="mix64")

@@ -1,0 +1,86 @@
+"""Tests for the centralized reference samplers (the oracles themselves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CentralizedDistinctSampler, CentralizedWindowSampler
+from repro.errors import ConfigurationError
+from repro.hashing import UnitHasher
+
+
+class TestCentralizedDistinct:
+    def test_bottom_s_semantics(self):
+        hasher = UnitHasher(1)
+        sampler = CentralizedDistinctSampler(3, hasher)
+        elements = list(range(50))
+        for element in elements:
+            sampler.observe(element)
+        want = sorted(elements, key=hasher.unit)[:3]
+        assert sampler.sample() == want
+        assert sampler.elements_seen == 50
+
+    def test_duplicates_ignored(self):
+        sampler = CentralizedDistinctSampler(5, UnitHasher(2))
+        for _ in range(20):
+            sampler.observe("x")
+        assert sampler.sample() == ["x"]
+
+    def test_observe_hashed(self):
+        hasher = UnitHasher(3)
+        a = CentralizedDistinctSampler(4, hasher)
+        b = CentralizedDistinctSampler(4, hasher)
+        for element in range(30):
+            a.observe(element)
+            b.observe_hashed(element, hasher.unit(element))
+        assert a.sample() == b.sample()
+
+    def test_threshold(self):
+        hasher = UnitHasher(4)
+        sampler = CentralizedDistinctSampler(2, hasher)
+        sampler.observe("a")
+        assert sampler.threshold == 1.0
+        sampler.observe("b")
+        assert sampler.threshold == max(hasher.unit("a"), hasher.unit("b"))
+
+    def test_sample_pairs_sorted(self):
+        sampler = CentralizedDistinctSampler(5, UnitHasher(5))
+        for element in range(40):
+            sampler.observe(element)
+        pairs = sampler.sample_pairs()
+        assert pairs == sorted(pairs)
+
+
+class TestCentralizedWindow:
+    def test_window_eviction(self):
+        sampler = CentralizedWindowSampler(3, 2, UnitHasher(6))
+        sampler.observe("a", 1)
+        sampler.observe("b", 2)
+        sampler.advance(3)
+        assert set(sampler.live_elements()) == {"a", "b"}
+        sampler.advance(4)  # "a" (slot 1) leaves a 3-slot window at slot 4
+        assert sampler.live_elements() == ["b"]
+        sampler.advance(5)
+        assert sampler.live_elements() == []
+        assert sampler.min_element() is None
+
+    def test_refresh_moves_expiry(self):
+        sampler = CentralizedWindowSampler(3, 1, UnitHasher(7))
+        sampler.observe("a", 1)
+        sampler.observe("a", 5)
+        sampler.advance(6)
+        assert sampler.live_elements() == ["a"]
+
+    def test_sample_is_bottom_s(self):
+        hasher = UnitHasher(8)
+        sampler = CentralizedWindowSampler(100, 3, hasher)
+        for element in range(30):
+            sampler.observe(element, 1)
+        want = sorted(range(30), key=hasher.unit)[:3]
+        assert sampler.sample() == want
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedWindowSampler(0, 1, UnitHasher(0))
+        with pytest.raises(ConfigurationError):
+            CentralizedWindowSampler(5, 0, UnitHasher(0))

@@ -1,0 +1,221 @@
+"""Differential tests for the dominance sets.
+
+Both implementations are checked against the brute-force s-dominance
+filter after arbitrary interleavings of observe/expire operations, and
+against each other (s = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.dominance import (
+    SortedDominanceSet,
+    TreapDominanceSet,
+    brute_force_survivors,
+)
+
+IMPLS = [SortedDominanceSet, TreapDominanceSet]
+
+
+def _raw(ds):
+    return [(e.element, e.expiry, e.hash) for e in ds.entries()]
+
+
+class TestBruteForceReference:
+    def test_simple_domination(self):
+        entries = [("a", 5, 0.9), ("b", 10, 0.1)]
+        # a expires before b and hashes above it: dominated.
+        assert brute_force_survivors(entries, 1) == [("b", 10, 0.1)]
+
+    def test_equal_expiry_never_dominates(self):
+        entries = [("a", 5, 0.9), ("b", 5, 0.1)]
+        assert len(brute_force_survivors(entries, 1)) == 2
+
+    def test_s2_needs_two_dominators(self):
+        entries = [("a", 5, 0.9), ("b", 10, 0.1), ("c", 11, 0.2)]
+        assert brute_force_survivors(entries, 2) == [
+            ("b", 10, 0.1),
+            ("c", 11, 0.2),
+        ]
+        assert ("a", 5, 0.9) in brute_force_survivors(entries, 3)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+class TestBasics:
+    def test_empty(self, impl):
+        ds = impl(1)
+        assert len(ds) == 0
+        assert ds.min_entry() is None
+        assert ds.bottom(3) == []
+        assert "x" not in ds
+
+    def test_observe_and_min(self, impl):
+        ds = impl(1)
+        ds.observe("a", 10, 0.5)
+        ds.observe("b", 12, 0.2)
+        assert ds.min_entry().element == "b"
+        assert "a" not in ds  # dominated by b (later expiry, smaller hash)
+        assert "b" in ds
+
+    def test_staircase_retained(self, impl):
+        ds = impl(1)
+        ds.observe("a", 10, 0.2)
+        ds.observe("b", 12, 0.5)  # later expiry, larger hash: both stay
+        assert len(ds) == 2
+        assert ds.min_entry().element == "a"
+
+    def test_expire(self, impl):
+        ds = impl(1)
+        ds.observe("a", 10, 0.2)
+        ds.observe("b", 12, 0.5)
+        ds.expire(10)  # expiry <= now goes away
+        assert "a" not in ds
+        assert "b" in ds
+        ds.expire(12)
+        assert len(ds) == 0
+
+    def test_refresh_extends_life(self, impl):
+        ds = impl(1)
+        ds.observe("a", 10, 0.5)
+        ds.observe("a", 20, 0.5)
+        assert len(ds) == 1
+        assert ds.entries()[0].expiry == 20
+
+    def test_refresh_earlier_ignored(self, impl):
+        ds = impl(1)
+        ds.observe("a", 20, 0.5)
+        ds.observe("a", 10, 0.5)
+        assert ds.entries()[0].expiry == 20
+
+    def test_newcomer_dominated_not_kept(self, impl):
+        ds = impl(1)
+        ds.observe("a", 20, 0.1)
+        ds.observe("b", 10, 0.9)  # earlier expiry, larger hash: dominated
+        assert "b" not in ds
+        assert len(ds) == 1
+
+    def test_bottom_order(self, impl):
+        ds = impl(1)
+        ds.observe("a", 10, 0.3)
+        ds.observe("b", 20, 0.4)
+        ds.observe("c", 30, 0.5)
+        bottom = ds.bottom(2)
+        assert [e.element for e in bottom] == ["a", "b"]
+
+
+class TestSortedGeneralS:
+    def test_s_validation(self):
+        with pytest.raises(ValueError):
+            SortedDominanceSet(0)
+
+    def test_treap_rejects_s2(self):
+        with pytest.raises(ValueError):
+            TreapDominanceSet(2)
+
+    def test_s2_keeps_two_smallest_always(self):
+        ds = SortedDominanceSet(2)
+        rng = np.random.default_rng(0)
+        live = {}
+        for t in range(1, 300):
+            element = int(rng.integers(0, 60))
+            h = float(rng.random())
+            # Hash must be a function of the element.
+            h = (element * 2654435761 % 2**32) / 2**32
+            ds.observe(element, t + 25, h)
+            live[element] = t + 25
+            ds.expire(t)
+            live = {e: exp for e, exp in live.items() if exp > t}
+            want = sorted(
+                ((e * 2654435761 % 2**32) / 2**32, e) for e in live
+            )[:2]
+            got = [(e.hash, e.element) for e in ds.bottom(2)]
+            assert got == want
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+class TestDifferentialVsBruteForce:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 15),  # element id
+                st.integers(1, 40),  # arrival slot (expiry = arrival + 10)
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, impl, arrivals):
+        # Hashes are a deterministic function of the element id.
+        def h(element):
+            return ((element * 0x9E3779B1) % 2**32) / 2**32
+
+        ds = impl(1)
+        arrivals = sorted(arrivals, key=lambda a: a[1])
+        live: dict[int, int] = {}
+        now = 0
+        for element, slot in arrivals:
+            if slot > now:
+                now = slot
+                ds.expire(now - 1)  # expire strictly-before entries
+            ds.observe(element, slot + 10, h(element))
+            live[element] = max(live.get(element, 0), slot + 10)
+            current = [
+                (e, exp, h(e)) for e, exp in live.items() if exp > now - 1
+            ]
+            assert _raw(ds) == brute_force_survivors(current, 1)
+
+    def test_cross_implementation_agreement(self, impl):
+        rng = np.random.default_rng(7)
+        a = SortedDominanceSet(1)
+        b = TreapDominanceSet(1)
+        for t in range(1, 500):
+            for _ in range(int(rng.integers(0, 3))):
+                element = int(rng.integers(0, 40))
+                h = ((element * 0x9E3779B1) % 2**32) / 2**32
+                a.observe(element, t + 15, h)
+                b.observe(element, t + 15, h)
+            a.expire(t)
+            b.expire(t)
+            assert _raw(a) == _raw(b)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 50)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_check_invariants(self, impl, arrivals):
+        def h(element):
+            return ((element * 0x45D9F3B) % 2**32) / 2**32
+
+        ds = impl(1)
+        for element, slot in sorted(arrivals, key=lambda a: a[1]):
+            ds.expire(slot - 1)
+            ds.observe(element, slot + 8, h(element))
+            ds.check_invariants()
+
+
+class TestExpectedSize:
+    """Lemma 10: expected size is H_M = O(log M)."""
+
+    def test_size_logarithmic(self):
+        rng = np.random.default_rng(5)
+        sizes = []
+        for trial in range(30):
+            ds = SortedDominanceSet(1)
+            hashes = rng.random(500)
+            # 500 distinct elements, arrival order random, window large.
+            for i, h in enumerate(hashes):
+                ds.observe(i, 10_000 + i, float(h))
+            sizes.append(len(ds))
+        mean_size = sum(sizes) / len(sizes)
+        # H_500 ≈ 6.79; allow generous slack.
+        assert 3.0 <= mean_size <= 12.0, mean_size

@@ -1,0 +1,141 @@
+"""Tests for the distinct-count (KMV) and predicate estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CentralizedDistinctSampler, DistinctSamplerSystem
+from repro.errors import EstimationError
+from repro.estimators import (
+    estimate_count,
+    estimate_fraction,
+    estimate_from_sampler,
+    estimate_mean,
+    kmv_estimate,
+)
+from repro.hashing import UnitHasher
+
+
+class TestKMV:
+    def test_underfull_is_exact(self):
+        est = kmv_estimate(sample_size=10, threshold=1.0, retained=7)
+        assert est.exact
+        assert est.estimate == 7.0
+        assert est.low == est.high == 7.0
+        assert est.std_error == 0.0
+
+    def test_full_estimates_d(self):
+        # d distinct, threshold = s-th smallest of d uniforms ~ s/d.
+        d, s = 10_000, 100
+        est = kmv_estimate(sample_size=s, threshold=s / d, retained=s)
+        assert not est.exact
+        assert abs(est.estimate - d) / d < 0.02
+        assert est.low < d < est.high
+
+    def test_relative_error_scales(self):
+        wide = kmv_estimate(sample_size=16, threshold=0.01, retained=16)
+        narrow = kmv_estimate(sample_size=400, threshold=0.01, retained=400)
+        assert (
+            narrow.std_error / narrow.estimate < wide.std_error / wide.estimate
+        )
+
+    def test_s1_degenerate(self):
+        est = kmv_estimate(sample_size=1, threshold=0.01, retained=1)
+        assert est.estimate == pytest.approx(100.0)
+
+    def test_errors(self):
+        with pytest.raises(EstimationError):
+            kmv_estimate(sample_size=0, threshold=0.5, retained=0)
+        with pytest.raises(EstimationError):
+            kmv_estimate(sample_size=5, threshold=0.0, retained=5)
+        with pytest.raises(EstimationError):
+            kmv_estimate(sample_size=5, threshold=1.5, retained=5)
+
+    def test_statistical_accuracy_on_real_sketch(self):
+        # Build real sketches over known populations; the relative error
+        # should concentrate near 1/sqrt(s-2).
+        d, s = 5000, 64
+        errors = []
+        for seed in range(40):
+            sampler = CentralizedDistinctSampler(s, UnitHasher(seed))
+            for element in range(d):
+                sampler.observe(element)
+            est = estimate_from_sampler(sampler)
+            errors.append(abs(est.estimate - d) / d)
+        mean_err = sum(errors) / len(errors)
+        assert mean_err < 0.25, mean_err
+        # CI coverage: most intervals should contain the truth.
+        covered = 0
+        for seed in range(40):
+            sampler = CentralizedDistinctSampler(s, UnitHasher(seed))
+            for element in range(d):
+                sampler.observe(element)
+            est = estimate_from_sampler(sampler)
+            covered += est.low <= d <= est.high
+        assert covered >= 30  # ~95 % nominal; allow slack
+
+    def test_works_with_distributed_system(self):
+        d, s = 3000, 64
+        system = DistinctSamplerSystem(4, s, seed=5)
+        rng = np.random.default_rng(0)
+        for element in range(d):
+            system.observe(int(rng.integers(0, 4)), element)
+        est = estimate_from_sampler(system)
+        assert abs(est.estimate - d) / d < 0.5
+
+
+class TestPredicate:
+    def test_fraction_exact_logic(self):
+        sample = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        est = estimate_fraction(sample, lambda x: x % 2 == 0)
+        assert est.value == 0.5
+        assert est.matched == 5
+        assert 0.0 <= est.low <= est.value <= est.high <= 1.0
+
+    def test_fraction_empty_sample(self):
+        with pytest.raises(EstimationError):
+            estimate_fraction([], lambda x: True)
+
+    def test_fraction_statistical(self):
+        # Population: 30% satisfy the predicate; sample via real sketch.
+        d, s = 4000, 200
+        hasher = UnitHasher(77)
+        sampler = CentralizedDistinctSampler(s, hasher)
+        for element in range(d):
+            sampler.observe(element)
+        est = estimate_fraction(sampler.sample(), lambda e: e < 0.3 * d)
+        assert abs(est.value - 0.3) < 0.12
+
+    def test_count_combines_kmv(self):
+        d, s = 4000, 200
+        hasher = UnitHasher(78)
+        sampler = CentralizedDistinctSampler(s, hasher)
+        for element in range(d):
+            sampler.observe(element)
+        dc = estimate_from_sampler(sampler)
+        est = estimate_count(sampler.sample(), lambda e: e < d // 2, dc)
+        assert abs(est.value - d / 2) / (d / 2) < 0.35
+        assert est.low <= est.value <= est.high
+
+    def test_mean(self):
+        sample = [10, 20, 30, 40]
+        est = estimate_mean(sample, float)
+        assert est.value == 25.0
+        assert est.matched == 4
+        assert est.low < 25 < est.high
+
+    def test_mean_with_predicate(self):
+        sample = [1, 2, 3, 100]
+        est = estimate_mean(sample, float, predicate=lambda x: x < 50)
+        assert est.value == 2.0
+
+    def test_mean_no_match(self):
+        with pytest.raises(EstimationError):
+            estimate_mean([1, 2], float, predicate=lambda x: x > 10)
+
+    def test_mean_single_value_infinite_interval(self):
+        est = estimate_mean([5], float)
+        assert est.value == 5.0
+        assert est.low == -float("inf")
+        assert est.high == float("inf")

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Examples are executed in-process via runpy with argv
+pinned to fast settings."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "infinite window" in out
+        assert "sliding window" in out
+        assert "with replacement" in out
+        assert "messages exchanged" in out
+
+    def test_network_monitoring(self, capsys):
+        out = run_example("network_monitoring.py", ["--scale", "tiny"], capsys)
+        assert "distinct flows" in out
+        assert "messages" in out
+        assert "Observation 1" in out
+
+    def test_email_analytics(self, capsys):
+        out = run_example(
+            "email_analytics.py", ["--window", "100", "--sample-size", "4"], capsys
+        )
+        assert "window sample" in out
+        assert "lazy feedback" in out
+
+    def test_distinct_count_estimation(self, capsys):
+        out = run_example("distinct_count_estimation.py", [], capsys)
+        assert "ground truth" in out
+        assert "1/sqrt" in out
+
+    def test_lower_bound_adversary(self, capsys):
+        out = run_example("lower_bound_adversary.py", [], capsys)
+        assert "optimality gap" in out
+        assert "measured" in out
+
+    def test_all_examples_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "network_monitoring.py",
+            "email_analytics.py",
+            "distinct_count_estimation.py",
+            "lower_bound_adversary.py",
+        }
+        assert scripts == tested, f"untested examples: {scripts - tested}"

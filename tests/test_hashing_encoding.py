@@ -1,0 +1,81 @@
+"""Tests for the canonical element-to-bytes encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.encoding import encode_element
+
+
+# Strategy covering all supported element types, nested one level.
+_scalar = st.one_of(
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+_element = st.one_of(_scalar, st.tuples(_scalar, _scalar))
+
+
+class TestInjectivity:
+    """Distinct elements must encode to distinct byte strings."""
+
+    @given(_element, _element)
+    def test_pairwise_injective(self, a, b):
+        if a != b:
+            assert encode_element(a) != encode_element(b)
+
+    def test_int_vs_str_collision_free(self):
+        assert encode_element(1) != encode_element("1")
+
+    def test_str_vs_bytes_collision_free(self):
+        assert encode_element("ab") != encode_element(b"ab")
+
+    def test_negative_vs_positive(self):
+        assert encode_element(-5) != encode_element(5)
+
+    def test_tuple_vs_flat(self):
+        assert encode_element(("ab",)) != encode_element("ab")
+
+    def test_tuple_boundary_ambiguity(self):
+        # ("ab", "c") must differ from ("a", "bc") — length prefixes do it.
+        assert encode_element(("ab", "c")) != encode_element(("a", "bc"))
+
+    def test_nested_tuples(self):
+        assert encode_element(((1, 2), 3)) != encode_element((1, (2, 3)))
+
+
+class TestDeterminism:
+    @given(_element)
+    def test_stable(self, element):
+        assert encode_element(element) == encode_element(element)
+
+    def test_zero(self):
+        assert encode_element(0) == encode_element(0)
+        assert encode_element(0) != encode_element(1)
+
+
+class TestErrors:
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            encode_element(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            encode_element(3.14)
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            encode_element(None)
+
+    def test_list_rejected(self):
+        with pytest.raises(TypeError):
+            encode_element([1, 2])
+
+    def test_bad_tuple_member_rejected(self):
+        with pytest.raises(TypeError):
+            encode_element((1, 2.5))
+
+    def test_bytearray_accepted(self):
+        assert encode_element(bytearray(b"xy")) == encode_element(b"xy")

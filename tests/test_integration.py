@@ -1,0 +1,181 @@
+"""End-to-end integration tests spanning multiple subsystems.
+
+Each scenario wires real stream generators, distributors, protocol
+systems, estimators, and analysis formulas together the way a downstream
+user would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BroadcastSamplerSystem,
+    CachingSamplerSystem,
+    CentralizedDistinctSampler,
+    DistinctSamplerSystem,
+    SlidingWindowBottomS,
+    SlidingWindowSystem,
+    restore,
+    snapshot,
+)
+from repro.analysis import upper_bound_observation1
+from repro.estimators import (
+    estimate_fraction,
+    estimate_from_sampler,
+    estimate_quantile,
+)
+from repro.hashing import UnitHasher, unit_hash_array
+from repro.streams import (
+    SlottedArrivals,
+    get_dataset,
+    make_distributor,
+)
+
+
+class TestFullPipelineInfinite:
+    """Dataset -> distributor -> protocol -> estimators -> bounds."""
+
+    def test_oc48_pipeline(self):
+        spec = get_dataset("oc48", "tiny")
+        rng = np.random.default_rng(1)
+        ids = spec.generate(rng)
+        hashes = unit_hash_array(ids, 77)
+        sites = make_distributor("random", 4).assignments(len(ids), rng)
+
+        system = DistinctSamplerSystem(4, 32, seed=77, algorithm="mix64")
+        system.process_batch(sites, ids.tolist(), hashes)
+
+        # Sample is exactly the bottom-32 of the distinct set.
+        hasher = UnitHasher(77, "mix64")
+        want = sorted(set(ids.tolist()), key=hasher.unit)[:32]
+        assert system.sample() == want
+
+        # Estimator lands near the calibrated distinct count.
+        estimate = estimate_from_sampler(system)
+        assert abs(estimate.estimate - spec.n_distinct) / spec.n_distinct < 0.6
+
+        # Message cost below the first-occurrence bound plus repeat slack.
+        per_site = [
+            len(set(ids[sites == i].tolist())) for i in range(4)
+        ]
+        bound = upper_bound_observation1(4, 32, per_site)
+        assert system.total_messages < bound * 3
+
+    def test_three_systems_same_sample(self):
+        # Plain, broadcast, and caching systems agree on the sample for
+        # identical streams and hash functions.
+        hasher = UnitHasher(88)
+        plain = DistinctSamplerSystem(3, 6, hasher=hasher)
+        eager = BroadcastSamplerSystem(3, 6, hasher=hasher)
+        cached = CachingSamplerSystem(3, 6, cache_size=8, hasher=hasher)
+        rng = np.random.default_rng(2)
+        for _ in range(2500):
+            element = int(rng.integers(0, 300))
+            site = int(rng.integers(0, 3))
+            plain.observe(site, element)
+            eager.observe(site, element)
+            cached.observe(site, element)
+        assert plain.sample() == eager.sample() == cached.sample()
+        # Caching never costs more than the plain protocol.  (Broadcast's
+        # ordering vs plain is k-dependent — it loses only at large k,
+        # covered by test_broadcast.py at k=40.)
+        assert cached.total_messages <= plain.total_messages
+
+    def test_crash_recovery_mid_stream(self):
+        spec = get_dataset("enron", "tiny")
+        rng = np.random.default_rng(3)
+        ids = spec.generate(rng).tolist()
+        half = len(ids) // 2
+
+        uninterrupted = DistinctSamplerSystem(2, 10, seed=5)
+        for i, element in enumerate(ids):
+            uninterrupted.observe(i % 2, element)
+
+        crashed = DistinctSamplerSystem(2, 10, seed=5)
+        for i, element in enumerate(ids[:half]):
+            crashed.observe(i % 2, element)
+        revived = restore(snapshot(crashed))
+        for i, element in enumerate(ids[half:], start=half):
+            revived.observe(i % 2, element)
+
+        assert revived.sample() == uninterrupted.sample()
+
+
+class TestFullPipelineSliding:
+    def test_enron_window_pipeline(self):
+        spec = get_dataset("enron", "tiny")
+        rng = np.random.default_rng(4)
+        ids = spec.generate(rng).tolist()
+        schedule = SlottedArrivals(ids, 3, 5, rng)
+
+        hasher = UnitHasher(9)
+        system = SlidingWindowSystem(num_sites=3, window=60, hasher=hasher)
+        bottom = SlidingWindowBottomS(
+            num_sites=3, window=60, sample_size=4, hasher=hasher
+        )
+        last_seen: dict[int, int] = {}
+        final_slot = 0
+        for slot, arrivals in schedule.slots():
+            system.process_slot(slot, arrivals)
+            bottom.process_slot(slot, arrivals)
+            for _site, element in arrivals:
+                last_seen[element] = slot
+            final_slot = slot
+
+        live = [e for e, seen in last_seen.items() if seen > final_slot - 60]
+        want = sorted(live, key=hasher.unit)
+        assert system.query() == want[0]
+        assert bottom.query() == want[:4]
+        # Memory stays tiny relative to the window.
+        assert max(system.per_site_memory()) < 60
+
+    def test_quantiles_over_window_sample(self):
+        # Query-time analytics over the bottom-s window sample.
+        rng = np.random.default_rng(5)
+        system = SlidingWindowBottomS(
+            num_sites=2, window=50, sample_size=32, seed=6
+        )
+        for slot in range(1, 200):
+            arrivals = [
+                (int(rng.integers(0, 2)), int(rng.integers(0, 1000)))
+                for _ in range(4)
+            ]
+            system.process_slot(slot, arrivals)
+        sample = system.query()
+        assert len(sample) == 32
+        median = estimate_quantile(sample, 0.5, value_fn=float)
+        assert 100 < median.value < 900  # uniform ids: median near 500
+        frac = estimate_fraction(sample, lambda e: e < 500)
+        assert 0.2 < frac.value < 0.8
+
+
+class TestScaleInvariants:
+    def test_message_growth_is_logarithmic_in_distinct(self):
+        # Quadrupling d adds ~constant messages (harmonic growth), on
+        # all-distinct streams.
+        def run(d):
+            system = DistinctSamplerSystem(3, 8, seed=10, algorithm="mix64")
+            ids = np.arange(d)
+            hashes = unit_hash_array(ids, 10)
+            rng = np.random.default_rng(0)
+            sites = rng.integers(0, 3, d)
+            system.process_batch(sites, ids.tolist(), hashes)
+            return system.total_messages
+
+        m1, m4, m16 = run(1000), run(4000), run(16_000)
+        growth_low = m4 - m1
+        growth_high = m16 - m4
+        assert growth_high < growth_low * 2.5
+        assert m16 < m1 * 3
+
+    def test_threshold_tracks_s_over_d(self):
+        system = DistinctSamplerSystem(2, 50, seed=11, algorithm="mix64")
+        d = 20_000
+        ids = np.arange(d)
+        hashes = unit_hash_array(ids, 11)
+        rng = np.random.default_rng(1)
+        sites = rng.integers(0, 2, d)
+        system.process_batch(sites, ids.tolist(), hashes)
+        assert system.threshold == pytest.approx(50 / d, rel=0.5)

@@ -1,0 +1,56 @@
+"""Tests for the chunked paper-scale driver (at small scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_scale import run_paper_scale
+
+
+class TestPaperScaleDriver:
+    def test_chunked_run_completes(self):
+        lines = []
+        result = run_paper_scale(
+            "oc48",
+            scale="tiny",
+            num_sites=3,
+            sample_size=8,
+            seed=1,
+            chunk_size=500,
+            progress=lines.append,
+        )
+        assert result.n_elements == 4000
+        assert result.n_distinct == 410
+        assert result.messages > 0
+        assert len(result.sample) == 8
+        assert result.elements_per_second > 0
+        assert result.slow_path_elements <= result.n_elements
+        assert len(lines) == 1 + 8  # generation line + 8 chunks
+
+    def test_chunking_is_invisible(self):
+        # Chunk size must not change messages or the sample.
+        a = run_paper_scale(
+            "enron", scale="tiny", num_sites=2, sample_size=5, seed=3,
+            chunk_size=100,
+        )
+        b = run_paper_scale(
+            "enron", scale="tiny", num_sites=2, sample_size=5, seed=3,
+            chunk_size=4000,
+        )
+        assert a.messages == b.messages
+        assert a.sample == b.sample
+
+    def test_prefilter_dominates_at_steady_state(self):
+        result = run_paper_scale(
+            "oc48", scale="small", num_sites=4, sample_size=10, seed=5,
+            chunk_size=10_000,
+        )
+        # Most of the 60k elements never touch the slow path.
+        assert result.slow_path_elements < result.n_elements * 0.5
+
+    def test_medium_scale_throughput(self):
+        result = run_paper_scale(
+            "enron", scale="small", num_sites=5, sample_size=10, seed=7
+        )
+        assert result.elements_per_second > 200_000  # conservative floor

@@ -1,0 +1,245 @@
+"""Tests for the sliding-window protocol (Algorithms 3 & 4).
+
+Exact-mode systems are differentially tested against a brute-force window
+oracle at every slot; paper-mode systems get the weaker (but guaranteed)
+live-element property plus high agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CentralizedWindowSampler, SlidingWindowSystem
+from repro.errors import ConfigurationError, ProtocolError
+from repro.hashing import UnitHasher
+from repro.netsim import COORDINATOR, Message, MessageKind
+
+
+def random_schedule(rng, num_sites, universe, slots, max_per_slot=4):
+    """Yield (slot, arrivals) with random bursts, including empty slots."""
+    for slot in range(1, slots + 1):
+        burst = int(rng.integers(0, max_per_slot))
+        yield slot, [
+            (int(rng.integers(0, num_sites)), int(rng.integers(0, universe)))
+            for _ in range(burst)
+        ]
+
+
+def drive_against_oracle(system, oracle, schedule, check):
+    for slot, arrivals in schedule:
+        system.process_slot(slot, arrivals)
+        for _site, element in arrivals:
+            oracle.observe(element, slot)
+        oracle.advance(slot)
+        check(slot)
+
+
+class TestExactMode:
+    @pytest.mark.parametrize("structure", ["treap", "sorted"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equals_oracle_every_slot(self, structure, seed):
+        hasher = UnitHasher(seed + 40)
+        system = SlidingWindowSystem(
+            num_sites=3, window=25, structure=structure, hasher=hasher
+        )
+        oracle = CentralizedWindowSampler(25, 1, hasher)
+        rng = np.random.default_rng(seed)
+
+        def check(slot):
+            assert system.query() == oracle.min_element(), f"slot {slot}"
+
+        drive_against_oracle(
+            system, oracle, random_schedule(rng, 3, 60, 600), check
+        )
+
+    def test_small_window_heavy_churn(self):
+        hasher = UnitHasher(77)
+        system = SlidingWindowSystem(num_sites=2, window=3, hasher=hasher)
+        oracle = CentralizedWindowSampler(3, 1, hasher)
+        rng = np.random.default_rng(9)
+
+        def check(slot):
+            assert system.query() == oracle.min_element(), f"slot {slot}"
+
+        drive_against_oracle(
+            system, oracle, random_schedule(rng, 2, 10, 400, max_per_slot=6), check
+        )
+
+    def test_empty_window_returns_none(self):
+        system = SlidingWindowSystem(num_sites=2, window=5, seed=1)
+        system.process_slot(1, [(0, "x")])
+        assert system.query() == "x"
+        # Nothing arrives for > w slots: the window empties.
+        for slot in range(2, 12):
+            system.process_slot(slot, [])
+        assert system.query() is None
+
+    def test_slot_gaps(self):
+        hasher = UnitHasher(50)
+        system = SlidingWindowSystem(num_sites=2, window=10, hasher=hasher)
+        oracle = CentralizedWindowSampler(10, 1, hasher)
+        rng = np.random.default_rng(4)
+        slot = 0
+        for _ in range(150):
+            slot += int(rng.integers(1, 6))  # jump 1-5 slots
+            arrivals = [
+                (int(rng.integers(0, 2)), int(rng.integers(0, 30)))
+                for _ in range(int(rng.integers(0, 3)))
+            ]
+            system.process_slot(slot, arrivals)
+            for _site, element in arrivals:
+                oracle.observe(element, slot)
+            oracle.advance(slot)
+            assert system.query() == oracle.min_element()
+
+    def test_refresh_extends_membership(self):
+        system = SlidingWindowSystem(num_sites=1, window=5, seed=2)
+        system.process_slot(1, [(0, "a")])
+        # Keep re-observing "a": it must stay sampled forever.
+        for slot in range(2, 40):
+            system.process_slot(slot, [(0, "a")])
+            assert system.query() == "a"
+
+    def test_expiry_is_exclusive_of_window_edge(self):
+        system = SlidingWindowSystem(num_sites=1, window=3, seed=3)
+        system.process_slot(1, [(0, "a")])  # live slots 1,2,3
+        system.process_slot(3, [])
+        assert system.query() == "a"
+        system.process_slot(4, [])
+        assert system.query() is None
+
+
+class TestPaperMode:
+    def test_always_live_and_mostly_minimal(self):
+        hasher = UnitHasher(3)
+        system = SlidingWindowSystem(
+            num_sites=3, window=20, coordinator_mode="paper", hasher=hasher
+        )
+        oracle = CentralizedWindowSampler(20, 1, hasher)
+        rng = np.random.default_rng(1)
+        agree = total = 0
+        for slot, arrivals in random_schedule(rng, 3, 50, 1500):
+            system.process_slot(slot, arrivals)
+            for _site, element in arrivals:
+                oracle.observe(element, slot)
+            oracle.advance(slot)
+            got = system.query()
+            live = set(oracle.live_elements())
+            if got is not None:
+                assert got in live, f"slot {slot}: served a dead element"
+            elif live:
+                # paper mode may transiently miss; exact mode never does.
+                pass
+            total += 1
+            agree += got == oracle.min_element()
+        assert agree / total > 0.9, "paper mode should usually be minimal"
+
+    def test_mode_validation(self):
+        from repro.core.sliding import SlidingWindowCoordinator
+        from repro.netsim import SlotClock
+
+        with pytest.raises(ConfigurationError):
+            SlidingWindowCoordinator(SlotClock(), mode="psychic")
+
+
+class TestStructureEquivalence:
+    def test_treap_and_sorted_identical_messages(self):
+        rng = np.random.default_rng(11)
+        schedule = list(random_schedule(rng, 4, 80, 800))
+        results = {}
+        for structure in ("treap", "sorted"):
+            system = SlidingWindowSystem(
+                num_sites=4, window=30, seed=21, structure=structure
+            )
+            queries = []
+            for slot, arrivals in schedule:
+                system.process_slot(slot, arrivals)
+                queries.append(system.query())
+            results[structure] = (system.total_messages, queries)
+        assert results["treap"] == results["sorted"]
+
+    def test_unknown_structure(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowSystem(num_sites=1, window=5, structure="btree")
+
+
+class TestMessageAccounting:
+    def test_every_report_answered(self):
+        system = SlidingWindowSystem(num_sites=3, window=15, seed=5)
+        rng = np.random.default_rng(2)
+        for slot, arrivals in random_schedule(rng, 3, 40, 500):
+            system.process_slot(slot, arrivals)
+        stats = system.network.stats
+        assert stats.total_messages == 2 * stats.site_to_coordinator
+        assert stats.by_kind[MessageKind.SW_REPORT] == stats.site_to_coordinator
+        assert stats.by_kind[MessageKind.SW_SAMPLE] == stats.coordinator_to_site
+
+    def test_larger_window_fewer_messages(self):
+        # Fig 5.8's shape, as an invariant.
+        totals = {}
+        for window in (10, 100):
+            system = SlidingWindowSystem(
+                num_sites=3, window=window, seed=6, algorithm="mix64"
+            )
+            rng = np.random.default_rng(3)
+            for slot in range(1, 1200):
+                arrivals = [
+                    (int(rng.integers(0, 3)), int(rng.integers(0, 10_000)))
+                    for _ in range(3)
+                ]
+                system.process_slot(slot, arrivals)
+            totals[window] = system.total_messages
+        assert totals[100] < totals[10]
+
+
+class TestMemory:
+    def test_per_site_memory_logarithmic(self):
+        # Lemma 10: |T_i| stays near H_{M_i}, far below the window size.
+        system = SlidingWindowSystem(num_sites=2, window=500, seed=7, algorithm="mix64")
+        rng = np.random.default_rng(4)
+        peak = 0
+        for slot in range(1, 2000):
+            arrivals = [
+                (int(rng.integers(0, 2)), int(rng.integers(0, 100_000)))
+                for _ in range(2)
+            ]
+            system.process_slot(slot, arrivals)
+            peak = max(peak, max(system.per_site_memory()))
+        # M_i <= 500 live distinct per site; H_500 ~ 6.8.  Allow slack for
+        # the max over time, but require far below the window size.
+        assert peak < 60
+
+    def test_memory_reporting_shape(self):
+        system = SlidingWindowSystem(num_sites=4, window=10, seed=8)
+        assert system.per_site_memory() == [0, 0, 0, 0]
+        system.process_slot(1, [(0, "a"), (2, "b")])
+        sizes = system.per_site_memory()
+        assert len(sizes) == 4
+        assert sizes[0] >= 1 and sizes[2] >= 1
+
+
+class TestErrors:
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowSystem(num_sites=0, window=5)
+        with pytest.raises(ConfigurationError):
+            SlidingWindowSystem(num_sites=2, window=0)
+
+    def test_clock_rewind_rejected(self):
+        system = SlidingWindowSystem(num_sites=1, window=5, seed=1)
+        system.process_slot(10, [])
+        with pytest.raises(ProtocolError):
+            system.process_slot(9, [])
+
+    def test_site_rejects_foreign_kind(self):
+        system = SlidingWindowSystem(num_sites=1, window=5, seed=1)
+        bad = Message(COORDINATOR, 0, MessageKind.THRESHOLD, 0.5)
+        with pytest.raises(ProtocolError):
+            system.sites[0].handle_message(bad, system.network)
+
+    def test_coordinator_rejects_foreign_kind(self):
+        system = SlidingWindowSystem(num_sites=1, window=5, seed=1)
+        bad = Message(0, COORDINATOR, MessageKind.REPORT, None)
+        with pytest.raises(ProtocolError):
+            system.coordinator.handle_message(bad, system.network)

@@ -1,0 +1,162 @@
+"""Tests for the general-s lazy-feedback sliding-window system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CentralizedWindowSampler
+from repro.core.sliding_feedback import SlidingWindowBottomSFeedback
+from repro.core.sliding_general import SlidingWindowBottomS
+from repro.errors import ConfigurationError, ProtocolError
+from repro.hashing import UnitHasher
+from repro.netsim import COORDINATOR, Message, MessageKind
+
+
+def random_schedule(rng, num_sites, universe, slots, max_per_slot=5):
+    for slot in range(1, slots + 1):
+        burst = int(rng.integers(0, max_per_slot))
+        yield slot, [
+            (int(rng.integers(0, num_sites)), int(rng.integers(0, universe)))
+            for _ in range(burst)
+        ]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("sample_size", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_equals_oracle_every_slot(self, sample_size, seed):
+        hasher = UnitHasher(seed * 31 + sample_size)
+        system = SlidingWindowBottomSFeedback(
+            num_sites=3, window=20, sample_size=sample_size, hasher=hasher
+        )
+        oracle = CentralizedWindowSampler(20, sample_size, hasher)
+        rng = np.random.default_rng(seed)
+        for slot, arrivals in random_schedule(rng, 3, 50, 500):
+            system.process_slot(slot, arrivals)
+            for _site, element in arrivals:
+                oracle.observe(element, slot)
+            oracle.advance(slot)
+            assert system.query() == oracle.sample(), f"slot {slot}"
+
+    def test_heavy_churn_tiny_window(self):
+        hasher = UnitHasher(99)
+        system = SlidingWindowBottomSFeedback(
+            num_sites=2, window=3, sample_size=3, hasher=hasher
+        )
+        oracle = CentralizedWindowSampler(3, 3, hasher)
+        rng = np.random.default_rng(9)
+        for slot, arrivals in random_schedule(rng, 2, 12, 400, max_per_slot=7):
+            system.process_slot(slot, arrivals)
+            for _site, element in arrivals:
+                oracle.observe(element, slot)
+            oracle.advance(slot)
+            assert system.query() == oracle.sample()
+
+    def test_window_empties(self):
+        system = SlidingWindowBottomSFeedback(
+            num_sites=2, window=5, sample_size=3, seed=2
+        )
+        system.process_slot(1, [(0, "a"), (1, "b")])
+        assert system.query() == sorted(
+            ["a", "b"], key=system.hasher.unit
+        )
+        for slot in range(2, 12):
+            system.process_slot(slot, [])
+        assert system.query() == []
+
+
+class TestThresholdInvariants:
+    def test_site_threshold_always_safe(self):
+        # Whenever a site's threshold is valid (t_i > now), there exist s
+        # live elements (at the coordinator) hashing below u_i — so a
+        # skipped arrival could not be in the global bottom-s.
+        hasher = UnitHasher(10)
+        system = SlidingWindowBottomSFeedback(
+            num_sites=3, window=15, sample_size=3, hasher=hasher
+        )
+        rng = np.random.default_rng(3)
+        for slot, arrivals in random_schedule(rng, 3, 40, 400):
+            system.process_slot(slot, arrivals)
+            coordinator = system.coordinator
+            u, valid = coordinator._threshold(slot)
+            for site in system.sites:
+                if site.valid_until > slot and site.u_local < 1.0:
+                    # Site threshold is some past (u, t_u) with t_u > now:
+                    # its backing bottom-s is still live, so the current
+                    # coordinator u can only be <= the site's view.
+                    assert u <= site.u_local + 1e-15
+
+    def test_messages_two_way(self):
+        system = SlidingWindowBottomSFeedback(
+            num_sites=3, window=15, sample_size=2, seed=4
+        )
+        rng = np.random.default_rng(1)
+        for slot, arrivals in random_schedule(rng, 3, 40, 300):
+            system.process_slot(slot, arrivals)
+        stats = system.network.stats
+        assert stats.total_messages == 2 * stats.site_to_coordinator
+        assert stats.by_kind[MessageKind.SW_REPORT] == stats.site_to_coordinator
+
+
+class TestVsLocalPush:
+    def test_same_samples_different_costs(self):
+        hasher = UnitHasher(11)
+        feedback = SlidingWindowBottomSFeedback(
+            num_sites=4, window=25, sample_size=3, hasher=hasher
+        )
+        push = SlidingWindowBottomS(
+            num_sites=4, window=25, sample_size=3, hasher=hasher
+        )
+        rng = np.random.default_rng(5)
+        schedule = list(random_schedule(rng, 4, 60, 600))
+        for slot, arrivals in schedule:
+            feedback.process_slot(slot, arrivals)
+            push.process_slot(slot, arrivals)
+            assert feedback.query() == push.query()
+        # Both are exact; costs differ by strategy, not correctness.
+        assert feedback.total_messages > 0
+        assert push.total_messages > 0
+
+
+class TestErrors:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowBottomSFeedback(num_sites=0, window=5, sample_size=1)
+        with pytest.raises(ConfigurationError):
+            SlidingWindowBottomSFeedback(num_sites=2, window=0, sample_size=1)
+        with pytest.raises(ConfigurationError):
+            SlidingWindowBottomSFeedback(num_sites=2, window=5, sample_size=0)
+
+    def test_foreign_messages_rejected(self):
+        system = SlidingWindowBottomSFeedback(
+            num_sites=1, window=5, sample_size=1, seed=6
+        )
+        with pytest.raises(ProtocolError):
+            system.sites[0].handle_message(
+                Message(COORDINATOR, 0, MessageKind.THRESHOLD, 0.5),
+                system.network,
+            )
+        with pytest.raises(ProtocolError):
+            system.coordinator.handle_message(
+                Message(0, COORDINATOR, MessageKind.REPORT, None),
+                system.network,
+            )
+
+
+class TestFactoryIntegration:
+    def test_factory_dispatch(self):
+        from repro import sliding_window_sampler
+        from repro.core.sliding import SlidingWindowSystem
+
+        assert isinstance(
+            sliding_window_sampler(2, 10, sample_size=1), SlidingWindowSystem
+        )
+        assert isinstance(
+            sliding_window_sampler(2, 10, sample_size=4),
+            SlidingWindowBottomSFeedback,
+        )
+        assert isinstance(
+            sliding_window_sampler(2, 10, sample_size=4, feedback=False),
+            SlidingWindowBottomS,
+        )

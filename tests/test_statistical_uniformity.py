@@ -1,0 +1,138 @@
+"""Statistical tests of the defining property of a *distinct* sample:
+every distinct element is equally likely to be sampled, regardless of its
+frequency in the stream.
+
+These tests aggregate over many independent hash seeds and apply
+chi-square / proportion bounds with p ~ 0.001 critical values; they are
+deterministic given the seed list (no flaky randomness).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistinctSamplerSystem,
+    SlidingWindowBottomS,
+    SlidingWindowSystem,
+)
+
+
+class TestInfiniteWindowUniformity:
+    def test_inclusion_uniform_over_distinct(self):
+        # 30 distinct elements, wildly different frequencies; sample size 3.
+        universe, s, trials = 30, 3, 400
+        counts: Counter = Counter()
+        for seed in range(trials):
+            system = DistinctSamplerSystem(3, s, seed=seed)
+            rng = np.random.default_rng(seed)
+            # Element e appears (e+1)^2 times: 1 to 900 occurrences.
+            stream = [e for e in range(universe) for _ in range((e + 1) ** 2 % 37 + 1)]
+            rng.shuffle(stream)
+            for element in stream:
+                system.observe(int(rng.integers(0, 3)), element)
+            for member in system.sample():
+                counts[member] += 1
+        total = sum(counts.values())
+        assert total == trials * s
+        expected = total / universe
+        chi2 = sum(
+            (counts.get(e, 0) - expected) ** 2 / expected
+            for e in range(universe)
+        )
+        # 29 dof; p=0.001 critical ≈ 58.3.
+        assert chi2 < 58.3, f"chi2={chi2:.1f}"
+
+    def test_heavy_hitter_not_favoured(self):
+        # One element with 99% of occurrences must be sampled no more
+        # often than any rare element (s=1 → P = 1/universe each).
+        universe, trials = 20, 600
+        hot_hits = 0
+        for seed in range(trials):
+            system = DistinctSamplerSystem(2, 1, seed=seed * 7 + 1)
+            stream = [0] * 500 + list(range(1, universe))
+            rng = np.random.default_rng(seed)
+            rng.shuffle(stream)
+            for element in stream:
+                system.observe(int(rng.integers(0, 2)), element)
+            hot_hits += system.sample() == [0]
+        share = hot_hits / trials
+        # Expected 1/20 = 0.05; 3.3-sigma bound ≈ 0.05 ± 0.030.
+        assert 0.02 < share < 0.08, share
+
+    def test_sample_without_replacement(self):
+        # The s members are always distinct elements.
+        system = DistinctSamplerSystem(2, 10, seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            system.observe(int(rng.integers(0, 2)), int(rng.integers(0, 100)))
+        members = system.sample()
+        assert len(members) == len(set(members)) == 10
+
+    def test_distribution_strategy_does_not_bias(self):
+        # The sampled set depends only on (hash fn, distinct set) — never
+        # on how elements were routed to sites.
+        for seed in range(10):
+            elements = list(range(200))
+            sampled = []
+            for strategy in ("one_site", "round_robin", "flood"):
+                system = DistinctSamplerSystem(4, 5, seed=seed)
+                for i, element in enumerate(elements):
+                    if strategy == "one_site":
+                        system.observe(0, element)
+                    elif strategy == "round_robin":
+                        system.observe(i % 4, element)
+                    else:
+                        system.flood(element)
+                sampled.append(tuple(system.sample()))
+            assert len(set(sampled)) == 1
+
+
+class TestSlidingWindowUniformity:
+    def test_uniform_over_live_window(self):
+        # Fixed schedule, varying hash seeds: each live element equally
+        # likely to be the (s=1) sample.
+        universe, trials = 15, 600
+        counts: Counter = Counter()
+        schedule = []
+        rng = np.random.default_rng(42)
+        for slot in range(1, 40):
+            schedule.append(
+                (slot, [(int(rng.integers(0, 2)), int(e)) for e in rng.integers(0, universe, 2)])
+            )
+        # Live set at the final slot is schedule-determined.
+        window = 20
+        final_slot = schedule[-1][0]
+        live = set()
+        for slot, arrivals in schedule:
+            if slot > final_slot - window:
+                live.update(e for _, e in arrivals)
+        for seed in range(trials):
+            system = SlidingWindowSystem(num_sites=2, window=window, seed=seed)
+            for slot, arrivals in schedule:
+                system.process_slot(slot, arrivals)
+            counts[system.query()] += 1
+        expected = trials / len(live)
+        chi2 = sum(
+            (counts.get(e, 0) - expected) ** 2 / expected for e in live
+        )
+        # len(live)-1 dof; generous p≈0.001 bound.
+        dof = len(live) - 1
+        assert chi2 < dof + 3.3 * (2 * dof) ** 0.5 + 10, f"chi2={chi2:.1f}, dof={dof}"
+
+    def test_bottom_s_without_replacement(self):
+        system = SlidingWindowBottomS(
+            num_sites=2, window=30, sample_size=5, seed=3
+        )
+        rng = np.random.default_rng(1)
+        for slot in range(1, 100):
+            arrivals = [
+                (int(rng.integers(0, 2)), int(rng.integers(0, 50)))
+                for _ in range(3)
+            ]
+            system.process_slot(slot, arrivals)
+        members = system.query()
+        assert len(members) == len(set(members)) == 5

@@ -1,0 +1,260 @@
+"""Tests for stream generation: synthetic calibration, datasets,
+distributors, slotted arrivals, adversarial input, formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.streams import (
+    DATASETS,
+    DominateDistributor,
+    FloodingDistributor,
+    RandomDistributor,
+    RoundRobinDistributor,
+    SlottedArrivals,
+    adversarial_input,
+    all_distinct_stream,
+    calibrated_stream,
+    dataset_names,
+    email_stream,
+    flow_stream,
+    format_email_pair,
+    format_flow,
+    get_dataset,
+    make_distributor,
+    uniform_stream,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(100, 1.0)
+        assert abs(w.sum() - 1.0) < 1e-12
+
+    def test_decreasing(self):
+        w = zipf_weights(50, 0.8)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_uniform_at_zero_skew(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_errors(self):
+        with pytest.raises(DatasetError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(DatasetError):
+            zipf_weights(10, -0.5)
+
+
+class TestCalibratedStream:
+    @given(
+        st.integers(1, 500),
+        st.floats(0, 2, allow_nan=False),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_distinct_count(self, n_distinct, skew, seed):
+        n_elements = n_distinct * 3
+        stream = calibrated_stream(
+            n_elements, n_distinct, skew, np.random.default_rng(seed)
+        )
+        assert stream.size == n_elements
+        assert np.unique(stream).size == n_distinct
+        assert stream.min() >= 0
+        assert stream.max() < n_distinct
+
+    def test_no_extras_case(self):
+        stream = calibrated_stream(10, 10, 1.0, np.random.default_rng(0))
+        assert sorted(stream.tolist()) == list(range(10))
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(1)
+        flat = calibrated_stream(50_000, 1000, 0.0, rng)
+        skewed = calibrated_stream(50_000, 1000, 1.2, np.random.default_rng(1))
+        top_flat = np.bincount(flat).max()
+        top_skewed = np.bincount(skewed).max()
+        assert top_skewed > 3 * top_flat
+
+    def test_errors(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            calibrated_stream(5, 10, 1.0, rng)
+        with pytest.raises(DatasetError):
+            calibrated_stream(5, 0, 1.0, rng)
+
+    def test_reproducible(self):
+        a = calibrated_stream(1000, 100, 0.9, np.random.default_rng(9))
+        b = calibrated_stream(1000, 100, 0.9, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestOtherStreams:
+    def test_uniform_stream(self):
+        s = uniform_stream(1000, 50, np.random.default_rng(0))
+        assert s.size == 1000
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_uniform_errors(self):
+        with pytest.raises(DatasetError):
+            uniform_stream(10, 0, np.random.default_rng(0))
+
+    def test_all_distinct(self):
+        s = all_distinct_stream(100)
+        assert np.array_equal(s, np.arange(100))
+
+
+class TestDatasets:
+    def test_registry_contents(self):
+        names = dataset_names()
+        for family in ("oc48", "enron"):
+            for scale in ("tiny", "small", "medium", "paper"):
+                assert f"{family}:{scale}" in names
+
+    def test_paper_counts_match_table5_1(self):
+        oc48 = get_dataset("oc48", "paper")
+        assert (oc48.n_elements, oc48.n_distinct) == (42_268_510, 4_337_768)
+        enron = get_dataset("enron", "paper")
+        assert (enron.n_elements, enron.n_distinct) == (1_557_491, 374_330)
+
+    @pytest.mark.parametrize("family,paper_ratio", [("oc48", 0.1026), ("enron", 0.2403)])
+    @pytest.mark.parametrize("scale", ["tiny", "small", "medium"])
+    def test_scaled_ratios_preserved(self, family, paper_ratio, scale):
+        spec = get_dataset(family, scale)
+        assert abs(spec.distinct_ratio - paper_ratio) < 0.003
+
+    def test_generation_matches_spec(self):
+        spec = get_dataset("oc48", "tiny")
+        stream = spec.generate(np.random.default_rng(4))
+        assert stream.size == spec.n_elements
+        assert np.unique(stream).size == spec.n_distinct
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("oc192", "small")
+        with pytest.raises(DatasetError):
+            get_dataset("oc48", "huge")
+
+
+class TestFormatting:
+    def test_format_flow_shape(self):
+        flow = format_flow(12345)
+        src, dst = flow.split(">")
+        for ip in (src, dst):
+            parts = ip.split(".")
+            assert len(parts) == 4
+            assert all(0 <= int(p) <= 255 for p in parts)
+
+    def test_format_flow_deterministic_injectivish(self):
+        flows = {format_flow(i) for i in range(2000)}
+        assert len(flows) == 2000
+        assert format_flow(7) == format_flow(7)
+
+    def test_format_email_shape(self):
+        pair = format_email_pair(999)
+        sender, recipient = pair.split("->")
+        assert "@" in sender and "@" in recipient
+
+    def test_flow_stream_ints_and_strings(self):
+        ints = flow_stream("tiny", np.random.default_rng(0))
+        assert all(isinstance(e, int) for e in ints[:10])
+        strs = flow_stream("tiny", np.random.default_rng(0), as_strings=True)
+        assert len(strs) == len(ints)
+        assert all(">" in s for s in strs[:10])
+
+    def test_email_stream_strings(self):
+        strs = email_stream("tiny", np.random.default_rng(0), as_strings=True)
+        assert all("->" in s for s in strs[:10])
+
+
+class TestDistributors:
+    def test_flooding(self):
+        d = FloodingDistributor(4)
+        assert d.floods
+        assert d.assignments(10) is None
+
+    def test_random_range(self):
+        d = RandomDistributor(7)
+        a = d.assignments(5000, np.random.default_rng(0))
+        assert a.min() >= 0 and a.max() < 7
+        counts = np.bincount(a, minlength=7)
+        assert counts.min() > 5000 / 7 * 0.7  # roughly balanced
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ConfigurationError):
+            RandomDistributor(3).assignments(10)
+
+    def test_round_robin_pattern(self):
+        d = RoundRobinDistributor(3)
+        assert d.assignments(7).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_dominate_ratio(self):
+        d = DominateDistributor(5, alpha=40.0)
+        a = d.assignments(20_000, np.random.default_rng(1))
+        counts = np.bincount(a, minlength=5)
+        # Site 0 expected share: 40/44; others 1/44 each.
+        assert counts[0] / 20_000 > 0.85
+        ratio = counts[0] / max(counts[1:].mean(), 1)
+        assert 25 < ratio < 60
+
+    def test_dominate_single_site(self):
+        d = DominateDistributor(1, alpha=10)
+        assert d.assignments(5, np.random.default_rng(0)).tolist() == [0] * 5
+
+    def test_dominate_alpha_one_uniform(self):
+        d = DominateDistributor(4, alpha=1.0)
+        a = d.assignments(20_000, np.random.default_rng(2))
+        counts = np.bincount(a, minlength=4)
+        assert counts.min() > 20_000 / 4 * 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FloodingDistributor(0)
+        with pytest.raises(ConfigurationError):
+            DominateDistributor(3, alpha=0.5)
+
+    def test_factory(self):
+        assert isinstance(make_distributor("flooding", 3), FloodingDistributor)
+        assert isinstance(make_distributor("random", 3), RandomDistributor)
+        assert isinstance(
+            make_distributor("round_robin", 3), RoundRobinDistributor
+        )
+        dom = make_distributor("dominate", 3, alpha=9)
+        assert isinstance(dom, DominateDistributor)
+        assert dom.alpha == 9
+        with pytest.raises(ConfigurationError):
+            make_distributor("hashring", 3)
+
+
+class TestSlottedArrivals:
+    def test_structure(self):
+        arr = SlottedArrivals(list(range(12)), 4, 5, np.random.default_rng(0))
+        slots = list(arr.slots())
+        assert len(slots) == 3 == len(arr)
+        assert slots[0][0] == 1  # slots start at 1
+        assert [len(batch) for _, batch in slots] == [5, 5, 2]
+        # Every element delivered exactly once, in order.
+        flat = [e for _, batch in slots for _, e in batch]
+        assert flat == list(range(12))
+        for _, batch in slots:
+            for site, _ in batch:
+                assert 0 <= site < 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlottedArrivals([1], 0, 5, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            SlottedArrivals([1], 3, 0, np.random.default_rng(0))
+
+
+class TestAdversarial:
+    def test_construction(self):
+        elements, distributor = adversarial_input(100, 7)
+        assert elements.size == 100
+        assert np.unique(elements).size == 100
+        assert distributor.floods
+        assert distributor.num_sites == 7
