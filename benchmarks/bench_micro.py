@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.infinite import DistinctSamplerSystem
-from repro.core.sliding import SlidingWindowSystem
+from repro import make_sampler
 from repro.hashing import UnitHasher, unit_hash_array
 from repro.structures.bottomk import BottomK
 from repro.structures.dominance import SortedDominanceSet, TreapDominanceSet
@@ -42,7 +41,9 @@ def test_infinite_ingest_fast_path(benchmark):
     sites = rng.integers(0, 8, _N).tolist()
 
     def run():
-        system = DistinctSamplerSystem(8, 16, seed=5, algorithm="mix64")
+        system = make_sampler(
+            "infinite", num_sites=8, sample_size=16, seed=5, algorithm="mix64"
+        )
         site_objs = system.sites
         network = system.network
         for element, h, site in zip(elements, hashes, sites):
@@ -59,12 +60,14 @@ def test_sliding_ingest(benchmark):
     sites = rng.integers(0, 5, 10_000).tolist()
 
     def run():
-        system = SlidingWindowSystem(5, 200, seed=3, algorithm="mix64")
+        system = make_sampler(
+            "sliding", num_sites=5, window=200, seed=3, algorithm="mix64"
+        )
         for slot in range(2000):
             lo = slot * 5
-            system.process_slot(
-                slot + 1,
-                [(sites[lo + j], elements[lo + j]) for j in range(5)],
+            system.advance(slot + 1)
+            system.observe_batch(
+                [(sites[lo + j], elements[lo + j]) for j in range(5)]
             )
         return system.total_messages
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import infinite_window_sampler
+from repro import make_sampler
 from repro.estimators import estimate_from_sampler
 from repro.streams import get_dataset
 
@@ -37,16 +37,15 @@ def main() -> None:
         for run in range(RUNS):
             rng = np.random.default_rng(run)
             stream = spec.generate(rng).tolist()
-            system = infinite_window_sampler(
-                num_sites=NUM_SITES, sample_size=s, seed=run * 31 + 1
+            system = make_sampler(
+                "infinite", num_sites=NUM_SITES, sample_size=s, seed=run * 31 + 1
             )
             sites = rng.integers(0, NUM_SITES, len(stream)).tolist()
-            for element, site in zip(stream, sites):
-                system.observe(site, element)
+            system.observe_batch(zip(sites, stream))
             est = estimate_from_sampler(system)
             estimates.append(est.estimate)
             errors.append(abs(est.estimate - spec.n_distinct) / spec.n_distinct)
-            messages.append(system.total_messages)
+            messages.append(system.stats().messages_total)
         theory = 1.0 / np.sqrt(max(s - 2, 1))
         print(
             f"{s:>5} {np.mean(estimates):>12,.0f} {np.mean(errors):>11.1%} "

@@ -20,7 +20,7 @@ import argparse
 
 import numpy as np
 
-from repro import sliding_window_sampler
+from repro import make_sampler
 from repro.analysis import harmonic
 from repro.streams import SlottedArrivals, email_stream
 
@@ -40,11 +40,12 @@ def main() -> None:
           f"{schedule.num_slots:,} time slots, window w={args.window}")
 
     # s = 1: the paper-faithful lazy-feedback protocol.
-    single = sliding_window_sampler(
-        num_sites=NUM_SITES, window=args.window, seed=9
+    single = make_sampler(
+        "sliding", num_sites=NUM_SITES, window=args.window, seed=9
     )
     # s > 1: the bottom-s lazy-feedback generalization.
-    multi = sliding_window_sampler(
+    multi = make_sampler(
+        "sliding",
         num_sites=NUM_SITES,
         window=args.window,
         sample_size=args.sample_size,
@@ -53,21 +54,22 @@ def main() -> None:
 
     peak_memory = 0
     for slot, arrivals in schedule.slots():
-        single.process_slot(slot, arrivals)
-        multi.process_slot(slot, arrivals)
-        peak_memory = max(peak_memory, max(single.per_site_memory()))
+        for sampler in (single, multi):
+            sampler.advance(slot)
+            sampler.observe_batch(arrivals)
+        peak_memory = max(peak_memory, max(single.stats().per_site_memory))
         if slot % (schedule.num_slots // 4) == 0:
             print(f"\nslot {slot:4d}:")
-            print(f"  window sample (s=1): {single.query()}")
-            sample = multi.query()
+            print(f"  window sample (s=1): {single.sample().first}")
+            sample = multi.sample()
             print(f"  window sample (s={args.sample_size}): "
-                  f"{len(sample)} pairs, e.g. {sample[:3]}")
+                  f"{len(sample)} pairs, e.g. {list(sample.items[:3])}")
 
     print("\n--- costs ---")
-    print(f"s=1 lazy feedback : {single.total_messages:,} messages, "
+    print(f"s=1 lazy feedback : {single.stats().messages_total:,} messages, "
           f"peak per-site memory {peak_memory} entries "
           f"(Lemma 10 predicts ~H_w = {harmonic(args.window):.1f} on average)")
-    print(f"s={args.sample_size} lazy feedback : {multi.total_messages:,} messages")
+    print(f"s={args.sample_size} lazy feedback : {multi.stats().messages_total:,} messages")
     print("note: a naive approach would ship every event "
           f"({len(pairs):,} messages) or store the whole window per site "
           f"({args.window * 5 // NUM_SITES}+ entries)")

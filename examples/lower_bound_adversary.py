@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DistinctSamplerSystem
+from repro import make_sampler
 from repro.analysis import lower_bound_total, upper_bound_total
 from repro.hashing import unit_hash_array
 from repro.streams import adversarial_input
@@ -31,11 +31,13 @@ def measure(d: int) -> float:
     elements, _ = adversarial_input(d, K)
     totals = []
     for seed in range(RUNS):
-        system = DistinctSamplerSystem(K, S, seed=seed, algorithm="mix64")
+        system = make_sampler(
+            "infinite", num_sites=K, sample_size=S, seed=seed, algorithm="mix64"
+        )
         hashes = unit_hash_array(elements, seed)
         for element, h in zip(elements.tolist(), hashes.tolist()):
             system.flood_hashed(element, h)
-        totals.append(system.total_messages)
+        totals.append(system.stats().messages_total)
     return float(np.mean(totals))
 
 

@@ -21,7 +21,7 @@ import argparse
 
 import numpy as np
 
-from repro import infinite_window_sampler
+from repro import make_sampler
 from repro.analysis import upper_bound_observation1
 from repro.estimators import (
     estimate_count,
@@ -45,8 +45,8 @@ def main() -> None:
     print(f"OC48-like stream: {len(flows):,} packets, "
           f"{spec.n_distinct:,} distinct flows")
 
-    system = infinite_window_sampler(
-        num_sites=NUM_SITES, sample_size=SAMPLE_SIZE, seed=1
+    system = make_sampler(
+        "infinite", num_sites=NUM_SITES, sample_size=SAMPLE_SIZE, seed=1
     )
     sites = RandomDistributor(NUM_SITES).assignments(len(flows), rng).tolist()
     for flow, site in zip(flows, sites):
@@ -64,10 +64,10 @@ def main() -> None:
         """Source address in 0.0.0.0/1 (first octet < 128) — ~half of flows."""
         return int(flow.split(".", 1)[0]) < 128
 
-    frac = estimate_fraction(system.sample(), low_half_source)
+    frac = estimate_fraction(system.sample().items, low_half_source)
     print(f"\nfraction of distinct flows sourced in 0.0.0.0/1: "
           f"{frac.value:.2%} ± {1.96 * frac.std_error:.2%} (truth ≈ 50%)")
-    matching = estimate_count(system.sample(), low_half_source, count)
+    matching = estimate_count(system.sample().items, low_half_source, count)
     print(f"estimated matching distinct flows: {matching.value:,.0f} "
           f"[{matching.low:,.0f}, {matching.high:,.0f}]")
 
@@ -75,7 +75,7 @@ def main() -> None:
     per_site = [len({f for f, s in zip(flows, sites) if s == i})
                 for i in range(NUM_SITES)]
     bound = upper_bound_observation1(NUM_SITES, SAMPLE_SIZE, per_site)
-    print(f"\nmessages: {system.total_messages:,} "
+    print(f"\nmessages: {system.stats().messages_total:,} "
           f"(Observation 1 first-occurrence bound: {bound:,.0f} — repeats of "
           "in-sample flows add a little on duplicate-heavy streams, see "
           "EXPERIMENTS.md; "

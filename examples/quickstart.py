@@ -1,8 +1,11 @@
 #!/usr/bin/env python
 """Quickstart: a 60-second tour of the public API.
 
-Runs the three sampler families on a toy workload and prints what each
-maintains and what it costs in messages — the paper's currency.
+Every sampler is built through one front door — ``make_sampler`` — and
+drives through one lifecycle: ``observe``/``observe_batch`` ingest,
+``advance`` moves slotted time, ``sample()`` returns a ``SampleResult``,
+``stats()`` returns the uniform cost counters (messages are the paper's
+currency).
 
 Usage::
 
@@ -13,11 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    infinite_window_sampler,
-    sliding_window_sampler,
-    with_replacement_sampler,
-)
+from repro import make_sampler
 
 
 def main() -> None:
@@ -27,46 +26,51 @@ def main() -> None:
     # 1. Infinite window: a distinct sample of everything seen so far.
     # ------------------------------------------------------------------
     print("=== infinite window ===")
-    system = infinite_window_sampler(num_sites=5, sample_size=8, seed=42)
+    system = make_sampler("infinite", num_sites=5, sample_size=8, seed=42)
     # A skewed workload: user 'hotshot' produces 90% of the traffic.
     users = ["hotshot"] * 900 + [f"user{i}" for i in range(100)]
     rng.shuffle(users)
     for user in users:
         system.observe(int(rng.integers(0, 5)), user)
 
+    result = system.sample()
+    stats = system.stats()
     print(f"stream: {len(users)} events, 101 distinct users")
-    print(f"sample ({len(system.sample())} distinct users): {system.sample()}")
-    print(f"messages exchanged: {system.total_messages}")
-    hot = sum(member == "hotshot" for member in system.sample())
-    print(f"'hotshot' (90% of events) holds {hot} of {len(system.sample())} "
+    print(f"sample ({len(result)} distinct users): {list(result.items)}")
+    print(f"acceptance threshold u: {result.threshold:.4f}")
+    print(f"messages exchanged: {stats.messages_total} "
+          f"({stats.messages_to_coordinator} up, {stats.messages_to_sites} down)")
+    hot = sum(member == "hotshot" for member in result)
+    print(f"'hotshot' (90% of events) holds {hot} of {len(result)} "
           "sample slots — frequency does not bias a distinct sample\n")
 
     # ------------------------------------------------------------------
     # 2. Sliding window: only the most recent w time slots matter.
     # ------------------------------------------------------------------
     print("=== sliding window (w=20 slots) ===")
-    window_system = sliding_window_sampler(num_sites=3, window=20, seed=42)
+    window_system = make_sampler("sliding", num_sites=3, window=20, seed=42)
     for slot in range(1, 101):
-        arrivals = [
+        window_system.advance(slot)
+        window_system.observe_batch(
             (int(rng.integers(0, 3)), f"flow{int(rng.integers(0, 50))}")
             for _ in range(3)
-        ]
-        window_system.process_slot(slot, arrivals)
+        )
         if slot % 25 == 0:
-            print(f"slot {slot:3d}: window sample = {window_system.query()}")
-    print(f"messages exchanged: {window_system.total_messages}")
-    print(f"per-site candidate sets: {window_system.per_site_memory()} "
+            print(f"slot {slot:3d}: window sample = "
+                  f"{window_system.sample().first}")
+    window_stats = window_system.stats()
+    print(f"messages exchanged: {window_stats.messages_total}")
+    print(f"per-site candidate sets: {list(window_stats.per_site_memory)} "
           "(O(log window) — not O(window))\n")
 
     # ------------------------------------------------------------------
     # 3. With replacement: s independent uniform draws.
     # ------------------------------------------------------------------
     print("=== with replacement (5 independent draws) ===")
-    wr = with_replacement_sampler(num_sites=2, sample_size=5, seed=42)
-    for item in range(40):
-        wr.observe(item % 2, f"item{item}")
-    print(f"draws: {wr.sample()}")
-    print(f"messages exchanged: {wr.total_messages}")
+    wr = make_sampler("with-replacement", num_sites=2, sample_size=5, seed=42)
+    wr.observe_batch((item % 2, f"item{item}") for item in range(40))
+    print(f"draws: {list(wr.sample().items)}")
+    print(f"messages exchanged: {wr.stats().messages_total}")
 
 
 if __name__ == "__main__":

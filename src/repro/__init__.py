@@ -10,14 +10,14 @@ full experimental harness for the paper's Table 5.1 and Figures 5.1–5.10.
 
 Quickstart::
 
-    from repro import infinite_window_sampler
+    from repro import make_sampler
 
-    system = infinite_window_sampler(num_sites=5, sample_size=10, seed=42)
+    system = make_sampler("infinite", num_sites=5, sample_size=10, seed=42)
     system.observe(0, "alice")      # site 0 saw "alice"
     system.observe(3, "bob")        # site 3 saw "bob"
     system.observe(1, "alice")      # duplicates never skew the sample
-    print(system.sample())          # uniform sample of distinct elements
-    print(system.total_messages)    # the paper's cost metric
+    print(system.sample().items)    # uniform sample of distinct elements
+    print(system.stats().messages_total)  # the paper's cost metric
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
@@ -30,12 +30,22 @@ from .core import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
     DistinctSamplerSystem,
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    SamplerStats,
+    SamplerVariant,
     SlidingWindowBottomS,
+    SlidingWindowBottomSFeedback,
     SlidingWindowSystem,
     SlidingWindowWithReplacement,
     WithReplacementSampler,
+    get_variant,
     infinite_window_sampler,
+    make_sampler,
+    register_variant,
     restore,
+    sampler_variants,
     sliding_window_sampler,
     snapshot,
     with_replacement_sampler,
@@ -51,10 +61,20 @@ from .hashing import SeededHashFamily, UnitHasher
 
 __all__ = [
     "__version__",
+    "Sampler",
+    "SampleResult",
+    "SamplerConfig",
+    "SamplerStats",
+    "SamplerVariant",
+    "make_sampler",
+    "register_variant",
+    "sampler_variants",
+    "get_variant",
     "infinite_window_sampler",
     "sliding_window_sampler",
     "with_replacement_sampler",
     "DistinctSamplerSystem",
+    "SlidingWindowBottomSFeedback",
     "BroadcastSamplerSystem",
     "CachingSamplerSystem",
     "snapshot",

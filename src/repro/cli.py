@@ -6,6 +6,9 @@ Commands:
 * ``repro run <id> [...]`` — run one (or ``all``) experiments and print
   paper-style tables; ``--csv DIR`` also writes CSV files.
 * ``repro bounds --k K --s S --d D`` — print the theoretical bounds.
+* ``repro variants`` — list the registered sampler variants.
+* ``repro demo`` — drive any registered sampler over a calibrated
+  dataset through the unified ``make_sampler`` front door.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from .analysis.bounds import (
     optimality_gap,
     upper_bound_total,
 )
+from .core.api import get_variant, make_sampler, sampler_variants
 from .errors import ReproError
 from .experiments.config import ExperimentConfig
 from .experiments.registry import EXPERIMENTS, run_experiment
@@ -67,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list calibrated dataset profiles")
 
+    sub.add_parser("variants", help="list registered sampler variants")
+
     demo_p = sub.add_parser(
         "demo",
         help="run a distributed sampler over a calibrated dataset and "
@@ -77,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p.add_argument("--sites", type=int, default=5, help="number of sites")
     demo_p.add_argument("--sample-size", type=int, default=16)
     demo_p.add_argument("--seed", type=int, default=0)
+    demo_p.add_argument(
+        "--variant",
+        default="infinite",
+        help="sampler variant (see 'repro variants')",
+    )
+    demo_p.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="window size in slots (sliding variants; 0 = infinite)",
+    )
     return parser
 
 
@@ -136,44 +153,78 @@ def _cmd_datasets() -> int:
     return 0
 
 
+def _cmd_variants() -> int:
+    width = max(len(name) for name in sampler_variants())
+    print(f"{'variant'.ljust(width)}  {'kind':<10} description")
+    for name in sampler_variants():
+        variant = get_variant(name)
+        kind = "baseline" if variant.baseline else (
+            "windowed" if variant.windowed else "infinite"
+        )
+        if variant.with_replacement:
+            kind = "w/replace"
+        print(f"{name.ljust(width)}  {kind:<10} {variant.summary}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from .core.infinite import DistinctSamplerSystem
+    from .errors import EstimationError
     from .estimators.distinct_count import estimate_from_sampler
-    from .hashing.unit import unit_hash_array
     from .streams.datasets import get_dataset
+    from .streams.slotted import SlottedArrivals
 
     spec = get_dataset(args.dataset, args.scale)
     rng = np.random.default_rng(args.seed)
     ids = spec.generate(rng)
-    hashes = unit_hash_array(ids, args.seed)
-    sites = rng.integers(0, args.sites, ids.size)
-    system = DistinctSamplerSystem(
+    system = make_sampler(
+        args.variant,
         num_sites=args.sites,
         sample_size=args.sample_size,
+        window=args.window,
         seed=args.seed,
         algorithm="mix64",
     )
     started = time.perf_counter()
-    system.process_batch(sites, ids.tolist(), hashes)
+    truth = spec.n_distinct
+    if args.window:
+        schedule = SlottedArrivals(ids.tolist(), args.sites, 5, rng)
+        live: set = set()
+        final_slot = schedule.num_slots
+        for slot, arrivals in schedule.slots():
+            system.advance(slot)
+            system.observe_batch(arrivals)
+            if slot > final_slot - args.window:
+                live.update(element for _, element in arrivals)
+        # The windowed estimate targets the *window's* distinct count.
+        truth = len(live)
+    else:
+        sites = rng.integers(0, args.sites, ids.size).tolist()
+        system.observe_batch(list(zip(sites, ids.tolist())))
     elapsed = time.perf_counter() - started
-    estimate = estimate_from_sampler(system)
+    result = system.sample()
+    stats = system.stats()
     print(
         f"dataset {spec.name}: {spec.n_elements:,} elements, "
         f"{spec.n_distinct:,} distinct"
     )
     print(
-        f"k={args.sites}, s={args.sample_size}: processed in {elapsed:.2f}s "
+        f"variant={args.variant} k={args.sites}, s={args.sample_size}: "
+        f"processed in {elapsed:.2f}s "
         f"({spec.n_elements / max(elapsed, 1e-9) / 1e6:.1f}M el/s)"
     )
-    print(f"sample (first 10 ids): {system.sample()[:10]}")
-    print(
-        f"distinct-count estimate: {estimate.estimate:,.0f} "
-        f"[{estimate.low:,.0f}, {estimate.high:,.0f}] "
-        f"(truth {spec.n_distinct:,})"
-    )
-    print(f"messages: {system.total_messages:,}")
+    print(f"sample (first 10 ids): {list(result.items[:10])}")
+    try:
+        estimate = estimate_from_sampler(system)
+        print(
+            f"distinct-count estimate: {estimate.estimate:,.0f} "
+            f"[{estimate.low:,.0f}, {estimate.high:,.0f}] "
+            f"(truth {truth:,})"
+        )
+    except EstimationError:
+        pass  # variant has no bottom-s threshold (with-replacement)
+    print(f"messages: {stats.messages_total:,}")
     return 0
 
 
@@ -190,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bounds(args)
         if args.command == "datasets":
             return _cmd_datasets()
+        if args.command == "variants":
+            return _cmd_variants()
         if args.command == "demo":
             return _cmd_demo(args)
     except ReproError as exc:

@@ -1,10 +1,16 @@
 """The paper's core contribution: distributed distinct sampling protocols."""
 
 from .api import (
+    SamplerVariant,
+    get_variant,
     infinite_window_sampler,
+    make_sampler,
+    register_variant,
+    sampler_variants,
     sliding_window_sampler,
     with_replacement_sampler,
 )
+from .protocol import Sampler, SampleResult, SamplerConfig, SamplerStats
 from .broadcast import BroadcastCoordinator, BroadcastSamplerSystem, BroadcastSite
 from .caching import CachingSamplerSystem, CachingSite
 from .centralized import CentralizedDistinctSampler, CentralizedWindowSampler
@@ -29,6 +35,15 @@ from .sliding_general import LocalPushCoordinator, LocalPushSite, SlidingWindowB
 from .with_replacement import SlidingWindowWithReplacement, WithReplacementSampler
 
 __all__ = [
+    "Sampler",
+    "SampleResult",
+    "SamplerConfig",
+    "SamplerStats",
+    "SamplerVariant",
+    "make_sampler",
+    "register_variant",
+    "sampler_variants",
+    "get_variant",
     "infinite_window_sampler",
     "sliding_window_sampler",
     "with_replacement_sampler",

@@ -1,30 +1,319 @@
-"""High-level convenience API.
+"""The front door: ``SamplerConfig`` + ``make_sampler`` + variant registry.
 
-Most users want one of three things; each maps to a factory here:
+Every sampler in this package is constructed the same way::
 
-* a distinct sample of *everything seen so far* across distributed streams
-  → :func:`infinite_window_sampler`
-* a distinct sample of the *last w time slots* → :func:`sliding_window_sampler`
-* independent draws (with replacement) → :func:`with_replacement_sampler`
+    from repro import SamplerConfig, make_sampler
 
-The returned objects are the full-featured system facades from the
-submodules; these factories only centralize defaults and validation.
+    config = SamplerConfig(variant="sliding", num_sites=10, window=100,
+                           sample_size=8, seed=42)
+    sampler = make_sampler(config)           # or make_sampler("sliding", ...)
+
+    sampler.advance(slot)
+    sampler.observe(site_id, element)        # or observe_batch(events)
+    result = sampler.sample()                # SampleResult
+    costs = sampler.stats()                  # SamplerStats
+
+The registry maps variant names to factories; consumers (CLI, experiment
+drivers, benchmarks, :mod:`repro.core.snapshot`) iterate it instead of
+hard-coding classes, and downstream code can plug in new backends with
+:func:`register_variant`.
+
+The pre-registry factories (``infinite_window_sampler`` & co) remain for
+one release as deprecated shims.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+from typing import Callable
+
 from ..errors import ConfigurationError
 from .infinite import DistinctSamplerSystem
+from .protocol import Sampler, SamplerConfig, deprecated_call
 from .sliding import SlidingWindowSystem
 from .sliding_feedback import SlidingWindowBottomSFeedback
 from .sliding_general import SlidingWindowBottomS
 from .with_replacement import SlidingWindowWithReplacement, WithReplacementSampler
 
 __all__ = [
+    "SamplerConfig",
+    "SamplerVariant",
+    "make_sampler",
+    "register_variant",
+    "sampler_variants",
+    "get_variant",
     "infinite_window_sampler",
     "sliding_window_sampler",
     "with_replacement_sampler",
 ]
+
+
+@dataclass(frozen=True)
+class SamplerVariant:
+    """A registered sampler variant.
+
+    Attributes:
+        name: Registry key.
+        factory: Builds a :class:`~repro.core.protocol.Sampler` from a
+            validated :class:`~repro.core.protocol.SamplerConfig`.
+        summary: One-line description (CLI ``variants`` listing, README).
+        windowed: Whether the variant requires ``window >= 1``
+            (with-replacement accepts both and keys off ``window``).
+        with_replacement: Whether samples are independent draws.
+        baseline: True for comparison baselines rather than the paper's
+            recommended protocols.
+    """
+
+    name: str
+    factory: Callable[[SamplerConfig], Sampler]
+    summary: str
+    windowed: bool = False
+    with_replacement: bool = False
+    baseline: bool = False
+
+
+_REGISTRY: dict[str, SamplerVariant] = {}
+
+
+def register_variant(variant: SamplerVariant) -> SamplerVariant:
+    """Add a variant to the registry (last registration wins).
+
+    Args:
+        variant: The variant description + factory.
+
+    Returns:
+        The registered variant (so the call can be used as a decorator
+        helper in downstream packages).
+    """
+    _REGISTRY[variant.name] = variant
+    return variant
+
+
+def sampler_variants() -> tuple[str, ...]:
+    """All registered variant names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_variant(name: str) -> SamplerVariant:
+    """Look up a registered variant.
+
+    Raises:
+        ConfigurationError: For an unknown name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sampler variant {name!r}; expected one of "
+            f"{sampler_variants()}"
+        ) from None
+
+
+def make_sampler(config=None, /, **overrides) -> Sampler:
+    """Build any registered sampler from a config — the package front door.
+
+    Accepts either a full :class:`~repro.core.protocol.SamplerConfig`, or
+    a variant name plus field overrides::
+
+        make_sampler(SamplerConfig(variant="infinite", num_sites=4,
+                                   sample_size=16))
+        make_sampler("infinite", num_sites=4, sample_size=16)
+
+    Args:
+        config: A ``SamplerConfig``, a variant-name string, or None
+            (fields given entirely via ``overrides``).
+        **overrides: ``SamplerConfig`` fields overriding ``config``.
+
+    Returns:
+        A ready :class:`~repro.core.protocol.Sampler`.
+
+    Raises:
+        ConfigurationError: Unknown variant or invalid field values.
+    """
+    if config is None:
+        config = SamplerConfig(**overrides)
+    elif isinstance(config, str):
+        config = SamplerConfig(variant=config, **overrides)
+    elif isinstance(config, SamplerConfig):
+        if overrides:
+            config = replace(config, **overrides)
+    else:
+        raise ConfigurationError(
+            "make_sampler expects a SamplerConfig or a variant name, got "
+            f"{type(config).__name__}"
+        )
+    variant = get_variant(config.variant)
+    config.validate()
+    if variant.windowed and config.window < 1:
+        raise ConfigurationError(
+            f"variant {config.variant!r} needs window >= 1, got {config.window}"
+        )
+    if not variant.windowed and not variant.with_replacement and config.window:
+        raise ConfigurationError(
+            f"variant {config.variant!r} is infinite-window; "
+            f"window must be 0, got {config.window}"
+        )
+    return variant.factory(config)
+
+
+# ---------------------------------------------------------------------------
+# Built-in variants
+# ---------------------------------------------------------------------------
+
+
+def _make_infinite(config: SamplerConfig) -> Sampler:
+    return DistinctSamplerSystem(
+        num_sites=config.num_sites,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_sliding(config: SamplerConfig) -> Sampler:
+    if config.sample_size == 1:
+        return SlidingWindowSystem(
+            num_sites=config.num_sites,
+            window=config.window,
+            seed=config.seed,
+            algorithm=config.algorithm,
+            structure=config.structure,
+            coordinator_mode=config.coordinator_mode,
+        )
+    return SlidingWindowBottomSFeedback(
+        num_sites=config.num_sites,
+        window=config.window,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_sliding_feedback(config: SamplerConfig) -> Sampler:
+    return SlidingWindowBottomSFeedback(
+        num_sites=config.num_sites,
+        window=config.window,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_sliding_local_push(config: SamplerConfig) -> Sampler:
+    return SlidingWindowBottomS(
+        num_sites=config.num_sites,
+        window=config.window,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_with_replacement(config: SamplerConfig) -> Sampler:
+    if config.window == 0:
+        return WithReplacementSampler(
+            num_sites=config.num_sites,
+            sample_size=config.sample_size,
+            seed=config.seed,
+            algorithm=config.algorithm,
+        )
+    return SlidingWindowWithReplacement(
+        num_sites=config.num_sites,
+        window=config.window,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_broadcast(config: SamplerConfig) -> Sampler:
+    from .broadcast import BroadcastSamplerSystem
+
+    return BroadcastSamplerSystem(
+        num_sites=config.num_sites,
+        sample_size=config.sample_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+def _make_caching(config: SamplerConfig) -> Sampler:
+    from .caching import CachingSamplerSystem
+
+    cache_size = config.cache_size
+    if cache_size is None:
+        cache_size = config.sample_size
+    return CachingSamplerSystem(
+        num_sites=config.num_sites,
+        sample_size=config.sample_size,
+        cache_size=cache_size,
+        seed=config.seed,
+        algorithm=config.algorithm,
+    )
+
+
+register_variant(
+    SamplerVariant(
+        name="infinite",
+        factory=_make_infinite,
+        summary="bottom-s over the full history (Algorithms 1-2)",
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="sliding",
+        factory=_make_sliding,
+        summary="sliding window, lazy feedback (Algorithms 3-4; "
+        "bottom-s generalization for s > 1)",
+        windowed=True,
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="sliding-feedback",
+        factory=_make_sliding_feedback,
+        summary="sliding window, bottom-s with expiring-threshold feedback",
+        windowed=True,
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="sliding-local-push",
+        factory=_make_sliding_local_push,
+        summary="sliding window, one-way local bottom-s push (no feedback)",
+        windowed=True,
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="with-replacement",
+        factory=_make_with_replacement,
+        summary="s independent draws via parallel single-sample copies "
+        "(window=0 for infinite)",
+        with_replacement=True,
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="broadcast",
+        factory=_make_broadcast,
+        summary="eager-synchronization baseline (threshold broadcasts)",
+        baseline=True,
+    )
+)
+register_variant(
+    SamplerVariant(
+        name="caching",
+        factory=_make_caching,
+        summary="infinite window with duplicate-suppressing site LRUs",
+        baseline=True,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated pre-registry factories (one release)
+# ---------------------------------------------------------------------------
 
 
 def infinite_window_sampler(
@@ -33,19 +322,16 @@ def infinite_window_sampler(
     seed: int = 0,
     algorithm: str = "murmur2",
 ) -> DistinctSamplerSystem:
-    """Distributed distinct sampler over the full stream history.
-
-    Args:
-        num_sites: Number of distributed sites.
-        sample_size: Desired sample size s (sample has size min(s, d)).
-        seed: Hash seed (fix it for reproducible runs).
-        algorithm: Hash algorithm (see ``repro.hashing.HASH_ALGORITHMS``).
-
-    Returns:
-        A :class:`~repro.core.infinite.DistinctSamplerSystem`.
-    """
-    return DistinctSamplerSystem(
-        num_sites=num_sites, sample_size=sample_size, seed=seed, algorithm=algorithm
+    """Deprecated: use ``make_sampler("infinite", ...)``."""
+    deprecated_call(
+        "infinite_window_sampler()", 'make_sampler("infinite", ...)'
+    )
+    return make_sampler(
+        "infinite",
+        num_sites=num_sites,
+        sample_size=sample_size,
+        seed=seed,
+        algorithm=algorithm,
     )
 
 
@@ -57,35 +343,16 @@ def sliding_window_sampler(
     algorithm: str = "murmur2",
     feedback: bool = True,
 ):
-    """Distributed distinct sampler over a sliding window of ``window`` slots.
-
-    For ``sample_size == 1`` this returns the paper-faithful lazy-feedback
-    system (Algorithms 3–4).  For larger samples: the general-s
-    lazy-feedback system (``feedback=True``, default) or the one-way
-    local-push variant (``feedback=False``).
-
-    Args:
-        num_sites: Number of distributed sites.
-        window: Window size in time slots.
-        sample_size: Desired sample size s.
-        seed: Hash seed.
-        algorithm: Hash algorithm name.
-        feedback: Whether the coordinator replies with expiring thresholds
-            (ignored for s = 1, which always uses Algorithms 3-4).
-
-    Returns:
-        A :class:`~repro.core.sliding.SlidingWindowSystem` (s = 1),
-        :class:`~repro.core.sliding_feedback.SlidingWindowBottomSFeedback`,
-        or :class:`~repro.core.sliding_general.SlidingWindowBottomS`.
-    """
+    """Deprecated: use ``make_sampler("sliding", ...)`` (or
+    ``"sliding-local-push"`` for the historical ``feedback=False``)."""
+    deprecated_call("sliding_window_sampler()", 'make_sampler("sliding", ...)')
     if sample_size < 1:
         raise ConfigurationError(f"sample_size must be >= 1, got {sample_size}")
-    if sample_size == 1:
-        return SlidingWindowSystem(
-            num_sites=num_sites, window=window, seed=seed, algorithm=algorithm
-        )
-    cls = SlidingWindowBottomSFeedback if feedback else SlidingWindowBottomS
-    return cls(
+    variant = (
+        "sliding" if feedback or sample_size == 1 else "sliding-local-push"
+    )
+    return make_sampler(
+        variant,
         num_sites=num_sites,
         window=window,
         sample_size=sample_size,
@@ -101,29 +368,15 @@ def with_replacement_sampler(
     seed: int = 0,
     algorithm: str = "murmur2",
 ):
-    """Distinct sampler producing s independent (with-replacement) draws.
-
-    Args:
-        num_sites: Number of distributed sites.
-        sample_size: Number of independent draws s.
-        window: 0 for infinite window, otherwise the sliding-window size.
-        seed: Master seed for the hash family.
-        algorithm: Hash algorithm name.
-
-    Returns:
-        A :class:`~repro.core.with_replacement.WithReplacementSampler` or
-        :class:`~repro.core.with_replacement.SlidingWindowWithReplacement`.
-    """
-    if window < 0:
-        raise ConfigurationError(f"window must be >= 0, got {window}")
-    if window == 0:
-        return WithReplacementSampler(
-            num_sites=num_sites, sample_size=sample_size, seed=seed, algorithm=algorithm
-        )
-    return SlidingWindowWithReplacement(
+    """Deprecated: use ``make_sampler("with-replacement", ...)``."""
+    deprecated_call(
+        "with_replacement_sampler()", 'make_sampler("with-replacement", ...)'
+    )
+    return make_sampler(
+        "with-replacement",
         num_sites=num_sites,
-        window=window,
         sample_size=sample_size,
+        window=window,
         seed=seed,
         algorithm=algorithm,
     )

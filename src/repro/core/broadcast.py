@@ -19,6 +19,7 @@ from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..structures.bottomk import BottomK
+from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
 
 __all__ = [
     "BroadcastSite",
@@ -105,7 +106,7 @@ class BroadcastCoordinator:
         return self.sample_store.elements()
 
 
-class BroadcastSamplerSystem:
+class BroadcastSamplerSystem(Sampler):
     """Facade for Algorithm Broadcast, mirroring
     :class:`~repro.core.infinite.DistinctSamplerSystem`.
 
@@ -136,9 +137,10 @@ class BroadcastSamplerSystem:
         self.network.register(COORDINATOR, self.coordinator)
         for site in self.sites:
             self.network.register(site.site_id, site)
+        self._init_protocol()
 
-    def observe(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id``."""
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
         self.sites[site_id].observe(element, self.network)
 
     def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
@@ -151,9 +153,17 @@ class BroadcastSamplerSystem:
         for site in self.sites:
             site.observe_hashed(element, h, network)
 
-    def sample(self) -> list[Any]:
+    def sample(self) -> SampleResult:
         """The coordinator's current distinct sample."""
-        return self.coordinator.sample()
+        pairs = tuple(self.coordinator.sample_store.pairs())
+        return SampleResult(
+            items=tuple(element for _, element in pairs),
+            pairs=pairs,
+            threshold=self.coordinator.threshold,
+            sample_size=self.sample_size,
+            window=None,
+            slot=self.current_slot,
+        )
 
     @property
     def threshold(self) -> float:
@@ -161,6 +171,44 @@ class BroadcastSamplerSystem:
         return self.coordinator.threshold
 
     @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+    def sample_size(self) -> int:
+        """Configured sample size s."""
+        return self.coordinator.sample_store.capacity
+
+    # -- protocol: construction recipe + persistence -----------------------
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="broadcast",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "sample": [
+                [h, element]
+                for h, element in self.coordinator.sample_store.pairs()
+            ],
+            "site_thresholds": [site.u_local for site in self.sites],
+            "reports_received": self.coordinator.reports_received,
+            "broadcasts_sent": self.coordinator.broadcasts_sent,
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        store = self.coordinator.sample_store
+        store.clear()
+        for h, element in state["sample"]:
+            accepted, _ = store.offer(float(h), revive_element(element))
+            if not accepted:
+                raise ConfigurationError(
+                    "snapshot sample contains duplicates or unsorted entries"
+                )
+        for site, u in zip(self.sites, state["site_thresholds"]):
+            site.u_local = float(u)
+        self.coordinator.reports_received = int(state["reports_received"])
+        self.coordinator.broadcasts_sent = int(state["broadcasts_sent"])

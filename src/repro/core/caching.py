@@ -33,6 +33,7 @@ from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from .infinite import InfiniteWindowCoordinator
+from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
 
 __all__ = ["CachingSite", "CachingSamplerSystem"]
 
@@ -94,7 +95,7 @@ class CachingSite:
         self.u_local = message.payload
 
 
-class CachingSamplerSystem:
+class CachingSamplerSystem(Sampler):
     """Facade: infinite-window sampling with duplicate-suppressing sites.
 
     Behaviourally identical to
@@ -124,6 +125,7 @@ class CachingSamplerSystem:
         if num_sites < 1:
             raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
+        self.cache_size = cache_size
         self.network = Network()
         self.coordinator = InfiniteWindowCoordinator(sample_size)
         self.network.register(COORDINATOR, self.coordinator)
@@ -132,18 +134,27 @@ class CachingSamplerSystem:
         ]
         for site in self.sites:
             self.network.register(site.site_id, site)
+        self._init_protocol()
 
-    def observe(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id``."""
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
         self.sites[site_id].observe(element, self.network)
 
     def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
         """Fast path with a precomputed hash."""
         self.sites[site_id].observe_hashed(element, h, self.network)
 
-    def sample(self) -> list[Any]:
+    def sample(self) -> SampleResult:
         """The coordinator's current distinct sample."""
-        return self.coordinator.sample()
+        pairs = tuple(self.coordinator.sample_pairs())
+        return SampleResult(
+            items=tuple(element for _, element in pairs),
+            pairs=pairs,
+            threshold=self.coordinator.threshold,
+            sample_size=self.sample_size,
+            window=None,
+            slot=self.current_slot,
+        )
 
     @property
     def threshold(self) -> float:
@@ -151,11 +162,64 @@ class CachingSamplerSystem:
         return self.coordinator.threshold
 
     @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+    def sample_size(self) -> int:
+        """Configured sample size s."""
+        return self.coordinator.sample_store.capacity
 
     @property
     def total_suppressed(self) -> int:
         """Reports suppressed by the caches across all sites."""
         return sum(site.suppressed for site in self.sites)
+
+    def _per_site_memory(self) -> list[int]:
+        """One threshold float plus the LRU cache contents per site."""
+        return [1 + len(site._cache) for site in self.sites]
+
+    # -- protocol: construction recipe + persistence -----------------------
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="caching",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+            cache_size=self.cache_size,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "sample": [
+                [h, element] for h, element in self.coordinator.sample_pairs()
+            ],
+            "reports_received": self.coordinator.reports_received,
+            "reports_accepted": self.coordinator.reports_accepted,
+            "sites": [
+                {
+                    "u_local": site.u_local,
+                    "cache": list(site._cache),
+                    "suppressed": site.suppressed,
+                }
+                for site in self.sites
+            ],
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        store = self.coordinator.sample_store
+        store.clear()
+        for h, element in state["sample"]:
+            accepted, _ = store.offer(float(h), revive_element(element))
+            if not accepted:
+                raise ConfigurationError(
+                    "snapshot sample contains duplicates or unsorted entries"
+                )
+        self.coordinator.reports_received = int(state["reports_received"])
+        self.coordinator.reports_accepted = int(state["reports_accepted"])
+        for site, site_state in zip(self.sites, state["sites"]):
+            site.u_local = float(site_state["u_local"])
+            site._cache.clear()
+            for element in site_state["cache"]:
+                site._cache[revive_element(element)] = None
+            site.suppressed = int(site_state["suppressed"])

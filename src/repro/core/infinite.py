@@ -45,6 +45,7 @@ from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..structures.bottomk import BottomK
+from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
 
 __all__ = [
     "InfiniteWindowSite",
@@ -150,17 +151,18 @@ class InfiniteWindowCoordinator:
         return self.sample_store.pairs()
 
 
-class DistinctSamplerSystem:
+class DistinctSamplerSystem(Sampler):
     """Facade wiring ``k`` sites and a coordinator over a simulated network.
 
     This is the main entry point for infinite-window distributed distinct
-    sampling::
+    sampling (prefer constructing it through
+    ``repro.make_sampler("infinite", ...)``)::
 
         system = DistinctSamplerSystem(num_sites=5, sample_size=10, seed=42)
         for site, element in my_stream:
             system.observe(site, element)
-        print(system.sample())             # uniform distinct sample
-        print(system.total_messages)       # the paper's cost metric
+        print(system.sample().items)       # uniform distinct sample
+        print(system.stats().messages_total)  # the paper's cost metric
 
     Args:
         num_sites: Number of sites k (>= 1).
@@ -192,12 +194,55 @@ class DistinctSamplerSystem:
         self.sites = [InfiniteWindowSite(i, self.hasher) for i in range(num_sites)]
         for site in self.sites:
             self.network.register(site.site_id, site)
+        self._init_protocol()
 
     # -- ingestion -------------------------------------------------------
 
-    def observe(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id``."""
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
         self.sites[site_id].observe(element, self.network)
+
+    def observe_batch(self, events) -> int:
+        """Vectorized batch ingestion of ``(site_id, item)`` events.
+
+        Semantically identical to looping :meth:`observe` (verified by
+        the conformance tests).  When the system uses the ``mix64``
+        integer hash, the whole batch is pre-hashed with NumPy and run
+        through :meth:`process_batch`, which pre-filters elements that
+        provably cannot be reported; other algorithms fall back to the
+        generic loop.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if not events or self.hasher.algorithm != "mix64":
+            return super().observe_batch(events)
+        import numpy as np
+
+        def _vectorizable(item: Any) -> bool:
+            # int64-exact integers only: bools and out-of-range ints would
+            # be silently coerced by np.fromiter (or overflow), breaking
+            # equivalence with the generic loop.
+            return (
+                isinstance(item, (int, np.integer))
+                and not isinstance(item, bool)
+                and -(2**63) <= item < 2**63
+            )
+
+        if any(
+            len(event) != 2 or not _vectorizable(event[1]) for event in events
+        ):
+            return super().observe_batch(events)
+
+        from ..hashing.unit import unit_hash_array
+
+        items = np.fromiter(
+            (event[1] for event in events), dtype=np.int64, count=len(events)
+        )
+        site_ids = np.fromiter(
+            (event[0] for event in events), dtype=np.int64, count=len(events)
+        )
+        hashes = unit_hash_array(items, self.hasher.seed)
+        self.process_batch(site_ids, items.tolist(), hashes)
+        return len(events)
 
     def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
         """Fast path with a precomputed hash (see site docs)."""
@@ -269,9 +314,17 @@ class DistinctSamplerSystem:
 
     # -- queries -----------------------------------------------------------
 
-    def sample(self) -> list[Any]:
+    def sample(self) -> SampleResult:
         """The coordinator's current distinct sample."""
-        return self.coordinator.sample()
+        pairs = tuple(self.coordinator.sample_pairs())
+        return SampleResult(
+            items=tuple(element for _, element in pairs),
+            pairs=pairs,
+            threshold=self.coordinator.threshold,
+            sample_size=self.sample_size,
+            window=None,
+            slot=self.current_slot,
+        )
 
     def sample_pairs(self) -> list[tuple[float, Any]]:
         """The coordinator's ``(hash, element)`` pairs, ascending by hash."""
@@ -283,16 +336,48 @@ class DistinctSamplerSystem:
         return self.coordinator.threshold
 
     @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far (the paper's cost metric)."""
-        return self.network.stats.total_messages
-
-    @property
-    def num_sites(self) -> int:
-        """Number of sites k."""
-        return len(self.sites)
-
-    @property
     def sample_size(self) -> int:
         """Configured sample size s."""
         return self.coordinator.sample_store.capacity
+
+    # -- protocol: construction recipe + persistence -----------------------
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="infinite",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "sample": [[h, element] for h, element in self.sample_pairs()],
+            "site_thresholds": [site.u_local for site in self.sites],
+            "reports_received": self.coordinator.reports_received,
+            "reports_accepted": self.coordinator.reports_accepted,
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        store = self.coordinator.sample_store
+        store.clear()
+        for h, element in state["sample"]:
+            accepted, _ = store.offer(float(h), revive_element(element))
+            if not accepted:
+                raise ConfigurationError(
+                    "snapshot sample contains duplicates or unsorted entries"
+                )
+        thresholds = state.get("site_thresholds")
+        if thresholds is None:
+            # Soft site state: any value >= the true u is safe.
+            u = store.threshold()
+            for site in self.sites:
+                site.u_local = u
+        else:
+            for site, u in zip(self.sites, thresholds):
+                site.u_local = float(u)
+        self.coordinator.reports_received = int(state.get("reports_received", 0))
+        self.coordinator.reports_accepted = int(state.get("reports_accepted", 0))

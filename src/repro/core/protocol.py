@@ -1,0 +1,481 @@
+"""The unified sampler protocol: one lifecycle for every sampler variant.
+
+Historically each sampler family grew its own surface —
+``DistinctSamplerSystem.observe(site, e)`` + ``sample() -> list``,
+``SlidingWindowSystem.process_slot(slot, arrivals)`` + ``query() -> e``,
+divergent cost accessors — which forced every consumer (CLI, experiment
+drivers, benchmarks, persistence) to special-case sampler classes.  This
+module defines the single API all of them now share:
+
+* :class:`Sampler` — the abstract base every system facade inherits.
+  Lifecycle: :meth:`~Sampler.observe` / :meth:`~Sampler.observe_batch`
+  ingest events, :meth:`~Sampler.advance` moves slotted time forward
+  (a no-op for infinite-window samplers), :meth:`~Sampler.sample`
+  returns a :class:`SampleResult`, and :meth:`~Sampler.stats` returns a
+  :class:`SamplerStats`.  Persistence goes through
+  :meth:`~Sampler.state_dict` / :meth:`~Sampler.load_state` plus the
+  :attr:`~Sampler.config` property, which together let
+  :mod:`repro.core.snapshot` checkpoint and restore *any* registered
+  variant without knowing its class.
+* :class:`SampleResult` — a frozen value object carrying the sample
+  items, their ``(hash, item)`` pairs, the acceptance threshold, and
+  window metadata.  It behaves as a read-only sequence of items so that
+  existing comparisons against plain lists keep working.
+* :class:`SamplerStats` — uniform cost accounting: messages by
+  direction, bytes, per-site memory, and slots processed.
+* :class:`SamplerConfig` — the declarative construction recipe consumed
+  by :func:`repro.core.api.make_sampler`.
+
+Old per-class entry points (``process_slot``, ``query``, the ad-hoc
+factories) remain available for one release as thin shims that emit
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+from ..errors import ConfigurationError, ProtocolError
+from ..netsim.message import MessageKind
+from ..netsim.network import Network
+
+__all__ = [
+    "SampleResult",
+    "SamplerStats",
+    "SamplerConfig",
+    "Sampler",
+    "deprecated_call",
+]
+
+_INF = float("inf")
+
+
+def deprecated_call(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Value objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class SampleResult:
+    """The current sample, uniformly shaped across every variant.
+
+    Attributes:
+        items: Sample members, ascending by hash.  Without-replacement
+            samples hold ``min(s, d)`` distinct items; with-replacement
+            samples hold exactly ``s`` slots whose entries may be None
+            while a copy has not yet seen an element.
+        pairs: ``(hash, item)`` pairs for the members whose hash is
+            known, ascending by hash (with-replacement: one pair per
+            non-empty copy).
+        threshold: The acceptance threshold ``u`` that a new element's
+            hash must undercut to be reported (None when the variant has
+            no single global threshold, e.g. with-replacement).
+        sample_size: The configured sample size ``s``.
+        window: Window size in slots, or None for infinite-window.
+        slot: The slot the sample is current for (None before any
+            slotted time exists / for infinite-window samplers).
+        with_replacement: Whether items are independent draws.
+
+    The object is also a read-only sequence over ``items`` and compares
+    equal to plain lists/tuples of the same items, so pre-protocol call
+    sites (``system.sample() == [...]``) keep working.
+    """
+
+    items: tuple
+    pairs: tuple = ()
+    threshold: Optional[float] = None
+    sample_size: int = 1
+    window: Optional[int] = None
+    slot: Optional[int] = None
+    with_replacement: bool = False
+
+    # -- sequence behaviour over ``items`` --------------------------------
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.items)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.items
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SampleResult):
+            return self.items == other.items and self.pairs == other.pairs
+        if isinstance(other, (list, tuple)):
+            return list(self.items) == list(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.items)
+
+    @property
+    def first(self) -> Optional[Any]:
+        """The minimum-hash member, or None if the sample is empty."""
+        return self.items[0] if self.items else None
+
+
+@dataclass(frozen=True)
+class SamplerStats:
+    """Uniform cost accounting across every sampler variant.
+
+    Attributes:
+        messages_total: All messages exchanged so far (the paper's cost
+            metric).
+        messages_to_coordinator: Site → coordinator messages.
+        messages_to_sites: Coordinator → site messages.
+        bytes_total: Sum of message sizes.
+        per_site_memory: Current memory footprint per site, in stored
+            entries (candidate-set sizes for sliding variants; 1 scalar
+            threshold for infinite-window sites; summed across copies
+            for with-replacement samplers).
+        slots_processed: Distinct time slots advanced through (0 for a
+            sampler that was never driven with slots).
+    """
+
+    messages_total: int
+    messages_to_coordinator: int
+    messages_to_sites: int
+    bytes_total: int
+    per_site_memory: tuple
+    slots_processed: int
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites k."""
+        return len(self.per_site_memory)
+
+    @property
+    def memory_total(self) -> int:
+        """Total entries held across all sites."""
+        return sum(self.per_site_memory)
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Declarative recipe for :func:`repro.core.api.make_sampler`.
+
+    Attributes:
+        variant: Registry key (see ``repro.core.api.sampler_variants()``):
+            ``"infinite"``, ``"sliding"``, ``"sliding-feedback"``,
+            ``"sliding-local-push"``, ``"with-replacement"``,
+            ``"broadcast"``, or ``"caching"``.
+        num_sites: Number of distributed sites k (>= 1).
+        sample_size: Sample size s (>= 1).
+        window: Window size w in slots; 0 means infinite window.
+            Sliding variants require ``window >= 1``.
+        seed: Hash seed (fix it for reproducible runs).
+        algorithm: Hash algorithm name (see ``repro.hashing``).
+        structure: Candidate-set backing store for the s = 1 sliding
+            system (``"treap"``/``"sorted"``).
+        coordinator_mode: ``"exact"``/``"paper"`` for the s = 1 sliding
+            system (see :mod:`repro.core.sliding`).
+        cache_size: Per-site LRU capacity for the ``"caching"`` variant
+            (None selects the variant default, ``sample_size``).
+    """
+
+    variant: str = "infinite"
+    num_sites: int = 1
+    sample_size: int = 1
+    window: int = 0
+    seed: int = 0
+    algorithm: str = "murmur2"
+    structure: str = "treap"
+    coordinator_mode: str = "exact"
+    cache_size: Optional[int] = None
+
+    def validate(self) -> "SamplerConfig":
+        """Check variant-independent invariants; returns self.
+
+        Raises:
+            ConfigurationError: On any out-of-range field.
+        """
+        if self.num_sites < 1:
+            raise ConfigurationError(
+                f"num_sites must be >= 1, got {self.num_sites}"
+            )
+        if self.sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {self.sample_size}"
+            )
+        if self.window < 0:
+            raise ConfigurationError(f"window must be >= 0, got {self.window}")
+        if self.cache_size is not None and self.cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {self.cache_size}"
+            )
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serializable), used by snapshots."""
+        return asdict(self)
+
+
+# ---------------------------------------------------------------------------
+# State-dict encoding helpers (JSON-safe, no pickle)
+# ---------------------------------------------------------------------------
+
+
+def encode_expiry(value: float) -> Optional[float]:
+    """Encode an expiry stamp; ``inf`` becomes None for strict JSON."""
+    return None if value == _INF else value
+
+
+def decode_expiry(value: Optional[float]) -> float:
+    """Inverse of :func:`encode_expiry`."""
+    return _INF if value is None else value
+
+
+def revive_element(element: Any) -> Any:
+    """Undo JSON's tuple→list coercion for tuple-valued elements."""
+    if isinstance(element, list):
+        return tuple(revive_element(item) for item in element)
+    return element
+
+
+def stats_state(network: Network) -> dict[str, Any]:
+    """Capture a network's message counters as a JSON-safe dict."""
+    stats = network.stats
+    return {
+        "total_messages": stats.total_messages,
+        "total_bytes": stats.total_bytes,
+        "site_to_coordinator": stats.site_to_coordinator,
+        "coordinator_to_site": stats.coordinator_to_site,
+        "by_kind": {kind.name: count for kind, count in stats.by_kind.items()},
+    }
+
+
+def load_stats_state(network: Network, state: dict[str, Any]) -> None:
+    """Restore counters captured by :func:`stats_state` into ``network``."""
+    stats = network.stats
+    stats.total_messages = int(state["total_messages"])
+    stats.total_bytes = int(state["total_bytes"])
+    stats.site_to_coordinator = int(state["site_to_coordinator"])
+    stats.coordinator_to_site = int(state["coordinator_to_site"])
+    stats.by_kind.clear()
+    for name, count in state.get("by_kind", {}).items():
+        stats.by_kind[MessageKind[name]] = int(count)
+
+
+# ---------------------------------------------------------------------------
+# The protocol
+# ---------------------------------------------------------------------------
+
+#: An ingestion event: ``(site_id, item)`` delivered at the current slot,
+#: or ``(site_id, item, slot)`` advancing time first.
+Event = Union[tuple, Sequence]
+
+
+class Sampler(ABC):
+    """Abstract base class for every distributed sampler facade.
+
+    Subclasses call :meth:`_init_protocol` at the end of their
+    ``__init__`` and implement the small hook surface
+    (:meth:`_deliver`, :meth:`_advance_to`, :meth:`sample`,
+    :meth:`config`, :meth:`_state`, :meth:`_load`); the base class
+    provides the uniform lifecycle, accounting, and the deprecated
+    compatibility shims on top.
+    """
+
+    # Populated by subclasses before _init_protocol().
+    sites: list
+    network: Network
+
+    # -- construction ------------------------------------------------------
+
+    def _init_protocol(self) -> None:
+        """Initialize the lifecycle bookkeeping (call last in __init__)."""
+        self._last_slot: Optional[int] = None
+        self._slots_processed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def observe(self, site_id: int, item: Any, *, slot: Optional[int] = None) -> None:
+        """Deliver ``item`` to site ``site_id``.
+
+        Args:
+            site_id: Destination site (0-based).
+            item: The stream element.
+            slot: Optional slot stamp; when given, time is advanced to
+                ``slot`` (as by :meth:`advance`) before delivery.
+        """
+        if slot is not None:
+            self.advance(slot)
+        self._deliver(site_id, item)
+
+    def observe_batch(self, events: Iterable[Event]) -> int:
+        """Deliver a batch of events; returns the number delivered.
+
+        Each event is ``(site_id, item)`` — delivered at the current
+        slot — or ``(site_id, item, slot)``.  Subclasses may override
+        with a vectorized fast path; semantics must match this loop
+        (the equivalence is covered by the conformance tests).
+        """
+        count = 0
+        for event in events:
+            if len(event) == 2:
+                self._deliver(event[0], event[1])
+            else:
+                self.advance(event[2])
+                self._deliver(event[0], event[1])
+            count += 1
+        return count
+
+    def advance(self, slot: int) -> None:
+        """Advance slotted time to ``slot`` and run boundary maintenance.
+
+        Idempotent per slot; slots must be non-decreasing.  For
+        infinite-window samplers this only tracks the slot counter.
+
+        Raises:
+            ProtocolError: If ``slot`` is before the current slot (time
+                never rewinds in the synchronized-clock model).
+        """
+        slot = int(slot)
+        if self._last_slot is not None:
+            if slot < self._last_slot:
+                raise ProtocolError(
+                    f"slots must be non-decreasing: now at {self._last_slot}, "
+                    f"got {slot}"
+                )
+            if slot == self._last_slot:
+                return
+        self._advance_to(slot)
+        self._last_slot = slot
+        self._slots_processed += 1
+
+    @abstractmethod
+    def sample(self) -> SampleResult:
+        """The current sample as a :class:`SampleResult`."""
+
+    def stats(self) -> SamplerStats:
+        """Uniform cost counters as a :class:`SamplerStats`."""
+        stats = self.network.stats
+        return SamplerStats(
+            messages_total=stats.total_messages,
+            messages_to_coordinator=stats.site_to_coordinator,
+            messages_to_sites=stats.coordinator_to_site,
+            bytes_total=stats.total_bytes,
+            per_site_memory=tuple(self._per_site_memory()),
+            slots_processed=self._slots_processed,
+        )
+
+    # -- hooks -------------------------------------------------------------
+
+    @abstractmethod
+    def _deliver(self, site_id: int, item: Any) -> None:
+        """Deliver one item to a site at the current slot."""
+
+    def _advance_to(self, slot: int) -> None:
+        """Move protocol time to ``slot`` (infinite window: nothing to do)."""
+
+    def _per_site_memory(self) -> list[int]:
+        """Per-site entry counts; sliding sites expose ``memory_size``."""
+        return [getattr(site, "memory_size", 1) for site in self.sites]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    @abstractmethod
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` that reconstructs this sampler."""
+
+    @property
+    def current_slot(self) -> Optional[int]:
+        """The last slot advanced to (None if never slotted)."""
+        return self._last_slot
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites k."""
+        return len(self.sites)
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages exchanged so far (the paper's cost metric)."""
+        return self.network.stats.total_messages
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full logical state as a JSON-serializable dict (no pickle)."""
+        return {
+            "protocol": {
+                "last_slot": self._last_slot,
+                "slots_processed": self._slots_processed,
+            },
+            "network": stats_state(self.network),
+            "system": self._state(),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Raises:
+            ConfigurationError: If the state dict is malformed.
+        """
+        try:
+            protocol = state["protocol"]
+            network = state["network"]
+            system = state["system"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed sampler state: {exc}") from exc
+        last_slot = protocol.get("last_slot")
+        self._last_slot = None if last_slot is None else int(last_slot)
+        self._slots_processed = int(protocol.get("slots_processed", 0))
+        load_stats_state(self.network, network)
+        self._load(system)
+
+    @abstractmethod
+    def _state(self) -> dict[str, Any]:
+        """Variant-specific state (JSON-serializable)."""
+
+    @abstractmethod
+    def _load(self, state: dict[str, Any]) -> None:
+        """Restore variant-specific state captured by :meth:`_state`."""
+
+    # -- deprecated shims (one release) ------------------------------------
+
+    def process_slot(self, slot: int, arrivals: list) -> None:
+        """Deprecated: use ``advance(slot)`` + ``observe_batch(arrivals)``."""
+        deprecated_call(
+            f"{type(self).__name__}.process_slot()",
+            "advance(slot) + observe_batch(arrivals)",
+        )
+        self.advance(slot)
+        for site_id, item in arrivals:
+            self._deliver(site_id, item)
+
+    def query(self):
+        """Deprecated: use ``sample()`` (returns a :class:`SampleResult`)."""
+        deprecated_call(f"{type(self).__name__}.query()", "sample()")
+        return self._legacy_sample_shape()
+
+    def sample_legacy(self):
+        """Deprecated: the pre-protocol shape of ``sample()``."""
+        deprecated_call(f"{type(self).__name__}.sample_legacy()", "sample()")
+        return self._legacy_sample_shape()
+
+    def _legacy_sample_shape(self):
+        """The old per-class return shape (list of items by default)."""
+        return list(self.sample().items)

@@ -67,6 +67,14 @@ from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..structures.dominance import SortedDominanceSet, TreapDominanceSet
+from .protocol import (
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    decode_expiry,
+    encode_expiry,
+    revive_element,
+)
 
 # SortedDominanceSet doubles as the exact coordinator's candidate store.
 
@@ -294,15 +302,16 @@ class SlidingWindowCoordinator:
         return len(self.candidates)
 
 
-class SlidingWindowSystem:
+class SlidingWindowSystem(Sampler):
     """Facade: k sliding-window sites + coordinator on one network.
 
     Drive it slot by slot::
 
         system = SlidingWindowSystem(num_sites=10, window=100, seed=7)
         for slot, arrivals in schedule:          # arrivals: [(site, elem)]
-            system.process_slot(slot, arrivals)
-            sample = system.query()
+            system.advance(slot)
+            system.observe_batch(arrivals)
+            sample = system.sample()             # SampleResult (s = 1)
 
     Args:
         num_sites: Number of sites k.
@@ -327,8 +336,13 @@ class SlidingWindowSystem:
     ) -> None:
         if num_sites < 1:
             raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
         self.window = window
+        self.sample_size = 1
+        self.structure = structure
+        self.coordinator_mode = coordinator_mode
         self.clock = SlotClock(0)
         self.network = Network()
         self.coordinator = SlidingWindowCoordinator(self.clock, coordinator_mode)
@@ -339,38 +353,120 @@ class SlidingWindowSystem:
         ]
         for site in self.sites:
             self.network.register(site.site_id, site)
+        self._init_protocol()
 
-    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
-        """Advance to ``slot`` and deliver its arrivals.
+    # -- protocol hooks ----------------------------------------------------
 
-        Slot numbers must be non-decreasing across calls; gaps are fine
-        (expiry logic is driven by timestamps, not tick counts).
-
-        Args:
-            slot: The timestep being processed.
-            arrivals: ``(site_id, element)`` pairs arriving in this slot.
-        """
+    def _advance_to(self, slot: int) -> None:
+        """Slot boundary: advance the clock and run site maintenance."""
         self.clock.advance_to(slot)
         network = self.network
         for site in self.sites:
             site.tick(slot, network)
-        for site_id, element in arrivals:
-            self.sites[site_id].observe(element, slot, network)
 
-    def query(self) -> Optional[Any]:
-        """The distinct sample of the current window (None if empty)."""
-        return self.coordinator.query()
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver an arrival at the current slot."""
+        self.sites[site_id].observe(element, self.clock.now, self.network)
+
+    def sample(self) -> SampleResult:
+        """The window's distinct sample (at most one item for s = 1)."""
+        element = self.coordinator.query()
+        if element is None:
+            items: tuple = ()
+            pairs: tuple = ()
+            threshold = 1.0
+        else:
+            threshold = self.coordinator.u_star
+            items = (element,)
+            pairs = ((threshold, element),)
+        return SampleResult(
+            items=items,
+            pairs=pairs,
+            threshold=threshold,
+            sample_size=1,
+            window=self.window,
+            slot=self.current_slot,
+        )
+
+    def _legacy_sample_shape(self) -> Optional[Any]:
+        # The old ``query()`` returned the sample element or None.
+        return self.sample().first
 
     def per_site_memory(self) -> list[int]:
         """Current candidate-set sizes, one per site (Fig 5.7/5.9 metric)."""
         return [site.memory_size for site in self.sites]
 
-    @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+    # -- protocol: construction recipe + persistence -----------------------
 
     @property
-    def num_sites(self) -> int:
-        """Number of sites k."""
-        return len(self.sites)
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="sliding",
+            num_sites=self.num_sites,
+            sample_size=1,
+            window=self.window,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+            structure=self.structure,
+            coordinator_mode=self.coordinator_mode,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        coord = self.coordinator
+        return {
+            "clock": self.clock.now,
+            "coordinator": {
+                "reports_received": coord.reports_received,
+                "sample": [
+                    coord.sample_element,
+                    coord.u_star,
+                    encode_expiry(coord.sample_expiry),
+                ],
+                "entries": (
+                    None
+                    if coord.candidates is None
+                    else [
+                        [e.element, e.expiry, e.hash]
+                        for e in coord.candidates.entries()
+                    ]
+                ),
+            },
+            "sites": [
+                {
+                    "entries": [
+                        [e.element, e.expiry, e.hash]
+                        for e in site.candidates.entries()
+                    ],
+                    "sample_element": site.sample_element,
+                    "u_local": site.u_local,
+                    "sample_expiry": encode_expiry(site.sample_expiry),
+                    "reports_sent": site.reports_sent,
+                    "fallbacks": site.fallbacks,
+                }
+                for site in self.sites
+            ],
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        self.clock.advance_to(int(state["clock"]))
+        coord_state = state["coordinator"]
+        coord = self.coordinator
+        coord.reports_received = int(coord_state["reports_received"])
+        element, u_star, expiry = coord_state["sample"]
+        coord.sample_element = revive_element(element)
+        coord.u_star = float(u_star)
+        coord.sample_expiry = decode_expiry(expiry)
+        if coord.candidates is not None:
+            coord.candidates = SortedDominanceSet(1)
+            for e, exp, h in coord_state["entries"]:
+                coord.candidates.observe(revive_element(e), int(exp), float(h))
+        for site, site_state in zip(self.sites, state["sites"]):
+            site.candidates = _make_structure(self.structure)
+            for e, exp, h in site_state["entries"]:
+                site.candidates.observe(revive_element(e), int(exp), float(h))
+            site.sample_element = revive_element(site_state["sample_element"])
+            site.u_local = float(site_state["u_local"])
+            site.sample_expiry = decode_expiry(site_state["sample_expiry"])
+            site.reports_sent = int(site_state["reports_sent"])
+            site.fallbacks = int(site_state["fallbacks"])

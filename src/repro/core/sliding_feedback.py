@@ -44,7 +44,15 @@ from ..hashing.unit import UnitHasher
 from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
-from ..structures.dominance import SortedDominanceSet
+from ..structures.dominance import DominanceEntry, SortedDominanceSet
+from .protocol import (
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    decode_expiry,
+    encode_expiry,
+    revive_element,
+)
 
 __all__ = [
     "FeedbackBottomSSite",
@@ -190,13 +198,15 @@ class FeedbackBottomSCoordinator:
 
     def query(self, now: int) -> list[Any]:
         """The window's bottom-s distinct sample, ascending by hash."""
+        return [entry.element for entry in self.sample_entries(now)]
+
+    def sample_entries(self, now: int) -> list[DominanceEntry]:
+        """The live bottom-s entries at slot ``now``, ascending by hash."""
         self.candidates.expire(now)
-        return [
-            entry.element for entry in self.candidates.bottom(self.sample_size)
-        ]
+        return self.candidates.bottom(self.sample_size)
 
 
-class SlidingWindowBottomSFeedback:
+class SlidingWindowBottomSFeedback(Sampler):
     """Facade: general-s sliding-window sampling with lazy feedback.
 
     Args:
@@ -219,6 +229,12 @@ class SlidingWindowBottomSFeedback:
     ) -> None:
         if num_sites < 1:
             raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
         self.window = window
         self.sample_size = sample_size
@@ -232,25 +248,92 @@ class SlidingWindowBottomSFeedback:
         ]
         for site in self.sites:
             self.network.register(site.site_id, site)
+        self._init_protocol()
 
-    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
-        """Advance to ``slot`` and deliver its arrivals."""
+    # -- protocol hooks ----------------------------------------------------
+
+    def _advance_to(self, slot: int) -> None:
+        """Slot boundary: lapse-triggered fallback pushes at every site."""
         self.clock.advance_to(slot)
         network = self.network
         for site in self.sites:
             site.tick(slot, network)
-        for site_id, element in arrivals:
-            self.sites[site_id].observe(element, slot, network)
 
-    def query(self) -> list[Any]:
-        """The current window's distinct sample (ascending by hash)."""
-        return self.coordinator.query(self.clock.now)
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver an arrival at the current slot."""
+        self.sites[site_id].observe(element, self.clock.now, self.network)
+
+    def sample(self) -> SampleResult:
+        """The current window's bottom-s distinct sample."""
+        now = self.clock.now
+        entries = self.coordinator.sample_entries(now)
+        threshold, _valid_until = self.coordinator._threshold(now)
+        return SampleResult(
+            items=tuple(entry.element for entry in entries),
+            pairs=tuple((entry.hash, entry.element) for entry in entries),
+            threshold=threshold,
+            sample_size=self.sample_size,
+            window=self.window,
+            slot=self.current_slot,
+        )
 
     def per_site_memory(self) -> list[int]:
         """Current candidate-set sizes, one per site."""
         return [site.memory_size for site in self.sites]
 
+    # -- protocol: construction recipe + persistence -----------------------
+
     @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="sliding-feedback",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            window=self.window,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "clock": self.clock.now,
+            "coordinator": {
+                "reports_received": self.coordinator.reports_received,
+                "entries": [
+                    [e.element, e.expiry, e.hash]
+                    for e in self.coordinator.candidates.entries()
+                ],
+            },
+            "sites": [
+                {
+                    "entries": [
+                        [e.element, e.expiry, e.hash]
+                        for e in site.candidates.entries()
+                    ],
+                    "u_local": site.u_local,
+                    "valid_until": encode_expiry(site.valid_until),
+                    "reports_sent": site.reports_sent,
+                    "fallbacks": site.fallbacks,
+                }
+                for site in self.sites
+            ],
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        self.clock.advance_to(int(state["clock"]))
+        coord_state = state["coordinator"]
+        self.coordinator.reports_received = int(coord_state["reports_received"])
+        self.coordinator.candidates = SortedDominanceSet(self.sample_size)
+        for e, exp, h in coord_state["entries"]:
+            self.coordinator.candidates.observe(
+                revive_element(e), int(exp), float(h)
+            )
+        for site, site_state in zip(self.sites, state["sites"]):
+            site.candidates = SortedDominanceSet(self.sample_size)
+            for e, exp, h in site_state["entries"]:
+                site.candidates.observe(revive_element(e), int(exp), float(h))
+            site.u_local = float(site_state["u_local"])
+            site.valid_until = decode_expiry(site_state["valid_until"])
+            site.reports_sent = int(site_state["reports_sent"])
+            site.fallbacks = int(site_state["fallbacks"])

@@ -35,7 +35,8 @@ from ..errors import ConfigurationError, ProtocolError
 from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
-from ..structures.dominance import SortedDominanceSet
+from ..structures.dominance import DominanceEntry, SortedDominanceSet
+from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
 
 __all__ = [
     "LocalPushSite",
@@ -160,11 +161,15 @@ class LocalPushCoordinator:
 
     def query(self, now: int) -> list[Any]:
         """The window's distinct sample (size min(s, |D_w|)) at slot ``now``."""
+        return [entry.element for entry in self.sample_entries(now)]
+
+    def sample_entries(self, now: int) -> list[DominanceEntry]:
+        """The live bottom-s entries at slot ``now``, ascending by hash."""
         self.candidates.expire(now)
-        return [entry.element for entry in self.candidates.bottom(self.sample_size)]
+        return self.candidates.bottom(self.sample_size)
 
 
-class SlidingWindowBottomS:
+class SlidingWindowBottomS(Sampler):
     """Facade: general-s sliding-window distinct sampling (local push).
 
     Args:
@@ -187,6 +192,12 @@ class SlidingWindowBottomS:
     ) -> None:
         if num_sites < 1:
             raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
         self.window = window
         self.sample_size = sample_size
@@ -200,25 +211,95 @@ class SlidingWindowBottomS:
         for site in self.sites:
             self.network.register(site.site_id, site)
         self._now = 0
+        self._init_protocol()
 
-    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
-        """Advance to ``slot`` and deliver its arrivals."""
+    # -- protocol hooks ----------------------------------------------------
+
+    def _advance_to(self, slot: int) -> None:
+        """Slot boundary: run per-site expiry + bottom-s re-sync."""
         self._now = slot
         network = self.network
         for site in self.sites:
             site.tick(slot, network)
-        for site_id, element in arrivals:
-            self.sites[site_id].observe(element, slot, network)
 
-    def query(self) -> list[Any]:
-        """The current window's distinct sample (ascending by hash)."""
-        return self.coordinator.query(self._now)
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver an arrival at the current slot."""
+        self.sites[site_id].observe(element, self._now, self.network)
+
+    def sample(self) -> SampleResult:
+        """The current window's bottom-s distinct sample."""
+        entries = self.coordinator.sample_entries(self._now)
+        threshold = (
+            entries[-1].hash if len(entries) == self.sample_size else 1.0
+        )
+        return SampleResult(
+            items=tuple(entry.element for entry in entries),
+            pairs=tuple((entry.hash, entry.element) for entry in entries),
+            threshold=threshold,
+            sample_size=self.sample_size,
+            window=self.window,
+            slot=self.current_slot,
+        )
 
     def per_site_memory(self) -> list[int]:
         """Current candidate-set sizes, one per site."""
         return [site.memory_size for site in self.sites]
 
+    # -- protocol: construction recipe + persistence -----------------------
+
     @property
-    def total_messages(self) -> int:
-        """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="sliding-local-push",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            window=self.window,
+            seed=self.hasher.seed,
+            algorithm=self.hasher.algorithm,
+        )
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "now": self._now,
+            "coordinator": {
+                "reports_received": self.coordinator.reports_received,
+                "entries": [
+                    [e.element, e.expiry, e.hash]
+                    for e in self.coordinator.candidates.entries()
+                ],
+            },
+            "sites": [
+                {
+                    "entries": [
+                        [e.element, e.expiry, e.hash]
+                        for e in site.candidates.entries()
+                    ],
+                    "reported": [
+                        [element, expiry]
+                        for element, expiry in site._reported.items()
+                    ],
+                    "reports_sent": site.reports_sent,
+                }
+                for site in self.sites
+            ],
+        }
+
+    def _load(self, state: dict[str, Any]) -> None:
+        self._now = int(state["now"])
+        coord_state = state["coordinator"]
+        self.coordinator.reports_received = int(coord_state["reports_received"])
+        self.coordinator.candidates = SortedDominanceSet(self.sample_size)
+        for e, exp, h in coord_state["entries"]:
+            self.coordinator.candidates.observe(
+                revive_element(e), int(exp), float(h)
+            )
+        for site, site_state in zip(self.sites, state["sites"]):
+            site.candidates = SortedDominanceSet(self.sample_size)
+            for e, exp, h in site_state["entries"]:
+                site.candidates.observe(revive_element(e), int(exp), float(h))
+            site._reported = {
+                revive_element(element): int(expiry)
+                for element, expiry in site_state["reported"]
+            }
+            site.reports_sent = int(site_state["reports_sent"])

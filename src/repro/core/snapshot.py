@@ -1,68 +1,72 @@
-"""Checkpoint / restore for the infinite-window system.
+"""Checkpoint / restore for **any** registered sampler variant.
 
 Production deployments of a continuous monitor need to survive
-coordinator restarts.  The infinite-window protocol makes this cheap:
-the *entire* global state is the coordinator's ``(hash, element)``
-bottom-s plus each site's scalar threshold — and the site thresholds are
-soft state (any value ≥ the true ``u`` is safe; sites re-learn the exact
-threshold on their next report).
+coordinator restarts.  With the unified protocol this is variant-agnostic:
+every :class:`~repro.core.protocol.Sampler` exposes its construction
+recipe (:attr:`~repro.core.protocol.Sampler.config`) and its full logical
+state (:meth:`~repro.core.protocol.Sampler.state_dict` /
+:meth:`~repro.core.protocol.Sampler.load_state`), so :func:`snapshot`
+and :func:`restore` work for the infinite-window system, all three
+sliding-window systems, the with-replacement samplers, and the
+broadcast/caching baselines alike — and for any variant registered later
+via :func:`repro.core.api.register_variant`.
 
-:func:`snapshot` captures the coordinator's sample and threshold;
-:func:`restore` rebuilds a working system around it.  Restored sites
-start with ``u_i = u`` (the checkpointed threshold), which is exact —
-messages after restore are what they would have been, modulo the
-in-flight reports lost with the crash.
+A restored sampler is indistinguishable from the original: ``sample()``
+and ``stats()`` (including message counters) round-trip exactly, modulo
+in-flight messages lost with the crash.
 
 The snapshot is a plain JSON-serializable dict: no pickle, safe to store.
+Version-1 snapshots (infinite-window only, written by earlier releases)
+are still read.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ..errors import ConfigurationError
-from ..hashing.unit import UnitHasher
+from .api import make_sampler
 from .infinite import DistinctSamplerSystem
+from .protocol import Sampler, SamplerConfig, revive_element
 
 __all__ = ["snapshot", "restore", "SNAPSHOT_VERSION"]
 
 #: Format version written into every snapshot.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 
-def snapshot(system: DistinctSamplerSystem) -> dict[str, Any]:
-    """Capture the full logical state of an infinite-window system.
+def snapshot(sampler: Sampler) -> dict[str, Any]:
+    """Capture the full logical state of any registered sampler.
 
     Args:
-        system: The system to checkpoint (can keep running afterwards).
+        sampler: The sampler to checkpoint (can keep running afterwards).
 
     Returns:
         A JSON-serializable dict.  Elements are stored as-is; they must
-        themselves be JSON-friendly (int/str) for on-disk storage, or the
-        caller may serialize the dict with a richer codec.
+        themselves be JSON-friendly (int/str/tuple) for on-disk storage,
+        or the caller may serialize the dict with a richer codec.
     """
+    if not isinstance(sampler, Sampler):
+        raise ConfigurationError(
+            f"cannot snapshot {type(sampler).__name__}: not a Sampler"
+        )
     return {
         "version": SNAPSHOT_VERSION,
-        "num_sites": system.num_sites,
-        "sample_size": system.sample_size,
-        "hash_seed": system.hasher.seed,
-        "hash_algorithm": system.hasher.algorithm,
-        "sample": [[h, element] for h, element in system.sample_pairs()],
-        "messages_so_far": system.total_messages,
+        "config": sampler.config.to_dict(),
+        "state": sampler.state_dict(),
     }
 
 
-def restore(state: dict[str, Any]) -> DistinctSamplerSystem:
-    """Rebuild a system from a :func:`snapshot` dict.
+def restore(state: dict[str, Any]) -> Sampler:
+    """Rebuild a sampler from a :func:`snapshot` dict.
 
     Args:
-        state: A snapshot produced by :func:`snapshot`.
+        state: A snapshot produced by :func:`snapshot` (version 2) or by
+            an earlier release (version 1, infinite-window only).
 
     Returns:
-        A fresh :class:`~repro.core.infinite.DistinctSamplerSystem` whose
-        coordinator holds the checkpointed sample and whose sites start
-        from the checkpointed threshold.  Message counters restart at
-        zero (the pre-crash count is in ``state["messages_so_far"]``).
+        A fresh sampler of the snapshotted variant holding the
+        checkpointed sample, thresholds, and cost counters.
 
     Raises:
         ConfigurationError: If the snapshot is malformed or from an
@@ -70,6 +74,32 @@ def restore(state: dict[str, Any]) -> DistinctSamplerSystem:
     """
     try:
         version = state["version"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed snapshot: {exc}") from exc
+    if version == 1:
+        return _restore_v1(state)
+    if version != SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot version {version}; "
+            f"this build reads versions 1 and {SNAPSHOT_VERSION}"
+        )
+    try:
+        config_dict = dict(state["config"])
+        sampler_state = state["state"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed snapshot: {exc}") from exc
+    try:
+        config = SamplerConfig(**config_dict)
+    except TypeError as exc:
+        raise ConfigurationError(f"malformed snapshot config: {exc}") from exc
+    sampler = make_sampler(config)
+    sampler.load_state(sampler_state)
+    return sampler
+
+
+def _restore_v1(state: dict[str, Any]) -> DistinctSamplerSystem:
+    """Read the legacy infinite-window-only snapshot layout."""
+    try:
         num_sites = state["num_sites"]
         sample_size = state["sample_size"]
         seed = state["hash_seed"]
@@ -77,19 +107,16 @@ def restore(state: dict[str, Any]) -> DistinctSamplerSystem:
         sample = state["sample"]
     except (KeyError, TypeError) as exc:
         raise ConfigurationError(f"malformed snapshot: {exc}") from exc
-    if version != SNAPSHOT_VERSION:
-        raise ConfigurationError(
-            f"unsupported snapshot version {version}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
-        )
-    system = DistinctSamplerSystem(
+    system = make_sampler(
+        "infinite",
         num_sites=num_sites,
         sample_size=sample_size,
-        hasher=UnitHasher(seed, algorithm),
+        seed=seed,
+        algorithm=algorithm,
     )
     store = system.coordinator.sample_store
     for h, element in sample:
-        accepted, _ = store.offer(float(h), _revive(element))
+        accepted, _ = store.offer(float(h), revive_element(element))
         if not accepted:
             raise ConfigurationError(
                 "snapshot sample contains duplicates or unsorted entries"
@@ -98,10 +125,3 @@ def restore(state: dict[str, Any]) -> DistinctSamplerSystem:
     for site in system.sites:
         site.u_local = threshold
     return system
-
-
-def _revive(element: Any) -> Any:
-    """JSON round-trips tuples into lists; undo that for tuple elements."""
-    if isinstance(element, list):
-        return tuple(_revive(item) for item in element)
-    return element

@@ -10,7 +10,8 @@ Each copy is an independent ``s = 1`` instance of the corresponding
 without-replacement system, seeded from one
 :class:`~repro.hashing.unit.SeededHashFamily`, so the ``s`` samples are
 mutually independent uniform draws from the distinct population.  The
-facade aggregates message counts across the copies.
+facades conform to the unified :class:`~repro.core.protocol.Sampler`
+protocol and aggregate costs across the copies.
 """
 
 from __future__ import annotations
@@ -20,12 +21,133 @@ from typing import Any, Optional
 from ..errors import ConfigurationError
 from ..hashing.unit import SeededHashFamily
 from .infinite import DistinctSamplerSystem
+from .protocol import Sampler, SampleResult, SamplerConfig, SamplerStats
 from .sliding import SlidingWindowSystem
 
 __all__ = ["WithReplacementSampler", "SlidingWindowWithReplacement"]
 
 
-class WithReplacementSampler:
+class _WithReplacementBase(Sampler):
+    """Shared protocol plumbing for the two with-replacement facades.
+
+    Subclasses build ``self.copies`` (independent s = 1 systems) before
+    calling :meth:`_init_protocol`.  There is no facade-level network:
+    every cost counter aggregates across the copies' networks.
+    """
+
+    copies: list
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _deliver(self, site_id: int, item: Any) -> None:
+        for copy in self.copies:
+            copy._deliver(site_id, item)
+
+    def sample(self) -> SampleResult:
+        """One independent uniform distinct draw per copy.
+
+        ``items`` has exactly ``s`` slots; a slot is None while its copy
+        has not yet seen a live element.  ``pairs`` carries the
+        ``(hash, item)`` of the non-empty copies.
+        """
+        draws: list[Optional[Any]] = []
+        pairs: list[tuple[float, Any]] = []
+        for copy in self.copies:
+            result = copy.sample()
+            draws.append(result.first)
+            if result.pairs:
+                pairs.append(result.pairs[0])
+        return SampleResult(
+            items=tuple(draws),
+            pairs=tuple(pairs),
+            threshold=None,
+            sample_size=len(self.copies),
+            window=self._window_meta(),
+            slot=self.current_slot,
+            with_replacement=True,
+        )
+
+    def _window_meta(self) -> Optional[int]:
+        return None
+
+    def stats(self) -> SamplerStats:
+        """Aggregate cost counters across all s copies."""
+        per_site = [0] * self.num_sites
+        messages = to_coord = to_sites = nbytes = 0
+        for copy in self.copies:
+            copy_stats = copy.stats()
+            messages += copy_stats.messages_total
+            to_coord += copy_stats.messages_to_coordinator
+            to_sites += copy_stats.messages_to_sites
+            nbytes += copy_stats.bytes_total
+            for i, size in enumerate(copy_stats.per_site_memory):
+                per_site[i] += size
+        return SamplerStats(
+            messages_total=messages,
+            messages_to_coordinator=to_coord,
+            messages_to_sites=to_sites,
+            bytes_total=nbytes,
+            per_site_memory=tuple(per_site),
+            slots_processed=self._slots_processed,
+        )
+
+    # -- overrides for the missing facade-level network/sites --------------
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites k."""
+        return self.copies[0].num_sites
+
+    @property
+    def total_messages(self) -> int:
+        """Aggregate messages across all s copies."""
+        return sum(copy.total_messages for copy in self.copies)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of independent samples s."""
+        return len(self.copies)
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": {
+                "last_slot": self._last_slot,
+                "slots_processed": self._slots_processed,
+            },
+            "copies": [copy.state_dict() for copy in self.copies],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        try:
+            protocol = state["protocol"]
+            copies = state["copies"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed sampler state: {exc}") from exc
+        last_slot = protocol.get("last_slot")
+        self._last_slot = None if last_slot is None else int(last_slot)
+        self._slots_processed = int(protocol.get("slots_processed", 0))
+        if len(copies) != len(self.copies):
+            raise ConfigurationError(
+                f"snapshot has {len(copies)} copies, sampler has "
+                f"{len(self.copies)}"
+            )
+        for copy, copy_state in zip(self.copies, copies):
+            copy.load_state(copy_state)
+
+    def _state(self) -> dict[str, Any]:  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def _load(self, state: dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _legacy_sample_shape(self) -> list[Optional[Any]]:
+        # The old ``sample()`` returned the list of per-copy draws.
+        return list(self.sample().items)
+
+
+class WithReplacementSampler(_WithReplacementBase):
     """Infinite-window distinct sampling with replacement.
 
     Args:
@@ -42,10 +164,14 @@ class WithReplacementSampler:
         seed: int = 0,
         algorithm: str = "murmur2",
     ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         if sample_size < 1:
             raise ConfigurationError(
                 f"sample_size must be >= 1, got {sample_size}"
             )
+        self.seed = int(seed)
+        self.algorithm = algorithm
         family = SeededHashFamily(seed, algorithm)
         self.copies = [
             DistinctSamplerSystem(
@@ -53,36 +179,22 @@ class WithReplacementSampler:
             )
             for i in range(sample_size)
         ]
-
-    def observe(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id`` in every copy."""
-        for copy in self.copies:
-            copy.observe(site_id, element)
-
-    def sample(self) -> list[Optional[Any]]:
-        """One independent uniform distinct draw per copy.
-
-        Entries are None for copies that have not yet seen any element
-        (only before the first observation).
-        """
-        out: list[Optional[Any]] = []
-        for copy in self.copies:
-            members = copy.sample()
-            out.append(members[0] if members else None)
-        return out
+        self._init_protocol()
 
     @property
-    def total_messages(self) -> int:
-        """Aggregate messages across all s copies."""
-        return sum(copy.total_messages for copy in self.copies)
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="with-replacement",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            window=0,
+            seed=self.seed,
+            algorithm=self.algorithm,
+        )
 
-    @property
-    def sample_size(self) -> int:
-        """Number of independent samples s."""
-        return len(self.copies)
 
-
-class SlidingWindowWithReplacement:
+class SlidingWindowWithReplacement(_WithReplacementBase):
     """Sliding-window distinct sampling with replacement.
 
     Args:
@@ -101,10 +213,17 @@ class SlidingWindowWithReplacement:
         seed: int = 0,
         algorithm: str = "murmur2",
     ) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
         if sample_size < 1:
             raise ConfigurationError(
                 f"sample_size must be >= 1, got {sample_size}"
             )
+        self.seed = int(seed)
+        self.algorithm = algorithm
+        self.window = window
         family = SeededHashFamily(seed, algorithm)
         self.copies = [
             SlidingWindowSystem(
@@ -112,17 +231,23 @@ class SlidingWindowWithReplacement:
             )
             for i in range(sample_size)
         ]
+        self._init_protocol()
 
-    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
-        """Advance every copy to ``slot`` and deliver its arrivals."""
+    def _advance_to(self, slot: int) -> None:
         for copy in self.copies:
-            copy.process_slot(slot, arrivals)
+            copy.advance(slot)
 
-    def sample(self) -> list[Optional[Any]]:
-        """One independent uniform distinct draw per copy (None = empty)."""
-        return [copy.query() for copy in self.copies]
+    def _window_meta(self) -> Optional[int]:
+        return self.window
 
     @property
-    def total_messages(self) -> int:
-        """Aggregate messages across all s copies."""
-        return sum(copy.total_messages for copy in self.copies)
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this system."""
+        return SamplerConfig(
+            variant="with-replacement",
+            num_sites=self.num_sites,
+            sample_size=self.sample_size,
+            window=self.window,
+            seed=self.seed,
+            algorithm=self.algorithm,
+        )

@@ -108,13 +108,24 @@ def estimate_from_sampler(sampler) -> DistinctCountEstimate:
     """Estimate the distinct count from any bottom-s sampler facade.
 
     Args:
-        sampler: An object exposing ``sample()`` and ``threshold`` the way
-            :class:`~repro.core.infinite.DistinctSamplerSystem` and
-            :class:`~repro.core.centralized.CentralizedDistinctSampler` do,
-            plus ``sample_size``.
+        sampler: Any :class:`~repro.core.protocol.Sampler` whose
+            ``sample()`` returns a without-replacement
+            :class:`~repro.core.protocol.SampleResult` (for sliding
+            variants the estimate covers the window's distinct count),
+            or a legacy facade exposing ``sample()``/``threshold``/
+            ``sample_size`` like
+            :class:`~repro.core.centralized.CentralizedDistinctSampler`.
 
     Returns:
         A :class:`DistinctCountEstimate`.
     """
-    retained = len(sampler.sample())
-    return kmv_estimate(sampler.sample_size, sampler.threshold, retained)
+    from ..core.protocol import SampleResult
+
+    result = sampler.sample()
+    if isinstance(result, SampleResult):
+        if result.with_replacement or result.threshold is None:
+            raise EstimationError(
+                "KMV estimation needs a without-replacement bottom-s sample"
+            )
+        return kmv_estimate(result.sample_size, result.threshold, len(result))
+    return kmv_estimate(sampler.sample_size, sampler.threshold, len(result))

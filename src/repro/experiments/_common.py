@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from .config import ExperimentConfig
 
-__all__ = ["mean", "averaged", "run_rngs", "hash_seed_from"]
+__all__ = ["mean", "averaged", "run_rngs", "hash_seed_from", "drive_slotted"]
+
+
+def drive_slotted(sampler, schedule) -> None:
+    """Drive any :class:`~repro.core.protocol.Sampler` through a
+    :class:`~repro.streams.slotted.SlottedArrivals` schedule using the
+    unified lifecycle (``advance`` + ``observe_batch``)."""
+    for slot, arrivals in schedule.slots():
+        sampler.advance(slot)
+        sampler.observe_batch(arrivals)
 
 
 def mean(values: Sequence[float]) -> float:

@@ -20,14 +20,18 @@ def sliding_sweep(
     family: str,
     num_sites_values: Sequence[int],
     window_values: Sequence[int],
+    variant: str = "auto",
 ) -> dict[tuple[int, int], dict[str, float]]:
-    """Run the sliding-window system over a (k, w) grid.
+    """Run a sliding-window sampler variant over a (k, w) grid.
 
     Args:
         config: Experiment configuration.
         family: Dataset family.
         num_sites_values: k values to sweep.
         window_values: w values to sweep.
+        variant: Registry variant passed to
+            :func:`~repro.experiments.runner.run_sliding_once`
+            (``"auto"`` keeps the figures' historical system choice).
 
     Returns:
         ``{(k, w): {"messages": ..., "mem_mean": ..., "mem_max": ...}}``
@@ -49,6 +53,7 @@ def sliding_sweep(
                     rng=rng,
                     hash_seed=hash_seed,
                     per_slot=PER_SLOT,
+                    variant=variant,
                 )
                 messages.append(float(out.messages))
                 mem_means.append(out.mem_mean)

@@ -28,7 +28,7 @@ from ..analysis.bounds import (
 )
 
 # upper_bound_observation1/upper_bound_total also feed run_obs1 below.
-from ..core.infinite import DistinctSamplerSystem
+from ..core.api import make_sampler
 from ..hashing.unit import UnitHasher
 from ..streams.adversarial import adversarial_input
 from ..streams.datasets import get_dataset
@@ -136,7 +136,15 @@ def run_sync(config: ExperimentConfig) -> list[FigureResult]:
                     )
                     per_mode[mode].append(float(out.messages))
                 rng = np.random.default_rng(seed_bits)
-                out = _run_local_push(elements, _SYNC_SITES, w, rng, hash_seed)
+                out = run_sliding_once(
+                    elements,
+                    _SYNC_SITES,
+                    w,
+                    rng,
+                    hash_seed,
+                    per_slot=PER_SLOT,
+                    variant="sliding-local-push",
+                )
                 per_mode["push"].append(float(out.messages))
             lazy_exact.append(mean(per_mode["exact"]))
             lazy_paper.append(mean(per_mode["paper"]))
@@ -159,37 +167,6 @@ def run_sync(config: ExperimentConfig) -> list[FigureResult]:
             )
         )
     return results
-
-
-def _run_local_push(elements, num_sites, window, rng, hash_seed):
-    """Drive the s=1 no-feedback local-push system over a slotted schedule."""
-    from ..core.sliding_general import SlidingWindowBottomS
-    from ..streams.slotted import SlottedArrivals
-    from .runner import SlidingRunResult
-
-    sys_ = SlidingWindowBottomS(
-        num_sites=num_sites,
-        window=window,
-        sample_size=1,
-        seed=hash_seed,
-        algorithm="mix64",
-    )
-    schedule = SlottedArrivals(elements, num_sites, PER_SLOT, rng)
-    mem_sum = mem_count = mem_max = 0
-    for slot, arrivals in schedule.slots():
-        sys_.process_slot(slot, arrivals)
-        for site in sys_.sites:
-            size = site.memory_size
-            mem_sum += size
-            mem_count += 1
-            if size > mem_max:
-                mem_max = size
-    return SlidingRunResult(
-        messages=sys_.total_messages,
-        mem_mean=mem_sum / max(mem_count, 1),
-        mem_max=mem_max,
-        num_slots=schedule.num_slots,
-    )
 
 
 _STRUCT_WINDOWS = (100, 400)
@@ -255,7 +232,6 @@ def run_cache(config: ExperimentConfig) -> list[FigureResult]:
     memory removes it.  The sample itself is identical at every cache
     size — exactness is untouched.
     """
-    from ..core.caching import CachingSamplerSystem
     from ..hashing.unit import unit_hash_array
 
     results = []
@@ -271,7 +247,8 @@ def run_cache(config: ExperimentConfig) -> list[FigureResult]:
                 hashes = unit_hash_array(ids, hash_seed).tolist()
                 elements = ids.tolist()
                 sites = rng.integers(0, _CACHE_SITES, len(elements)).tolist()
-                system = CachingSamplerSystem(
+                system = make_sampler(
+                    "caching",
                     num_sites=_CACHE_SITES,
                     sample_size=_CACHE_SAMPLE,
                     cache_size=cache_size,
@@ -401,7 +378,8 @@ def run_hash(config: ExperimentConfig) -> list[FigureResult]:
         for algorithm in _HASH_ALGORITHMS:
             finals: list[float] = []
             for rng, hash_seed in run_rngs(config):
-                sys_ = DistinctSamplerSystem(
+                sys_ = make_sampler(
+                    "infinite",
                     num_sites=_HASH_SITES,
                     sample_size=_HASH_SAMPLE,
                     seed=hash_seed,

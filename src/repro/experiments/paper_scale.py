@@ -24,7 +24,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..core.infinite import DistinctSamplerSystem
+from ..core.api import make_sampler
 from ..hashing.unit import unit_hash_array
 from ..streams.datasets import get_dataset
 
@@ -96,7 +96,8 @@ def run_paper_scale(
         )
     ids = spec.generate(rng)
 
-    system = DistinctSamplerSystem(
+    system = make_sampler(
+        "infinite",
         num_sites=num_sites,
         sample_size=sample_size,
         seed=hash_seed,
@@ -124,7 +125,7 @@ def run_paper_scale(
         n_elements=int(ids.size),
         n_distinct=spec.n_distinct,
         messages=system.total_messages,
-        sample=system.sample(),
+        sample=list(system.sample().items),
         seconds=seconds,
         elements_per_second=ids.size / max(seconds, 1e-9),
         slow_path_elements=slow_total,

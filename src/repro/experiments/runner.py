@@ -14,10 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.broadcast import BroadcastSamplerSystem
-from ..core.infinite import DistinctSamplerSystem
-from ..core.sliding import SlidingWindowSystem
-from ..core.sliding_general import SlidingWindowBottomS
+from ..core.api import make_sampler
 from ..errors import ConfigurationError
 from ..hashing.unit import unit_hash_array
 from ..streams.datasets import get_dataset
@@ -33,10 +30,12 @@ __all__ = [
     "checkpoints_for",
 ]
 
-#: System constructors selectable by name in :func:`run_infinite_once`.
-_INFINITE_SYSTEMS = {
-    "ours": DistinctSamplerSystem,
-    "broadcast": BroadcastSamplerSystem,
+#: Registry variant selectable by the historical system name in
+#: :func:`run_infinite_once` (all construction goes through
+#: :func:`repro.core.api.make_sampler`; no class branching here).
+_INFINITE_VARIANTS = {
+    "ours": "infinite",
+    "broadcast": "broadcast",
 }
 
 
@@ -139,12 +138,13 @@ def run_infinite_once(
         An :class:`InfiniteRunResult`.
     """
     try:
-        system_cls = _INFINITE_SYSTEMS[system]
+        variant = _INFINITE_VARIANTS[system]
     except KeyError:
         raise ConfigurationError(
-            f"unknown system {system!r}; expected one of {sorted(_INFINITE_SYSTEMS)}"
+            f"unknown system {system!r}; expected one of {sorted(_INFINITE_VARIANTS)}"
         ) from None
-    sys_ = system_cls(
+    sys_ = make_sampler(
+        variant,
         num_sites=num_sites,
         sample_size=sample_size,
         seed=hash_seed,
@@ -195,7 +195,7 @@ def run_infinite_once(
         trace=trace,
         distinct_total=d,
         distinct_per_site=d_per_site,
-        sample=sys_.sample(),
+        sample=list(sys_.sample().items),
     )
 
 
@@ -210,6 +210,7 @@ def run_sliding_once(
     coordinator_mode: str = "exact",
     structure: str = "treap",
     record_series: bool = False,
+    variant: str = "auto",
 ) -> SlidingRunResult:
     """Drive one sliding-window system over a slotted arrival schedule.
 
@@ -220,32 +221,31 @@ def run_sliding_once(
         rng: Randomness for the slotted site assignment.
         hash_seed: Hash-family seed.
         per_slot: Arrivals per timestep (paper uses 5).
-        sample_size: 1 → Algorithms 3-4; >1 → local-push bottom-s system.
+        sample_size: Sample size s.
         coordinator_mode: ``"exact"``/``"paper"`` (s = 1 only).
         structure: Site candidate-set backing store (s = 1 only).
         record_series: Also record the per-slot mean memory series.
+        variant: Registry variant to drive; ``"auto"`` preserves the
+            figures' historical choice — Algorithms 3-4 for s = 1
+            (``"sliding"``), the local-push bottom-s system otherwise
+            (``"sliding-local-push"``).
 
     Returns:
         A :class:`SlidingRunResult` with message and memory metrics
         (Figures 5.7-5.10).
     """
-    if sample_size == 1:
-        sys_ = SlidingWindowSystem(
-            num_sites=num_sites,
-            window=window,
-            seed=hash_seed,
-            algorithm="mix64",
-            structure=structure,
-            coordinator_mode=coordinator_mode,
-        )
-    else:
-        sys_ = SlidingWindowBottomS(
-            num_sites=num_sites,
-            window=window,
-            sample_size=sample_size,
-            seed=hash_seed,
-            algorithm="mix64",
-        )
+    if variant == "auto":
+        variant = "sliding" if sample_size == 1 else "sliding-local-push"
+    sys_ = make_sampler(
+        variant,
+        num_sites=num_sites,
+        window=window,
+        sample_size=sample_size,
+        seed=hash_seed,
+        algorithm="mix64",
+        structure=structure,
+        coordinator_mode=coordinator_mode,
+    )
     schedule = SlottedArrivals(elements, num_sites, per_slot, rng)
     sites = sys_.sites
     mem_sum = 0
@@ -253,7 +253,8 @@ def run_sliding_once(
     mem_max = 0
     series: list[float] = []
     for slot, arrivals in schedule.slots():
-        sys_.process_slot(slot, arrivals)
+        sys_.advance(slot)
+        sys_.observe_batch(arrivals)
         slot_total = 0
         for site in sites:
             size = site.memory_size

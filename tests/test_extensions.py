@@ -132,9 +132,27 @@ class TestSnapshot:
 
     def test_duplicate_sample_rejected(self):
         state = snapshot(self._build())
-        state["sample"].append(state["sample"][0])
+        sample = state["state"]["system"]["sample"]
+        sample.append(sample[0])
         with pytest.raises(ConfigurationError):
             restore(state)
+
+    def test_v1_snapshot_still_readable(self):
+        # The pre-protocol layout (infinite-window only) must keep
+        # restoring; site thresholds come back as the sample threshold.
+        original = self._build()
+        v1 = {
+            "version": 1,
+            "num_sites": original.num_sites,
+            "sample_size": original.sample_size,
+            "hash_seed": original.hasher.seed,
+            "hash_algorithm": original.hasher.algorithm,
+            "sample": [[h, e] for h, e in original.sample_pairs()],
+            "messages_so_far": original.total_messages,
+        }
+        revived = restore(json.loads(json.dumps(v1)))
+        assert revived.sample() == original.sample()
+        assert revived.threshold == original.threshold
 
 
 class TestBatchIngestion:

@@ -13,7 +13,6 @@ import pytest
 from repro import (
     BroadcastSamplerSystem,
     CachingSamplerSystem,
-    CentralizedDistinctSampler,
     DistinctSamplerSystem,
     SlidingWindowBottomS,
     SlidingWindowSystem,
@@ -118,16 +117,18 @@ class TestFullPipelineSliding:
         last_seen: dict[int, int] = {}
         final_slot = 0
         for slot, arrivals in schedule.slots():
-            system.process_slot(slot, arrivals)
-            bottom.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
+            bottom.advance(slot)
+            bottom.observe_batch(arrivals)
             for _site, element in arrivals:
                 last_seen[element] = slot
             final_slot = slot
 
         live = [e for e, seen in last_seen.items() if seen > final_slot - 60]
         want = sorted(live, key=hasher.unit)
-        assert system.query() == want[0]
-        assert bottom.query() == want[:4]
+        assert system.sample().first == want[0]
+        assert bottom.sample() == want[:4]
         # Memory stays tiny relative to the window.
         assert max(system.per_site_memory()) < 60
 
@@ -142,8 +143,9 @@ class TestFullPipelineSliding:
                 (int(rng.integers(0, 2)), int(rng.integers(0, 1000)))
                 for _ in range(4)
             ]
-            system.process_slot(slot, arrivals)
-        sample = system.query()
+            system.advance(slot)
+            system.observe_batch(arrivals)
+        sample = system.sample().items
         assert len(sample) == 32
         median = estimate_quantile(sample, 0.5, value_fn=float)
         assert 100 < median.value < 900  # uniform ids: median near 500

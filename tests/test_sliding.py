@@ -28,7 +28,8 @@ def random_schedule(rng, num_sites, universe, slots, max_per_slot=4):
 
 def drive_against_oracle(system, oracle, schedule, check):
     for slot, arrivals in schedule:
-        system.process_slot(slot, arrivals)
+        system.advance(slot)
+        system.observe_batch(arrivals)
         for _site, element in arrivals:
             oracle.observe(element, slot)
         oracle.advance(slot)
@@ -47,7 +48,7 @@ class TestExactMode:
         rng = np.random.default_rng(seed)
 
         def check(slot):
-            assert system.query() == oracle.min_element(), f"slot {slot}"
+            assert system.sample().first == oracle.min_element(), f"slot {slot}"
 
         drive_against_oracle(
             system, oracle, random_schedule(rng, 3, 60, 600), check
@@ -60,7 +61,7 @@ class TestExactMode:
         rng = np.random.default_rng(9)
 
         def check(slot):
-            assert system.query() == oracle.min_element(), f"slot {slot}"
+            assert system.sample().first == oracle.min_element(), f"slot {slot}"
 
         drive_against_oracle(
             system, oracle, random_schedule(rng, 2, 10, 400, max_per_slot=6), check
@@ -68,12 +69,13 @@ class TestExactMode:
 
     def test_empty_window_returns_none(self):
         system = SlidingWindowSystem(num_sites=2, window=5, seed=1)
-        system.process_slot(1, [(0, "x")])
-        assert system.query() == "x"
+        system.advance(1)
+        system.observe_batch([(0, "x")])
+        assert system.sample().first == "x"
         # Nothing arrives for > w slots: the window empties.
         for slot in range(2, 12):
-            system.process_slot(slot, [])
-        assert system.query() is None
+            system.advance(slot)
+        assert system.sample().first is None
 
     def test_slot_gaps(self):
         hasher = UnitHasher(50)
@@ -87,27 +89,30 @@ class TestExactMode:
                 (int(rng.integers(0, 2)), int(rng.integers(0, 30)))
                 for _ in range(int(rng.integers(0, 3)))
             ]
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             for _site, element in arrivals:
                 oracle.observe(element, slot)
             oracle.advance(slot)
-            assert system.query() == oracle.min_element()
+            assert system.sample().first == oracle.min_element()
 
     def test_refresh_extends_membership(self):
         system = SlidingWindowSystem(num_sites=1, window=5, seed=2)
-        system.process_slot(1, [(0, "a")])
+        system.advance(1)
+        system.observe_batch([(0, "a")])
         # Keep re-observing "a": it must stay sampled forever.
         for slot in range(2, 40):
-            system.process_slot(slot, [(0, "a")])
-            assert system.query() == "a"
+            system.advance(slot)
+            system.observe_batch([(0, "a")])
+            assert system.sample().first == "a"
 
     def test_expiry_is_exclusive_of_window_edge(self):
         system = SlidingWindowSystem(num_sites=1, window=3, seed=3)
-        system.process_slot(1, [(0, "a")])  # live slots 1,2,3
-        system.process_slot(3, [])
-        assert system.query() == "a"
-        system.process_slot(4, [])
-        assert system.query() is None
+        system.observe(0, "a", slot=1)  # live slots 1,2,3
+        system.advance(3)
+        assert system.sample().first == "a"
+        system.advance(4)
+        assert system.sample().first is None
 
 
 class TestPaperMode:
@@ -120,11 +125,12 @@ class TestPaperMode:
         rng = np.random.default_rng(1)
         agree = total = 0
         for slot, arrivals in random_schedule(rng, 3, 50, 1500):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             for _site, element in arrivals:
                 oracle.observe(element, slot)
             oracle.advance(slot)
-            got = system.query()
+            got = system.sample().first
             live = set(oracle.live_elements())
             if got is not None:
                 assert got in live, f"slot {slot}: served a dead element"
@@ -154,8 +160,9 @@ class TestStructureEquivalence:
             )
             queries = []
             for slot, arrivals in schedule:
-                system.process_slot(slot, arrivals)
-                queries.append(system.query())
+                system.advance(slot)
+                system.observe_batch(arrivals)
+                queries.append(system.sample().first)
             results[structure] = (system.total_messages, queries)
         assert results["treap"] == results["sorted"]
 
@@ -169,7 +176,8 @@ class TestMessageAccounting:
         system = SlidingWindowSystem(num_sites=3, window=15, seed=5)
         rng = np.random.default_rng(2)
         for slot, arrivals in random_schedule(rng, 3, 40, 500):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
         stats = system.network.stats
         assert stats.total_messages == 2 * stats.site_to_coordinator
         assert stats.by_kind[MessageKind.SW_REPORT] == stats.site_to_coordinator
@@ -188,7 +196,8 @@ class TestMessageAccounting:
                     (int(rng.integers(0, 3)), int(rng.integers(0, 10_000)))
                     for _ in range(3)
                 ]
-                system.process_slot(slot, arrivals)
+                system.advance(slot)
+                system.observe_batch(arrivals)
             totals[window] = system.total_messages
         assert totals[100] < totals[10]
 
@@ -204,7 +213,8 @@ class TestMemory:
                 (int(rng.integers(0, 2)), int(rng.integers(0, 100_000)))
                 for _ in range(2)
             ]
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             peak = max(peak, max(system.per_site_memory()))
         # M_i <= 500 live distinct per site; H_500 ~ 6.8.  Allow slack for
         # the max over time, but require far below the window size.
@@ -213,7 +223,8 @@ class TestMemory:
     def test_memory_reporting_shape(self):
         system = SlidingWindowSystem(num_sites=4, window=10, seed=8)
         assert system.per_site_memory() == [0, 0, 0, 0]
-        system.process_slot(1, [(0, "a"), (2, "b")])
+        system.advance(1)
+        system.observe_batch([(0, "a"), (2, "b")])
         sizes = system.per_site_memory()
         assert len(sizes) == 4
         assert sizes[0] >= 1 and sizes[2] >= 1
@@ -228,9 +239,9 @@ class TestErrors:
 
     def test_clock_rewind_rejected(self):
         system = SlidingWindowSystem(num_sites=1, window=5, seed=1)
-        system.process_slot(10, [])
+        system.advance(10)
         with pytest.raises(ProtocolError):
-            system.process_slot(9, [])
+            system.advance(9)
 
     def test_site_rejects_foreign_kind(self):
         system = SlidingWindowSystem(num_sites=1, window=5, seed=1)

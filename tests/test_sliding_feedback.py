@@ -33,11 +33,12 @@ class TestExactness:
         oracle = CentralizedWindowSampler(20, sample_size, hasher)
         rng = np.random.default_rng(seed)
         for slot, arrivals in random_schedule(rng, 3, 50, 500):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             for _site, element in arrivals:
                 oracle.observe(element, slot)
             oracle.advance(slot)
-            assert system.query() == oracle.sample(), f"slot {slot}"
+            assert system.sample() == oracle.sample(), f"slot {slot}"
 
     def test_heavy_churn_tiny_window(self):
         hasher = UnitHasher(99)
@@ -47,23 +48,25 @@ class TestExactness:
         oracle = CentralizedWindowSampler(3, 3, hasher)
         rng = np.random.default_rng(9)
         for slot, arrivals in random_schedule(rng, 2, 12, 400, max_per_slot=7):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             for _site, element in arrivals:
                 oracle.observe(element, slot)
             oracle.advance(slot)
-            assert system.query() == oracle.sample()
+            assert system.sample() == oracle.sample()
 
     def test_window_empties(self):
         system = SlidingWindowBottomSFeedback(
             num_sites=2, window=5, sample_size=3, seed=2
         )
-        system.process_slot(1, [(0, "a"), (1, "b")])
-        assert system.query() == sorted(
+        system.advance(1)
+        system.observe_batch([(0, "a"), (1, "b")])
+        assert system.sample() == sorted(
             ["a", "b"], key=system.hasher.unit
         )
         for slot in range(2, 12):
-            system.process_slot(slot, [])
-        assert system.query() == []
+            system.advance(slot)
+        assert system.sample() == []
 
 
 class TestThresholdInvariants:
@@ -77,7 +80,8 @@ class TestThresholdInvariants:
         )
         rng = np.random.default_rng(3)
         for slot, arrivals in random_schedule(rng, 3, 40, 400):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             coordinator = system.coordinator
             u, valid = coordinator._threshold(slot)
             for site in system.sites:
@@ -93,7 +97,8 @@ class TestThresholdInvariants:
         )
         rng = np.random.default_rng(1)
         for slot, arrivals in random_schedule(rng, 3, 40, 300):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
         stats = system.network.stats
         assert stats.total_messages == 2 * stats.site_to_coordinator
         assert stats.by_kind[MessageKind.SW_REPORT] == stats.site_to_coordinator
@@ -111,9 +116,11 @@ class TestVsLocalPush:
         rng = np.random.default_rng(5)
         schedule = list(random_schedule(rng, 4, 60, 600))
         for slot, arrivals in schedule:
-            feedback.process_slot(slot, arrivals)
-            push.process_slot(slot, arrivals)
-            assert feedback.query() == push.query()
+            feedback.advance(slot)
+            feedback.observe_batch(arrivals)
+            push.advance(slot)
+            push.observe_batch(arrivals)
+            assert feedback.sample() == list(push.sample().items)
         # Both are exact; costs differ by strategy, not correctness.
         assert feedback.total_messages > 0
         assert push.total_messages > 0
@@ -145,18 +152,20 @@ class TestErrors:
 
 
 class TestFactoryIntegration:
-    def test_factory_dispatch(self):
-        from repro import sliding_window_sampler
+    def test_registry_dispatch(self):
+        from repro import make_sampler
         from repro.core.sliding import SlidingWindowSystem
 
         assert isinstance(
-            sliding_window_sampler(2, 10, sample_size=1), SlidingWindowSystem
+            make_sampler("sliding", num_sites=2, window=10), SlidingWindowSystem
         )
         assert isinstance(
-            sliding_window_sampler(2, 10, sample_size=4),
+            make_sampler("sliding", num_sites=2, window=10, sample_size=4),
             SlidingWindowBottomSFeedback,
         )
         assert isinstance(
-            sliding_window_sampler(2, 10, sample_size=4, feedback=False),
+            make_sampler(
+                "sliding-local-push", num_sites=2, window=10, sample_size=4
+            ),
             SlidingWindowBottomS,
         )

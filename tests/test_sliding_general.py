@@ -30,29 +30,32 @@ class TestExactness:
         oracle = CentralizedWindowSampler(20, sample_size, hasher)
         rng = np.random.default_rng(sample_size)
         for slot, arrivals in random_schedule(rng, 3, 50, 500):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             for _site, element in arrivals:
                 oracle.observe(element, slot)
             oracle.advance(slot)
-            assert system.query() == oracle.sample(), f"slot {slot}"
+            assert system.sample() == oracle.sample(), f"slot {slot}"
 
     def test_sample_shrinks_with_window(self):
         system = SlidingWindowBottomS(
             num_sites=2, window=4, sample_size=3, seed=1
         )
-        system.process_slot(1, [(0, "a"), (1, "b")])
-        assert len(system.query()) == 2
+        system.advance(1)
+        system.observe_batch([(0, "a"), (1, "b")])
+        assert len(system.sample()) == 2
         for slot in range(2, 10):
-            system.process_slot(slot, [])
-        assert system.query() == []
+            system.advance(slot)
+        assert system.sample() == []
 
     def test_refresh_keeps_elements_alive(self):
         system = SlidingWindowBottomS(
             num_sites=1, window=3, sample_size=2, seed=2
         )
         for slot in range(1, 30):
-            system.process_slot(slot, [(0, "keeper")])
-            assert "keeper" in system.query()
+            system.advance(slot)
+            system.observe_batch([(0, "keeper")])
+            assert "keeper" in system.sample()
 
 
 class TestMessages:
@@ -62,7 +65,8 @@ class TestMessages:
         )
         rng = np.random.default_rng(0)
         for slot, arrivals in random_schedule(rng, 3, 40, 400):
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
         stats = system.network.stats
         assert stats.coordinator_to_site == 0
         assert stats.total_messages == stats.site_to_coordinator
@@ -73,7 +77,8 @@ class TestMessages:
             num_sites=2, window=10, sample_size=2, seed=4
         )
         assert system.per_site_memory() == [0, 0]
-        system.process_slot(1, [(0, "x")])
+        system.advance(1)
+        system.observe_batch([(0, "x")])
         assert system.per_site_memory()[0] == 1
 
 

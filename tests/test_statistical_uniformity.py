@@ -18,6 +18,7 @@ from repro import (
     DistinctSamplerSystem,
     SlidingWindowBottomS,
     SlidingWindowSystem,
+    make_sampler,
 )
 
 
@@ -113,8 +114,9 @@ class TestSlidingWindowUniformity:
         for seed in range(trials):
             system = SlidingWindowSystem(num_sites=2, window=window, seed=seed)
             for slot, arrivals in schedule:
-                system.process_slot(slot, arrivals)
-            counts[system.query()] += 1
+                system.advance(slot)
+                system.observe_batch(arrivals)
+            counts[system.sample().first] += 1
         expected = trials / len(live)
         chi2 = sum(
             (counts.get(e, 0) - expected) ** 2 / expected for e in live
@@ -122,6 +124,54 @@ class TestSlidingWindowUniformity:
         # len(live)-1 dof; generous p≈0.001 bound.
         dof = len(live) - 1
         assert chi2 < dof + 3.3 * (2 * dof) ** 0.5 + 10, f"chi2={chi2:.1f}, dof={dof}"
+
+    @pytest.mark.parametrize(
+        "variant", ["sliding-feedback", "sliding-local-push"]
+    )
+    def test_general_s_inclusion_uniform_over_live_window(self, variant):
+        # The bottom-s window sample must include every live distinct
+        # element with equal probability s/|live|, regardless of arrival
+        # frequency — chi-square over many independent hash seeds,
+        # mirroring the infinite-window uniformity test.
+        universe, s, trials = 18, 3, 300
+        window = 20
+        counts: Counter = Counter()
+        schedule = []
+        rng = np.random.default_rng(7)
+        for slot in range(1, 40):
+            # Heavily skewed arrivals: low ids repeat far more often.
+            arrivals = [
+                (int(rng.integers(0, 2)), int(e * e) % universe)
+                for e in rng.integers(0, universe, 3)
+            ]
+            schedule.append((slot, arrivals))
+        final_slot = schedule[-1][0]
+        live = set()
+        for slot, arrivals in schedule:
+            if slot > final_slot - window:
+                live.update(e for _, e in arrivals)
+        assert len(live) > s
+        for seed in range(trials):
+            system = make_sampler(
+                variant, num_sites=2, window=window, sample_size=s, seed=seed
+            )
+            for slot, arrivals in schedule:
+                system.advance(slot)
+                system.observe_batch(arrivals)
+            members = system.sample().items
+            assert len(members) == s
+            assert set(members) <= live
+            for member in members:
+                counts[member] += 1
+        total = sum(counts.values())
+        assert total == trials * s
+        expected = total / len(live)
+        chi2 = sum(
+            (counts.get(e, 0) - expected) ** 2 / expected for e in live
+        )
+        dof = len(live) - 1
+        bound = dof + 3.3 * (2 * dof) ** 0.5 + 10  # generous p ~ 0.001
+        assert chi2 < bound, f"{variant}: chi2={chi2:.1f}, dof={dof}"
 
     def test_bottom_s_without_replacement(self):
         system = SlidingWindowBottomS(
@@ -133,6 +183,7 @@ class TestSlidingWindowUniformity:
                 (int(rng.integers(0, 2)), int(rng.integers(0, 50)))
                 for _ in range(3)
             ]
-            system.process_slot(slot, arrivals)
-        members = system.query()
+            system.advance(slot)
+            system.observe_batch(arrivals)
+        members = system.sample().items
         assert len(members) == len(set(members)) == 5

@@ -14,7 +14,6 @@ executable bound formulas from :mod:`repro.analysis.bounds`:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import DistinctSamplerSystem, SlidingWindowSystem
 from repro.analysis import (
@@ -139,7 +138,8 @@ class TestSpaceBound:
             for _ in range(2):
                 arrivals.append((int(rng.integers(0, k)), element))
                 element += 1  # all distinct
-            system.process_slot(slot, arrivals)
+            system.advance(slot)
+            system.observe_batch(arrivals)
             if slot > window:  # steady state
                 sizes.extend(system.per_site_memory())
         mean_size = np.mean(sizes)

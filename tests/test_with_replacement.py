@@ -83,10 +83,11 @@ class TestSlidingWithReplacement:
         sampler = SlidingWindowWithReplacement(
             num_sites=2, window=5, sample_size=3, seed=5
         )
-        sampler.process_slot(1, [(0, "a")])
+        sampler.advance(1)
+        sampler.observe_batch([(0, "a")])
         assert sampler.sample() == ["a", "a", "a"]
         for slot in range(2, 10):
-            sampler.process_slot(slot, [])
+            sampler.advance(slot)
         assert sampler.sample() == [None, None, None]
 
     def test_messages_aggregate(self):
@@ -95,8 +96,9 @@ class TestSlidingWithReplacement:
         )
         rng = np.random.default_rng(1)
         for slot in range(1, 200):
-            sampler.process_slot(
-                slot, [(int(rng.integers(0, 2)), int(rng.integers(0, 30)))]
+            sampler.advance(slot)
+            sampler.observe_batch(
+                [(int(rng.integers(0, 2)), int(rng.integers(0, 30)))]
             )
         assert sampler.total_messages == sum(
             copy.total_messages for copy in sampler.copies
