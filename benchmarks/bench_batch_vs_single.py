@@ -1,17 +1,22 @@
 """Batch vs single-item ingestion through the unified protocol.
 
 Quantifies what the vectorized ``observe_batch`` fast path buys over a
-loop of per-item ``observe`` calls on the same stream.  The infinite
-system's batch path pre-hashes the whole batch with NumPy and prunes
-elements that provably cannot be reported (site thresholds only ever
-decrease), so on duplicate-heavy streams it skips most of the per-element
-Python work; both paths produce byte-identical coordinator state (also
-asserted here and in the conformance tests).
+loop of per-item ``observe`` calls on the same stream (the acceptance
+floor tracked by ``tests/test_perf.py`` is >= 3x on this 20k-element
+infinite-window workload).  The batch path bulk-hashes with NumPy and
+pre-filters elements that provably cannot be reported (site thresholds
+only ever decrease, re-read chunk by chunk), so it skips most of the
+per-element Python work; both paths produce byte-identical coordinator
+state (asserted in the batch-equivalence tests).
+
+The workload comes from the shared scenario registry
+(:mod:`repro.perf.scenarios`) — the same ``uniform`` recipe the
+``repro perf`` suite measures and CI gates.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from conftest import scenario_events
 
 from repro import make_sampler
 
@@ -21,10 +26,7 @@ _SAMPLE = 16
 
 
 def _workload():
-    rng = np.random.default_rng(7)
-    elements = rng.integers(0, 5000, _N).tolist()
-    sites = rng.integers(0, _SITES, _N).tolist()
-    return list(zip(sites, elements))
+    return scenario_events("uniform", _N, _SITES, seed=7)
 
 
 def _build():
@@ -58,15 +60,3 @@ def test_observe_batch(benchmark):
 
     messages = benchmark(run)
     assert messages > 0
-
-
-def test_batch_equals_single():
-    # Not a timing: the two paths must agree exactly on sample and costs.
-    events = _workload()
-    single = _build()
-    for site, element in events:
-        single.observe(site, element)
-    batched = _build()
-    batched.observe_batch(events)
-    assert batched.sample() == single.sample()
-    assert batched.stats() == single.stats()

@@ -8,6 +8,7 @@ two candidate-set backends (the wall-clock side of ``ablation_structure``).
 from __future__ import annotations
 
 import numpy as np
+from conftest import scenario_events
 
 from repro import make_sampler
 from repro.hashing import UnitHasher, unit_hash_array
@@ -35,10 +36,8 @@ def test_hash_mix64_vectorized(benchmark):
 
 
 def test_infinite_ingest_fast_path(benchmark):
-    rng = np.random.default_rng(0)
-    elements = rng.integers(0, 5000, _N).tolist()
+    sites, elements = zip(*scenario_events("uniform", _N, 8, seed=0))
     hashes = unit_hash_array(np.array(elements), 5).tolist()
-    sites = rng.integers(0, 8, _N).tolist()
 
     def run():
         system = make_sampler(
@@ -55,20 +54,13 @@ def test_infinite_ingest_fast_path(benchmark):
 
 
 def test_sliding_ingest(benchmark):
-    rng = np.random.default_rng(1)
-    elements = rng.integers(0, 50_000, 10_000).tolist()
-    sites = rng.integers(0, 5, 10_000).tolist()
+    events = scenario_events("sliding-churn", 10_000, 5, seed=1, window=200)
 
     def run():
         system = make_sampler(
             "sliding", num_sites=5, window=200, seed=3, algorithm="mix64"
         )
-        for slot in range(2000):
-            lo = slot * 5
-            system.advance(slot + 1)
-            system.observe_batch(
-                [(sites[lo + j], elements[lo + j]) for j in range(5)]
-            )
+        system.observe_batch(events)
         return system.total_messages
 
     messages = benchmark(run)

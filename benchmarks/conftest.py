@@ -14,6 +14,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentConfig
+from repro.perf import ScenarioParams, get_scenario
 
 
 @pytest.fixture(scope="session")
@@ -31,3 +32,24 @@ def bench_config_small() -> ExperimentConfig:
 def run_once(benchmark, fn, *args):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def scenario_events(
+    name: str,
+    n_events: int,
+    num_sites: int,
+    seed: int = 7,
+    window: int = 64,
+) -> list:
+    """Build a workload from the shared perf scenario registry.
+
+    The single source of stream-generation truth for these benchmarks —
+    the ad-hoc ``rng.integers`` helpers that used to be copy-pasted
+    across the ``bench_*`` modules now all resolve to
+    :mod:`repro.perf.scenarios` recipes, the same ones ``repro perf run``
+    measures and CI gates.
+    """
+    params = ScenarioParams(
+        n_events=n_events, num_sites=num_sites, seed=seed, window=window
+    )
+    return get_scenario(name).build(params)

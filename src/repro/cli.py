@@ -9,6 +9,10 @@ Commands:
 * ``repro variants`` — list the registered sampler variants.
 * ``repro demo`` — drive any registered sampler over a calibrated
   dataset through the unified ``make_sampler`` front door.
+* ``repro perf run|compare|baseline`` — the benchmark suite: run the
+  scenario x variant grid to a schema-versioned JSON report, diff a
+  report against a baseline with per-metric tolerances (nonzero exit on
+  regression), or (re)generate ``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -93,6 +97,85 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="window size in slots (sliding variants; 0 = infinite)",
+    )
+
+    perf_p = sub.add_parser(
+        "perf", help="benchmark suite: run / compare / baseline"
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    def _add_suite_args(
+        p: argparse.ArgumentParser, n: int = 20_000, repeats: int = 1
+    ) -> None:
+        p.add_argument(
+            "--n", type=int, default=n, help="events per scenario"
+        )
+        p.add_argument("--sites", type=int, default=8, help="number of sites")
+        p.add_argument("--sample-size", type=int, default=16)
+        p.add_argument(
+            "--window", type=int, default=64, help="window for slotted cells"
+        )
+        p.add_argument("--seed", type=int, default=20150525)
+        p.add_argument(
+            "--repeats",
+            type=int,
+            default=repeats,
+            help="timed runs per cell (best-of)",
+        )
+        p.add_argument(
+            "--scenario",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to a scenario (repeatable; default all)",
+        )
+        p.add_argument(
+            "--variant",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to a variant (repeatable; default all)",
+        )
+
+    perf_run = perf_sub.add_parser(
+        "run", help="run the suite and write a JSON report"
+    )
+    _add_suite_args(perf_run)
+    perf_run.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report here"
+    )
+
+    perf_cmp = perf_sub.add_parser(
+        "compare",
+        help="diff a report against a baseline; exit 1 on regression",
+    )
+    perf_cmp.add_argument("current", help="report JSON produced by 'perf run'")
+    perf_cmp.add_argument("baseline", help="baseline JSON to diff against")
+    perf_cmp.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=2.5,
+        help="max elapsed_s slowdown factor (default 2.5)",
+    )
+    perf_cmp.add_argument(
+        "--count-tolerance",
+        type=float,
+        default=1.25,
+        help="max factor for the deterministic counters (default 1.25)",
+    )
+
+    perf_base = perf_sub.add_parser(
+        "baseline", help="run the suite and (re)write the committed baseline"
+    )
+    # Defaults must mirror the CI perf-smoke run's workload (--n 8000) or
+    # a bare `repro perf baseline` would commit counters CI can never
+    # match; compare_reports rejects mismatched workloads outright.
+    _add_suite_args(perf_base, n=8_000, repeats=2)
+    perf_base.add_argument(
+        "--out",
+        default="benchmarks/baseline.json",
+        metavar="FILE",
+        help="baseline path (default benchmarks/baseline.json)",
     )
     return parser
 
@@ -228,6 +311,52 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_suite_config(args: argparse.Namespace):
+    from .perf import SuiteConfig
+
+    return SuiteConfig(
+        n_events=args.n,
+        num_sites=args.sites,
+        sample_size=args.sample_size,
+        window=args.window,
+        seed=args.seed,
+        repeats=args.repeats,
+        scenarios=tuple(args.scenario or ()),
+        variants=tuple(args.variant or ()),
+    )
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import (
+        Tolerances,
+        compare_reports,
+        load_report,
+        run_suite,
+        save_report,
+    )
+
+    if args.perf_command == "compare":
+        current = load_report(args.current)
+        baseline = load_report(args.baseline)
+        comparison = compare_reports(
+            current,
+            baseline,
+            Tolerances(
+                time_factor=args.time_tolerance,
+                count_factor=args.count_tolerance,
+            ),
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    report = run_suite(_perf_suite_config(args), progress=print)
+    out = args.out
+    if args.perf_command == "baseline" or out is not None:
+        path = save_report(report, out)
+        print(f"wrote {path} ({len(report.records)} records)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -245,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_variants()
         if args.command == "demo":
             return _cmd_demo(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -40,12 +40,20 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+import numpy as np
+
 from ..errors import ConfigurationError, ProtocolError
-from ..hashing.unit import UnitHasher
+from ..hashing.unit import UnitHasher, unit_hash_vector
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..structures.bottomk import BottomK
-from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
+from .protocol import (
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    iter_event_runs,
+    revive_element,
+)
 
 __all__ = [
     "InfiniteWindowSite",
@@ -203,46 +211,41 @@ class DistinctSamplerSystem(Sampler):
         self.sites[site_id].observe(element, self.network)
 
     def observe_batch(self, events) -> int:
-        """Vectorized batch ingestion of ``(site_id, item)`` events.
+        """Vectorized batch ingestion (semantics of the generic loop).
 
-        Semantically identical to looping :meth:`observe` (verified by
-        the conformance tests).  When the system uses the ``mix64``
-        integer hash, the whole batch is pre-hashed with NumPy and run
-        through :meth:`process_batch`, which pre-filters elements that
-        provably cannot be reported; other algorithms fall back to the
-        generic loop.
+        The batch is split into same-slot runs (:func:`iter_event_runs`),
+        each run is bulk-hashed (:func:`~repro.hashing.unit.unit_hash_batch`
+        — one NumPy pass under ``mix64``) and pushed through
+        :meth:`process_batch`, which pre-filters elements that provably
+        cannot be reported.  Equivalence with looping :meth:`observe` is
+        covered by the conformance and batch-equivalence tests.
         """
         events = events if isinstance(events, list) else list(events)
-        if not events or self.hasher.algorithm != "mix64":
-            return super().observe_batch(events)
-        import numpy as np
-
-        def _vectorizable(item: Any) -> bool:
-            # int64-exact integers only: bools and out-of-range ints would
-            # be silently coerced by np.fromiter (or overflow), breaking
-            # equivalence with the generic loop.
-            return (
-                isinstance(item, (int, np.integer))
-                and not isinstance(item, bool)
-                and -(2**63) <= item < 2**63
-            )
-
-        if any(
-            len(event) != 2 or not _vectorizable(event[1]) for event in events
-        ):
-            return super().observe_batch(events)
-
-        from ..hashing.unit import unit_hash_array
-
-        items = np.fromiter(
-            (event[1] for event in events), dtype=np.int64, count=len(events)
-        )
-        site_ids = np.fromiter(
-            (event[0] for event in events), dtype=np.int64, count=len(events)
-        )
-        hashes = unit_hash_array(items, self.hasher.seed)
-        self.process_batch(site_ids, items.tolist(), hashes)
+        if not events:
+            return 0
+        if len(events[0]) == 2 and set(map(len, events)) == {2}:
+            self._deliver_batch(events)
+        else:
+            for slot, batch in iter_event_runs(events):
+                if slot is not None:
+                    self.advance(slot)
+                self._deliver_batch(batch)
         return len(events)
+
+    def _deliver_batch(self, batch: list) -> None:
+        """Bulk-hash one same-slot run and pre-filter silent elements.
+
+        Uses :func:`~repro.hashing.unit.unit_hash_vector` directly (not
+        ``unit_hash_batch``) to keep the hash array in NumPy form — no
+        list round-trip before the filter.
+        """
+        if not batch:
+            return
+        site_ids, items = zip(*batch)
+        hashes = unit_hash_vector(self.hasher, items)
+        if hashes is None:
+            hashes = self.hasher.unit_many(items)
+        self.process_batch(site_ids, items, hashes)
 
     def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
         """Fast path with a precomputed hash (see site docs)."""
@@ -253,50 +256,60 @@ class DistinctSamplerSystem(Sampler):
         site_ids,
         elements,
         hashes,
+        chunk: int = 1024,
     ) -> int:
         """Vectorized bulk ingestion (semantically identical to a loop of
         :meth:`observe_hashed`, verified by the equivalence tests).
 
         Exploits monotonicity: each site's threshold ``u_i`` only ever
         *decreases*, so any element with ``h >= u_i``-as-of-now can never
-        be reported later in the batch either — NumPy pre-filters those
-        wholesale and only the surviving candidates walk the slow path
-        (re-checking against the live threshold, which may have dropped
-        further).  On duplicate-heavy streams this cuts per-element Python
-        work by an order of magnitude once the sample stabilizes.
+        be reported later in the batch either.  The batch is swept in
+        chunks; before each chunk the live thresholds are re-read and
+        NumPy filters out the provably silent elements wholesale, so only
+        the surviving candidates walk the slow path (which still
+        re-checks against the live threshold — it may have dropped
+        further mid-chunk).  Once the sample stabilizes, whole chunks are
+        skipped with a single vector compare.
 
         Args:
             site_ids: Per-element site assignment (array-like of int).
-            elements: Element ids (array-like of int).
+            elements: The elements themselves (any type; delivered as-is).
             hashes: Matching unit hashes (array-like of float).
+            chunk: Elements per threshold refresh (tuning knob only —
+                any value yields identical protocol behaviour).
 
         Returns:
             The number of elements that took the slow path.
         """
-        import numpy as np
-
-        site_arr = np.asarray(site_ids)
+        site_arr = np.asarray(site_ids, dtype=np.intp)
         hash_arr = np.asarray(hashes, dtype=np.float64)
-        if not (len(site_arr) == len(hash_arr) == len(elements)):
+        n = len(hash_arr)
+        if not (len(site_arr) == n == len(elements)):
             raise ConfigurationError(
                 "site_ids, elements, and hashes must have equal lengths"
             )
-        # Thresholds as of batch start; u_i never increases, so elements
-        # filtered out here are provably silent for the whole batch.
-        thresholds = np.array([site.u_local for site in self.sites])
-        candidate_mask = hash_arr < thresholds[site_arr]
-        candidate_indices = np.flatnonzero(candidate_mask)
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
         network = self.network
         sites = self.sites
         slow = 0
         element_list = (
             elements if isinstance(elements, list) else list(elements)
         )
-        for i in candidate_indices.tolist():
-            sites[site_arr[i]].observe_hashed(
-                element_list[i], float(hash_arr[i]), network
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            # Thresholds as of chunk start; u_i never increases, so
+            # elements filtered out here are silent for the whole chunk.
+            thresholds = np.array([site.u_local for site in sites])
+            candidate_mask = (
+                hash_arr[start:stop] < thresholds[site_arr[start:stop]]
             )
-            slow += 1
+            for i in np.flatnonzero(candidate_mask).tolist():
+                j = start + i
+                sites[site_arr[j]].observe_hashed(
+                    element_list[j], float(hash_arr[j]), network
+                )
+                slow += 1
         return slow
 
     def flood(self, element: Any) -> None:

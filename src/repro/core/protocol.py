@@ -48,6 +48,7 @@ __all__ = [
     "SamplerConfig",
     "Sampler",
     "deprecated_call",
+    "iter_event_runs",
 ]
 
 _INF = float("inf")
@@ -284,6 +285,39 @@ def load_stats_state(network: Network, state: dict[str, Any]) -> None:
 #: An ingestion event: ``(site_id, item)`` delivered at the current slot,
 #: or ``(site_id, item, slot)`` advancing time first.
 Event = Union[tuple, Sequence]
+
+
+def iter_event_runs(events: Iterable[Event]):
+    """Group an event sequence into ``(slot, [(site, item), ...])`` runs.
+
+    A run collects consecutive events delivered at the same protocol time:
+    slot-stamped events open a new run whenever their slot differs from the
+    run's slot; unstamped 2-tuples always join the current run.  Replaying
+    ``advance(slot)`` (when ``slot`` is not None) followed by the run's
+    deliveries reproduces, event for event, what the generic
+    :meth:`Sampler.observe_batch` loop does — including *where* a
+    non-monotone slot stamp raises, since earlier runs have already been
+    delivered by then.  The vectorized ``observe_batch`` overrides use this
+    to get whole same-slot batches they can bulk-hash and pre-filter.
+
+    Yields:
+        ``(slot, batch)`` pairs where ``slot`` is None for a run delivered
+        at the current slot without advancing, and ``batch`` is a list of
+        ``(site_id, item)`` pairs in arrival order.
+    """
+    pending_slot: Optional[int] = None
+    run: list = []
+    for event in events:
+        # Mirror the generic loop's branch exactly: anything that is not
+        # a 2-tuple is treated as slot-stamped via event[2].
+        if len(event) != 2 and event[2] != pending_slot:
+            if run or pending_slot is not None:
+                yield pending_slot, run
+                run = []
+            pending_slot = event[2]
+        run.append((event[0], event[1]))
+    if run or pending_slot is not None:
+        yield pending_slot, run
 
 
 class Sampler(ABC):

@@ -62,7 +62,7 @@ import math
 from typing import Any, Optional
 
 from ..errors import ConfigurationError, ProtocolError
-from ..hashing.unit import UnitHasher
+from ..hashing.unit import UnitHasher, unit_hash_batch
 from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
@@ -73,6 +73,7 @@ from .protocol import (
     SamplerConfig,
     decode_expiry,
     encode_expiry,
+    iter_event_runs,
     revive_element,
 )
 
@@ -367,6 +368,52 @@ class SlidingWindowSystem(Sampler):
     def _deliver(self, site_id: int, element: Any) -> None:
         """Deliver an arrival at the current slot."""
         self.sites[site_id].observe(element, self.clock.now, self.network)
+
+    def observe_batch(self, events) -> int:
+        """Vectorized batch ingestion (semantics of the generic loop).
+
+        Splits the batch into same-slot runs, bulk-hashes each run
+        (:func:`~repro.hashing.unit.unit_hash_batch`), and — on a
+        synchronous network — drops exact ``(site, element)`` repeats
+        within a run: for ``s = 1`` the site threshold ``u_i`` is
+        non-increasing within a slot (every coordinator reply carries a
+        hash no larger than the reported one), so a same-slot repeat can
+        never report and its candidate refresh is a no-op.  That proof
+        needs the reply to land *before* the repeat, so the dedup is
+        skipped on delay-tolerant networks (``network.synchronous`` is
+        False), where the generic loop really does re-report.
+        Equivalence with looping :meth:`observe` is covered by the
+        batch-equivalence tests for both network flavours.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if not events:
+            return 0
+        for slot, batch in iter_event_runs(events):
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_batch(batch)
+        return len(events)
+
+    def _deliver_batch(self, batch: list) -> None:
+        """Deliver one same-slot run with precomputed hashes (+ dedup)."""
+        if not batch:
+            return
+        items = [item for _, item in batch]
+        hashes = unit_hash_batch(self.hasher, items)
+        now = self.clock.now
+        network = self.network
+        sites = self.sites
+        if not network.synchronous:
+            for (site_id, item), h in zip(batch, hashes):
+                sites[site_id].observe_hashed(item, h, now, network)
+            return
+        seen: set = set()
+        for (site_id, item), h in zip(batch, hashes):
+            key = (site_id, item)
+            if key in seen:
+                continue
+            seen.add(key)
+            sites[site_id].observe_hashed(item, h, now, network)
 
     def sample(self) -> SampleResult:
         """The window's distinct sample (at most one item for s = 1)."""

@@ -40,7 +40,7 @@ import math
 from typing import Any, Optional
 
 from ..errors import ConfigurationError, ProtocolError
-from ..hashing.unit import UnitHasher
+from ..hashing.unit import UnitHasher, unit_hash_batch
 from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
@@ -51,6 +51,7 @@ from .protocol import (
     SamplerConfig,
     decode_expiry,
     encode_expiry,
+    iter_event_runs,
     revive_element,
 )
 
@@ -262,6 +263,37 @@ class SlidingWindowBottomSFeedback(Sampler):
     def _deliver(self, site_id: int, element: Any) -> None:
         """Deliver an arrival at the current slot."""
         self.sites[site_id].observe(element, self.clock.now, self.network)
+
+    def observe_batch(self, events) -> int:
+        """Vectorized batch ingestion (semantics of the generic loop).
+
+        Same-slot runs are bulk-hashed and delivered through the
+        precomputed-hash fast path.  Unlike the ``s = 1`` system, repeats
+        are *not* dropped: the expiring threshold ``u_i`` can rise within
+        a slot (a reply is 1.0 while the coordinator knows fewer than
+        ``s`` candidates), so a same-slot repeat may legitimately report
+        where its first occurrence did not.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if not events:
+            return 0
+        for slot, batch in iter_event_runs(events):
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_batch(batch)
+        return len(events)
+
+    def _deliver_batch(self, batch: list) -> None:
+        """Deliver one same-slot run with precomputed hashes."""
+        if not batch:
+            return
+        items = [item for _, item in batch]
+        hashes = unit_hash_batch(self.hasher, items)
+        now = self.clock.now
+        network = self.network
+        sites = self.sites
+        for (site_id, item), h in zip(batch, hashes):
+            sites[site_id].observe_hashed(item, h, now, network)
 
     def sample(self) -> SampleResult:
         """The current window's bottom-s distinct sample."""

@@ -21,7 +21,13 @@ from typing import Any, Optional
 from ..errors import ConfigurationError
 from ..hashing.unit import SeededHashFamily
 from .infinite import DistinctSamplerSystem
-from .protocol import Sampler, SampleResult, SamplerConfig, SamplerStats
+from .protocol import (
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    SamplerStats,
+    iter_event_runs,
+)
 from .sliding import SlidingWindowSystem
 
 __all__ = ["WithReplacementSampler", "SlidingWindowWithReplacement"]
@@ -42,6 +48,26 @@ class _WithReplacementBase(Sampler):
     def _deliver(self, site_id: int, item: Any) -> None:
         for copy in self.copies:
             copy._deliver(site_id, item)
+
+    def observe_batch(self, events) -> int:
+        """Vectorized batch ingestion: one bulk call per copy per run.
+
+        The copies are fully independent (separate hashers and networks),
+        so handing each copy a whole same-slot run at once — letting it
+        bulk-hash with *its* seed — produces exactly the state the
+        event-by-event loop would.  The facade advances first, which (for
+        the sliding flavour) moves every copy's clock to the run's slot
+        before delivery.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if not events:
+            return 0
+        for slot, batch in iter_event_runs(events):
+            if slot is not None:
+                self.advance(slot)
+            for copy in self.copies:
+                copy.observe_batch(batch)
+        return len(events)
 
     def sample(self) -> SampleResult:
         """One independent uniform distinct draw per copy.

@@ -33,6 +33,15 @@ class DatasetError(ReproError):
     """A dataset specification could not be resolved or generated."""
 
 
+class PerfError(ReproError):
+    """A benchmark report could not be produced, parsed, or compared.
+
+    Examples: an unknown scenario name, a report JSON with a missing or
+    unsupported schema version, a baseline that does not cover the
+    scenario/variant grid of the report it is compared against.
+    """
+
+
 class EstimationError(ReproError):
     """An estimator was queried in a state where no estimate is defined.
 

@@ -15,7 +15,14 @@ from .murmur import (
     murmur3_32,
     murmur3_128_x64,
 )
-from .unit import HASH_ALGORITHMS, SeededHashFamily, UnitHasher, unit_hash_array
+from .unit import (
+    HASH_ALGORITHMS,
+    SeededHashFamily,
+    UnitHasher,
+    unit_hash_array,
+    unit_hash_batch,
+    unit_hash_vector,
+)
 
 __all__ = [
     "Element",
@@ -30,4 +37,6 @@ __all__ = [
     "SeededHashFamily",
     "HASH_ALGORITHMS",
     "unit_hash_array",
+    "unit_hash_batch",
+    "unit_hash_vector",
 ]

@@ -14,13 +14,21 @@ uses one family member per parallel copy.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import Optional
 
 import numpy as np
 
 from .encoding import Element, encode_element
 from .murmur import fmix64, fmix64_array, murmur2_64a, murmur3_128_x64, murmur3_32
 
-__all__ = ["UnitHasher", "SeededHashFamily", "HASH_ALGORITHMS", "unit_hash_array"]
+__all__ = [
+    "UnitHasher",
+    "SeededHashFamily",
+    "HASH_ALGORITHMS",
+    "unit_hash_array",
+    "unit_hash_batch",
+    "unit_hash_vector",
+]
 
 _TWO_53 = float(1 << 53)
 _MASK64 = 0xFFFFFFFFFFFFFFFF
@@ -148,6 +156,54 @@ def unit_hash_array(ids: np.ndarray, seed: int = 0) -> np.ndarray:
         )
     mixed = fmix64_array(keys)
     return (mixed >> np.uint64(11)).astype(np.float64) / _TWO_53
+
+
+def unit_hash_vector(hasher: UnitHasher, items) -> Optional[np.ndarray]:
+    """Vectorized unit hashes for a batch, or None when ineligible.
+
+    THE single definition of the mix64 vectorization gate: a batch is
+    NumPy-hashable iff the hasher is ``mix64`` and every item is a plain
+    int64-range Python int.  The type gate is deliberately exact
+    (``type(e) is int``) and runs at C speed via ``set(map(type, items))``
+    — it must exclude ``bool`` (NumPy would coerce ``True`` to ``1`` and
+    lose element identity downstream) and ``np.integer`` (the scalar
+    ``mix64`` path rejects those, and the batch must fail identically).
+    Out-of-int64 ints return None too; the scalar hasher handles them.
+
+    Args:
+        hasher: The shared :class:`UnitHasher`.
+        items: A sequence of elements (materialized, not a generator).
+
+    Returns:
+        A float64 array matching ``[hasher.unit(e) for e in items]``
+        element-for-element, or None when the batch must take the scalar
+        loop.
+    """
+    if (
+        hasher.algorithm != "mix64"
+        or not items
+        or set(map(type, items)) != {int}
+    ):
+        return None
+    try:
+        ids = np.array(items, dtype=np.int64)
+    except OverflowError:
+        return None
+    return unit_hash_array(ids, hasher.seed)
+
+
+def unit_hash_batch(hasher: UnitHasher, items) -> list[float]:
+    """Unit hashes for a whole batch, vectorized when the hasher allows.
+
+    Element-for-element equal to ``[hasher.unit(e) for e in items]``,
+    including the scalar path's error behaviour (e.g. ``mix64``
+    rejecting non-integers with TypeError).  See
+    :func:`unit_hash_vector` for the vectorization gate.
+    """
+    hashes = unit_hash_vector(hasher, items)
+    if hashes is not None:
+        return hashes.tolist()
+    return hasher.unit_many(items)
 
 
 class SeededHashFamily:

@@ -59,6 +59,8 @@ class DelayedNetwork(Network):
 
     __slots__ = ("_queues", "_rng", "delivered_messages")
 
+    synchronous = False  # sends queue; replies land only at pump time
+
     def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         self._queues: dict[tuple[int, int], deque[Message]] = {}

@@ -69,6 +69,12 @@ class Network:
 
     __slots__ = ("stats", "_nodes", "_depth", "_record_kinds")
 
+    #: Whether ``send`` delivers before returning.  Delay-tolerant
+    #: subclasses override this to False; the vectorized ingestion fast
+    #: paths consult it, because their same-slot dedup proofs rely on
+    #: coordinator replies landing synchronously.
+    synchronous = True
+
     def __init__(self, record_kinds: bool = True) -> None:
         self.stats = MessageStats()
         self._nodes: dict[int, Node] = {}

@@ -1,0 +1,213 @@
+"""Regression gate: diff a perf report against a committed baseline.
+
+Per-metric tolerances, because the metrics have very different noise
+characteristics:
+
+* ``elapsed_s`` is wall-clock — machine- and load-dependent, so the gate
+  uses a generous multiplicative factor (CI runs with 2.5x).
+* ``messages_total`` / ``bytes_total`` / ``memory_total`` are protocol
+  counters, exactly reproducible given the seed; they get a tight factor
+  that only absorbs cross-version RNG/platform drift.
+
+A comparison *fails* (``ok`` is False) when any shared record exceeds a
+tolerance, or when the current report lost coverage (a baseline record
+with no counterpart — a silently skipped variant is itself a
+regression).  Records new in the current report are reported but never
+fail the gate, so adding scenarios/variants does not require touching
+the baseline in the same change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PerfError
+from .report import PerfRecord, PerfReport
+
+__all__ = ["Tolerances", "MetricDelta", "Comparison", "compare_reports"]
+
+#: Suite parameters that shape the workload itself.  Two reports are only
+#: comparable when these agree — otherwise every counter ratio just
+#: measures the workload-size mismatch, not a regression.
+WORKLOAD_PARAMS = (
+    "n_events",
+    "num_sites",
+    "sample_size",
+    "window",
+    "seed",
+    "algorithm",
+)
+
+
+def _check_comparable(current: PerfReport, baseline: PerfReport) -> None:
+    """Reject report pairs whose workloads differ.
+
+    Raises:
+        PerfError: Naming every mismatched workload parameter.  Skipped
+            when either report carries no params (hand-built fixtures).
+    """
+    if not current.params or not baseline.params:
+        return
+    mismatches = [
+        f"{name}: current={current.params.get(name)!r} "
+        f"baseline={baseline.params.get(name)!r}"
+        for name in WORKLOAD_PARAMS
+        if current.params.get(name) != baseline.params.get(name)
+    ]
+    if mismatches:
+        raise PerfError(
+            "reports are not comparable — workload parameters differ "
+            "(regenerate the baseline with matching flags): "
+            + "; ".join(mismatches)
+        )
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Per-metric multiplicative ceilings (current <= baseline * factor).
+
+    Attributes:
+        time_factor: Ceiling for wall-clock ``elapsed_s``.
+        count_factor: Ceiling for the deterministic protocol counters.
+    """
+
+    time_factor: float = 2.5
+    count_factor: float = 1.25
+
+    def factor_for(self, metric: str) -> float:
+        """The ceiling factor that applies to ``metric``."""
+        return self.time_factor if metric == "elapsed_s" else self.count_factor
+
+
+#: Metrics the gate checks, in report order.  Higher-is-worse for all of
+#: them (throughput is implied by elapsed and not double-checked).
+GATED_METRICS = ("elapsed_s", "messages_total", "bytes_total", "memory_total")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric comparison inside one record pair."""
+
+    scenario: str
+    variant: str
+    metric: str
+    baseline: float
+    current: float
+    factor: float  # tolerance ceiling that applied
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        """Whether this metric exceeded its tolerance."""
+        return self.ratio > self.factor
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The result of diffing a report against a baseline."""
+
+    deltas: tuple
+    missing: tuple  # (scenario, variant) in baseline but not in current
+    added: tuple  # (scenario, variant) new in current (informational)
+
+    @property
+    def regressions(self) -> tuple:
+        """The deltas that exceeded their tolerance."""
+        return tuple(delta for delta in self.deltas if delta.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no coverage was lost."""
+        return not self.regressions and not self.missing
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI prints this)."""
+        lines = []
+        for delta in self.deltas:
+            if not delta.regressed:
+                continue
+            lines.append(
+                f"REGRESSION {delta.scenario}/{delta.variant} "
+                f"{delta.metric}: {delta.current:g} vs baseline "
+                f"{delta.baseline:g} ({delta.ratio:.2f}x > "
+                f"{delta.factor:g}x allowed)"
+            )
+        for key in self.missing:
+            lines.append(
+                f"MISSING {key[0]}/{key[1]}: present in baseline, "
+                "absent from the current report"
+            )
+        for key in self.added:
+            lines.append(f"new (uncompared): {key[0]}/{key[1]}")
+        checked = len(self.deltas)
+        if self.ok:
+            lines.append(
+                f"OK: {checked} metric comparisons within tolerance"
+            )
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} regression(s), "
+                f"{len(self.missing)} missing record(s) "
+                f"out of {checked} comparisons"
+            )
+        return "\n".join(lines)
+
+
+def _metric(record: PerfRecord, name: str) -> float:
+    return float(getattr(record, name))
+
+
+def compare_reports(
+    current: PerfReport,
+    baseline: PerfReport,
+    tolerances: Optional[Tolerances] = None,
+) -> Comparison:
+    """Diff ``current`` against ``baseline`` with per-metric tolerance.
+
+    Args:
+        current: The freshly produced report.
+        baseline: The committed reference report.
+        tolerances: Ceiling factors (defaults: 2.5x time, 1.25x counts).
+
+    Returns:
+        A :class:`Comparison`; check ``.ok`` for the gate verdict.
+
+    Raises:
+        PerfError: When the reports' workload parameters differ (the
+            counters would measure the mismatch, not a regression).
+    """
+    _check_comparable(current, baseline)
+    tolerances = tolerances or Tolerances()
+    current_by_key = current.by_key()
+    baseline_by_key = baseline.by_key()
+    deltas = []
+    missing = []
+    for key, base_record in baseline_by_key.items():
+        record = current_by_key.get(key)
+        if record is None:
+            missing.append(key)
+            continue
+        for metric in GATED_METRICS:
+            deltas.append(
+                MetricDelta(
+                    scenario=key[0],
+                    variant=key[1],
+                    metric=metric,
+                    baseline=_metric(base_record, metric),
+                    current=_metric(record, metric),
+                    factor=tolerances.factor_for(metric),
+                )
+            )
+    added = [key for key in current_by_key if key not in baseline_by_key]
+    return Comparison(
+        deltas=tuple(deltas),
+        missing=tuple(sorted(missing)),
+        added=tuple(sorted(added)),
+    )

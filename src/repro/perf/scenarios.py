@@ -1,0 +1,277 @@
+"""The benchmark scenario registry: parameterized, named workloads.
+
+A *scenario* is a deterministic recipe for an ingestion workload — a list
+of protocol events plus an (optional) custom driver — parameterized by
+size, site count, and seed.  The perf suite (:mod:`repro.perf.suite`)
+crosses the registry against the sampler-variant registry so every
+registered variant is exercised by every applicable workload shape, and
+the ``bench_*`` scripts and CLI reuse the exact same recipes instead of
+hand-rolling their own stream generators.
+
+Built-in scenarios:
+
+* ``uniform`` — uniformly random repeats over a moderate universe; the
+  steady-state ingestion shape (duplicates dominate once the sample
+  stabilizes).
+* ``bursty`` — temporally correlated repeats (geometric bursts), the
+  repeat-report stress shape of real packet traces.
+* ``adversarial`` — the Lemma 9 lower-bound input: a fresh distinct
+  element flooded to every site each round; maximal message pressure.
+* ``sliding-churn`` — a slotted schedule driving window expiry and
+  fallback churn (events carry slot stamps; infinite-window variants
+  treat them as bookkeeping).
+* ``netsim-roundtrip`` — the uniform workload driven through a
+  :class:`~repro.netsim.delayed.DelayedNetwork` with periodic pumps,
+  measuring ingestion with queued (rather than synchronous) coordinator
+  round-trips.
+
+Scenarios are registered via :func:`register_scenario`, mirroring
+:func:`repro.core.api.register_variant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.protocol import Sampler
+from ..errors import PerfError
+from ..streams.bursty import bursty_stream
+from ..streams.slotted import SlottedArrivals
+from ..streams.synthetic import all_distinct_stream, calibrated_stream
+
+__all__ = [
+    "ScenarioParams",
+    "Scenario",
+    "register_scenario",
+    "perf_scenarios",
+    "get_scenario",
+    "drive_observe_batch",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Workload knobs shared by every scenario.
+
+    Attributes:
+        n_events: Approximate number of ingestion events to generate
+            (scenarios may round, e.g. to whole flooding rounds).
+        num_sites: Number of sites k the events are dealt to.
+        seed: Master seed; equal params must yield equal workloads.
+        window: Window size in slots used by slotted scenarios to shape
+            churn (and by the suite to configure windowed variants).
+    """
+
+    n_events: int = 20_000
+    num_sites: int = 8
+    seed: int = 20150525
+    window: int = 64
+
+    def validate(self) -> "ScenarioParams":
+        """Check ranges; returns self."""
+        if self.n_events < 1:
+            raise PerfError(f"n_events must be >= 1, got {self.n_events}")
+        if self.num_sites < 1:
+            raise PerfError(f"num_sites must be >= 1, got {self.num_sites}")
+        if self.window < 1:
+            raise PerfError(f"window must be >= 1, got {self.window}")
+        return self
+
+
+#: A workload builder: params -> list of protocol events.
+EventBuilder = Callable[[ScenarioParams], list]
+#: A driver: (sampler, events, params) -> None; ingests the workload.
+Driver = Callable[[Sampler, list, ScenarioParams], None]
+
+
+def drive_observe_batch(
+    sampler: Sampler, events: list, params: ScenarioParams
+) -> None:
+    """The default driver: one ``observe_batch`` call over the events."""
+    sampler.observe_batch(events)
+
+
+def _drive_netsim(sampler: Sampler, events: list, params: ScenarioParams) -> None:
+    """Queue sends on a delayed network, pumping between chunks.
+
+    Rewires the sampler onto a :class:`~repro.netsim.delayed.DelayedNetwork`
+    and ingests in chunks, draining the queues after each one — a
+    monitoring loop that batches coordinator round-trips instead of
+    blocking per message.
+    """
+    from ..netsim.delayed import DelayedNetwork
+
+    network = DelayedNetwork.rewire(sampler)
+    chunk = max(1, len(events) // 16)
+    for start in range(0, len(events), chunk):
+        sampler.observe_batch(events[start : start + chunk])
+        network.pump()
+    network.pump()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered benchmark scenario.
+
+    Attributes:
+        name: Registry key.
+        summary: One-line description (CLI listing, README).
+        build: Deterministic workload builder.
+        driver: Ingestion driver (defaults to a single
+            ``observe_batch`` call).
+        slotted: Whether events carry slot stamps.
+        needs_network: Scenario requires a facade-level ``network``
+            attribute (excludes the with-replacement facades, whose
+            copies own their networks).
+    """
+
+    name: str
+    summary: str
+    build: EventBuilder
+    driver: Driver = field(default=drive_observe_batch)
+    slotted: bool = False
+    needs_network: bool = False
+
+    def applies_to(self, variant_name: str, sampler: Sampler) -> bool:
+        """Whether this scenario can drive ``sampler`` meaningfully.
+
+        Windowed variants only run on slotted scenarios: without slot
+        advances nothing ever expires, same-expiry entries never dominate
+        each other, and the candidate sets degenerate into an unbounded
+        mirror of the whole stream — a shape the protocol is explicitly
+        not designed for.
+        """
+        from ..core.api import get_variant
+
+        if self.needs_network and not all(
+            hasattr(sampler, attr)
+            for attr in ("network", "coordinator", "sites")
+        ):
+            return False
+        if not self.slotted and get_variant(variant_name).windowed:
+            return False
+        return True
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (last registration wins)."""
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def perf_scenarios() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario.
+
+    Raises:
+        PerfError: For an unknown name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PerfError(
+            f"unknown perf scenario {name!r}; expected one of {perf_scenarios()}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in workload builders
+# ---------------------------------------------------------------------------
+
+
+def _deal(elements: np.ndarray, params: ScenarioParams) -> list:
+    """Assign each element a uniformly random site; plain 2-tuple events."""
+    rng = np.random.default_rng(params.seed + 1)
+    sites = rng.integers(0, params.num_sites, elements.size).tolist()
+    return list(zip(sites, elements.tolist()))
+
+
+def _build_uniform(params: ScenarioParams) -> list:
+    params.validate()
+    rng = np.random.default_rng(params.seed)
+    n = params.n_events
+    universe = max(1, n // 4)
+    elements = rng.integers(0, universe, n)
+    return _deal(elements, params)
+
+
+def _build_bursty(params: ScenarioParams) -> list:
+    params.validate()
+    rng = np.random.default_rng(params.seed)
+    n = params.n_events
+    distinct = max(1, n // 8)
+    elements = bursty_stream(n, distinct, skew=1.1, burst_mean=8.0, rng=rng)
+    return _deal(elements, params)
+
+
+def _build_adversarial(params: ScenarioParams) -> list:
+    params.validate()
+    rounds = max(1, params.n_events // params.num_sites)
+    elements = all_distinct_stream(rounds)
+    sites = range(params.num_sites)
+    return [(site, int(e)) for e in elements for site in sites]
+
+
+def _build_sliding_churn(params: ScenarioParams) -> list:
+    params.validate()
+    rng = np.random.default_rng(params.seed)
+    n = params.n_events
+    distinct = max(1, n // 6)
+    elements = calibrated_stream(n, distinct, skew=1.1, rng=rng)
+    per_slot = max(1, n // max(1, 4 * params.window))
+    schedule = SlottedArrivals(elements.tolist(), params.num_sites, per_slot, rng)
+    return [
+        (site, element, slot)
+        for slot, arrivals in schedule.slots()
+        for site, element in arrivals
+    ]
+
+
+register_scenario(
+    Scenario(
+        name="uniform",
+        summary="uniform random repeats over a n/4-id universe",
+        build=_build_uniform,
+    )
+)
+register_scenario(
+    Scenario(
+        name="bursty",
+        summary="geometric bursts of Zipf-weighted repeats (trace locality)",
+        build=_build_bursty,
+    )
+)
+register_scenario(
+    Scenario(
+        name="adversarial",
+        summary="Lemma 9 lower-bound input: fresh element flooded to all sites",
+        build=_build_adversarial,
+    )
+)
+register_scenario(
+    Scenario(
+        name="sliding-churn",
+        summary="slotted arrivals driving window expiry/fallback churn",
+        build=_build_sliding_churn,
+        slotted=True,
+    )
+)
+register_scenario(
+    Scenario(
+        name="netsim-roundtrip",
+        summary="uniform workload over a delayed network, pumped in chunks",
+        build=_build_uniform,
+        driver=_drive_netsim,
+        needs_network=True,
+    )
+)

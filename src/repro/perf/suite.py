@@ -1,0 +1,167 @@
+"""The perf suite: scenarios x registered variants -> a PerfReport.
+
+Runs every applicable (scenario, variant) pair through the unified
+:class:`~repro.core.protocol.Sampler` lifecycle, timing the ingestion
+driver with ``time.perf_counter`` (best of ``repeats`` runs on a fresh
+sampler each time) and recording the protocol cost counters, which are
+exactly reproducible given the seed.  The result is assembled into a
+schema-versioned :class:`~repro.perf.report.PerfReport` for the JSON
+trajectory and the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+from ..core.api import get_variant, make_sampler, sampler_variants
+from ..core.protocol import Sampler, SamplerConfig
+from ..errors import PerfError
+from .report import PerfRecord, PerfReport
+from .scenarios import ScenarioParams, get_scenario, perf_scenarios
+
+__all__ = ["SuiteConfig", "run_suite", "build_sampler_for"]
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Parameters of one suite run.
+
+    Attributes:
+        n_events: Workload size per (scenario, variant) cell.
+        num_sites: Sites k.
+        sample_size: Sample size s for every variant.
+        window: Window (slots) for windowed variants and slotted
+            scenarios.
+        seed: Master workload + hash seed.
+        repeats: Timed repetitions per cell (best-of wins).
+        scenarios: Scenario names to run; empty = all registered.
+        variants: Variant names to run; empty = all registered.
+        algorithm: Hash algorithm (``mix64`` exercises the vectorized
+            ingestion fast paths over the integer workloads).
+    """
+
+    n_events: int = 20_000
+    num_sites: int = 8
+    sample_size: int = 16
+    window: int = 64
+    seed: int = 20150525
+    repeats: int = 1
+    scenarios: tuple = ()
+    variants: tuple = ()
+    algorithm: str = "mix64"
+
+    def scenario_names(self) -> tuple:
+        """Scenario names this run covers (validated)."""
+        if not self.scenarios:
+            return perf_scenarios()
+        for name in self.scenarios:
+            get_scenario(name)
+        return tuple(self.scenarios)
+
+    def variant_names(self) -> tuple:
+        """Variant names this run covers (validated)."""
+        if not self.variants:
+            return sampler_variants()
+        for name in self.variants:
+            get_variant(name)
+        return tuple(self.variants)
+
+    def scenario_params(self) -> ScenarioParams:
+        """The workload knobs shared by every scenario in this run."""
+        return ScenarioParams(
+            n_events=self.n_events,
+            num_sites=self.num_sites,
+            seed=self.seed,
+            window=self.window,
+        ).validate()
+
+
+def build_sampler_for(
+    config: SuiteConfig, variant_name: str, slotted: bool = False
+) -> Sampler:
+    """Construct one variant instance for a suite cell.
+
+    Windowed variants get ``config.window``; infinite-window variants get
+    ``window=0``.  The with-replacement family keys its flavour off the
+    window, so it runs its sliding flavour on slotted scenarios and its
+    infinite flavour everywhere else.
+    """
+    variant = get_variant(variant_name)
+    windowed = variant.windowed or (variant.with_replacement and slotted)
+    window = config.window if windowed else 0
+    return make_sampler(
+        SamplerConfig(
+            variant=variant_name,
+            num_sites=config.num_sites,
+            sample_size=config.sample_size,
+            window=window,
+            seed=config.seed,
+            algorithm=config.algorithm,
+        )
+    )
+
+
+def run_suite(
+    config: SuiteConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PerfReport:
+    """Run the suite and return the assembled report.
+
+    Args:
+        config: What to run and at what scale.
+        progress: Optional callback receiving one line per finished cell
+            (the CLI prints these).
+
+    Raises:
+        PerfError: Unknown scenario/variant names, or an empty grid.
+    """
+    if config.repeats < 1:
+        raise PerfError(f"repeats must be >= 1, got {config.repeats}")
+    params = config.scenario_params()
+    records = []
+    for scenario_name in config.scenario_names():
+        scenario = get_scenario(scenario_name)
+        events = scenario.build(params)
+        for variant_name in config.variant_names():
+            probe = build_sampler_for(config, variant_name, scenario.slotted)
+            if not scenario.applies_to(variant_name, probe):
+                continue
+            best = float("inf")
+            sampler = probe
+            for repeat in range(config.repeats):
+                if repeat:
+                    sampler = build_sampler_for(
+                        config, variant_name, scenario.slotted
+                    )
+                started = time.perf_counter()
+                scenario.driver(sampler, events, params)
+                elapsed = time.perf_counter() - started
+                best = min(best, elapsed)
+            stats = sampler.stats()
+            result = sampler.sample()
+            record = PerfRecord(
+                scenario=scenario_name,
+                variant=variant_name,
+                n_events=len(events),
+                repeats=config.repeats,
+                elapsed_s=best,
+                throughput_eps=len(events) / max(best, 1e-12),
+                messages_total=stats.messages_total,
+                bytes_total=stats.bytes_total,
+                memory_total=stats.memory_total,
+                sample_len=len(result.items),
+                slots_processed=stats.slots_processed,
+            )
+            records.append(record)
+            if progress is not None:
+                progress(
+                    f"{scenario_name:<18} {variant_name:<18} "
+                    f"{record.elapsed_s * 1e3:8.1f} ms  "
+                    f"{record.throughput_eps / 1e6:6.2f} M ev/s  "
+                    f"{record.messages_total:>9,} msgs"
+                )
+    if not records:
+        raise PerfError("perf suite produced no records (empty grid?)")
+    return PerfReport.build(records, params={**asdict(config)})

@@ -1,0 +1,252 @@
+"""Batch/single ingestion equivalence, for every registered variant.
+
+The vectorized ``observe_batch`` overrides (bulk hashing, threshold
+pre-filtering, same-slot dedup, per-copy delegation) must be *invisible*:
+feeding N events through one ``observe_batch`` call has to leave the
+sampler in exactly the state N single ``observe`` calls would — same
+:class:`SampleResult`, same :class:`SamplerStats` (message counts
+included), same full ``state_dict``.  These tests pin that contract for
+every variant in the registry, under both the NumPy-vectorizable
+``mix64`` hash and the scalar ``murmur2`` path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SamplerConfig, make_sampler, sampler_variants
+from repro.errors import ProtocolError
+
+#: One config per registered variant and per concrete facade flavour.
+CONFIGS = {
+    "infinite": SamplerConfig(variant="infinite", num_sites=3, sample_size=4),
+    "broadcast": SamplerConfig(variant="broadcast", num_sites=3, sample_size=4),
+    "caching": SamplerConfig(variant="caching", num_sites=3, sample_size=4),
+    "sliding-s1": SamplerConfig(variant="sliding", num_sites=3, window=12),
+    "sliding-s1-paper": SamplerConfig(
+        variant="sliding", num_sites=3, window=12, coordinator_mode="paper"
+    ),
+    "sliding-s3": SamplerConfig(
+        variant="sliding", num_sites=3, window=12, sample_size=3
+    ),
+    "sliding-feedback": SamplerConfig(
+        variant="sliding-feedback", num_sites=3, window=12, sample_size=3
+    ),
+    "sliding-local-push": SamplerConfig(
+        variant="sliding-local-push", num_sites=3, window=12, sample_size=3
+    ),
+    "wr-infinite": SamplerConfig(
+        variant="with-replacement", num_sites=3, sample_size=3
+    ),
+    "wr-sliding": SamplerConfig(
+        variant="with-replacement", num_sites=3, window=12, sample_size=3
+    ),
+}
+
+
+def slotted_workload(n_slots: int = 40, sites: int = 3) -> list:
+    """Deterministic slot-stamped events with plenty of repeats.
+
+    Every slot delivers five events, deliberately including an exact
+    same-site/same-element repeat (the case the dedup fast paths must
+    prove silent) and cross-slot repeats from a small id universe.
+    """
+    events = []
+    for slot in range(1, n_slots + 1):
+        base = (slot * 13) % 23
+        events.append(((slot * 7) % sites, base, slot))
+        events.append(((slot * 7 + 1) % sites, (base + 5) % 23, slot))
+        # exact duplicate of the first arrival, same site, same slot
+        events.append(((slot * 7) % sites, base, slot))
+        events.append(((slot + 2) % sites, (slot * 31) % 47, slot))
+        events.append(((slot + 2) % sites, (slot * 31) % 47, slot))
+    return events
+
+
+def flat_workload(n: int = 200, sites: int = 3) -> list:
+    """Unstamped 2-tuple events (infinite-window driving)."""
+    return [((i * 5) % sites, (i * 17) % 37) for i in range(n)]
+
+
+@pytest.fixture(params=sorted(CONFIGS), ids=sorted(CONFIGS))
+def config(request) -> SamplerConfig:
+    return CONFIGS[request.param]
+
+
+@pytest.mark.parametrize("algorithm", ["mix64", "murmur2"])
+class TestBatchSingleEquivalence:
+    def _pair(self, config, algorithm):
+        config = SamplerConfig(**{**config.to_dict(), "algorithm": algorithm})
+        return make_sampler(config), make_sampler(config)
+
+    def test_slotted_stream(self, config, algorithm):
+        single, batched = self._pair(config, algorithm)
+        events = slotted_workload()
+        for site, item, slot in events:
+            single.observe(site, item, slot=slot)
+        assert batched.observe_batch(events) == len(events)
+        assert single.sample() == batched.sample()
+        assert single.sample().pairs == batched.sample().pairs
+        assert single.sample().threshold == batched.sample().threshold
+        assert single.stats() == batched.stats()
+        assert single.state_dict() == batched.state_dict()
+
+    def test_flat_stream(self, config, algorithm):
+        if config.window:
+            pytest.skip("flat stream drives the infinite-window variants")
+        single, batched = self._pair(config, algorithm)
+        events = flat_workload()
+        for site, item in events:
+            single.observe(site, item)
+        assert batched.observe_batch(events) == len(events)
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+        assert single.state_dict() == batched.state_dict()
+
+    def test_mixed_stamped_and_unstamped(self, config, algorithm):
+        """2-tuples interleaved after slot stamps join the current slot."""
+        single, batched = self._pair(config, algorithm)
+        events = [
+            (0, 3, 1),
+            (1, 9),
+            (2, 3),
+            (0, 14, 2),
+            (0, 14),
+            (1, 21, 4),
+            (2, 21),
+        ]
+        for event in events:
+            if len(event) == 3:
+                single.observe(event[0], event[1], slot=event[2])
+            else:
+                single.observe(event[0], event[1])
+        assert batched.observe_batch(events) == len(events)
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+        assert single.state_dict() == batched.state_dict()
+
+    def test_incremental_batches_match_one_batch(self, config, algorithm):
+        """Chunked observe_batch calls compose to the same state."""
+        one, chunked = self._pair(config, algorithm)
+        events = slotted_workload(n_slots=20)
+        one.observe_batch(events)
+        for start in range(0, len(events), 7):
+            chunked.observe_batch(events[start : start + 7])
+        assert one.sample() == chunked.sample()
+        assert one.stats() == chunked.stats()
+        assert one.state_dict() == chunked.state_dict()
+
+
+class TestBatchEdgeCases:
+    def test_empty_batch(self):
+        sampler = make_sampler("infinite", num_sites=2, sample_size=2)
+        assert sampler.observe_batch([]) == 0
+        assert sampler.observe_batch(iter(())) == 0
+        assert sampler.stats().messages_total == 0
+
+    def test_generator_input(self):
+        sampler = make_sampler("infinite", num_sites=2, sample_size=4)
+        assert sampler.observe_batch((i % 2, i) for i in range(50)) == 50
+
+    def test_longer_events_still_advance_like_the_generic_loop(self):
+        """Anything that is not a 2-tuple is slot-stamped via event[2],
+        exactly as in the generic Sampler.observe_batch branch."""
+        single = make_sampler("sliding", num_sites=2, window=8)
+        batched = make_sampler("sliding", num_sites=2, window=8)
+        events = [(0, 1, 3, "extra"), (1, 2, 5, "extra")]
+        for site, item, slot, _ in events:
+            single.observe(site, item, slot=slot)
+        batched.observe_batch(events)
+        assert batched.current_slot == 5
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+
+    def test_non_monotone_slot_raises(self):
+        sampler = make_sampler("sliding", num_sites=2, window=8)
+        with pytest.raises(ProtocolError):
+            sampler.observe_batch([(0, 1, 5), (0, 2, 3)])
+        # The first run was delivered before the bad stamp raised.
+        assert sampler.current_slot == 5
+
+    def test_mix64_rejects_non_integers_in_batch(self):
+        sampler = make_sampler(
+            "infinite", num_sites=2, sample_size=2, algorithm="mix64"
+        )
+        with pytest.raises(TypeError):
+            sampler.observe_batch([(0, "alice"), (1, "bob")])
+
+    def test_mix64_bools_match_scalar_path(self):
+        """bools must dodge NumPy coercion and hash like the scalar path."""
+        single = make_sampler(
+            "infinite", num_sites=2, sample_size=4, algorithm="mix64"
+        )
+        batched = make_sampler(
+            "infinite", num_sites=2, sample_size=4, algorithm="mix64"
+        )
+        events = [(0, True), (1, 1), (0, False), (1, 0), (0, 7)]
+        for site, item in events:
+            single.observe(site, item)
+        batched.observe_batch(events)
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+
+    def test_mix64_huge_ints_fall_back(self):
+        """Out-of-int64 ints take the scalar hasher, same as the loop."""
+        single = make_sampler(
+            "infinite", num_sites=1, sample_size=4, algorithm="mix64"
+        )
+        batched = make_sampler(
+            "infinite", num_sites=1, sample_size=4, algorithm="mix64"
+        )
+        events = [(0, 2**80), (0, -(2**70)), (0, 5)]
+        for site, item in events:
+            single.observe(site, item)
+        batched.observe_batch(events)
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+
+    def test_every_variant_is_covered_here(self):
+        assert set(sampler_variants()) == {c.variant for c in CONFIGS.values()}
+
+
+class TestDelayedNetworkEquivalence:
+    """The dedup proofs assume synchronous replies; on a DelayedNetwork
+    a same-slot repeat legitimately re-reports (the reply that would
+    have lowered the site threshold is still queued), so the batch path
+    must skip the dedup there and match the loop message-for-message."""
+
+    @pytest.mark.parametrize(
+        "variant_config",
+        [
+            CONFIGS["sliding-s1"],
+            CONFIGS["sliding-s3"],
+            CONFIGS["sliding-local-push"],
+            CONFIGS["infinite"],
+        ],
+        ids=["sliding-s1", "sliding-s3", "sliding-local-push", "infinite"],
+    )
+    def test_batch_matches_loop_under_delay(self, variant_config):
+        from repro.netsim.delayed import DelayedNetwork
+
+        def build():
+            sampler = make_sampler(variant_config)
+            DelayedNetwork.rewire(sampler)
+            return sampler
+
+        single, batched = build(), build()
+        assert single.network.synchronous is False
+        # Same-site same-slot repeats: the case synchronous dedup elides.
+        events = [(0, 5, 1), (0, 5, 1), (0, 7, 1), (1, 5, 1), (0, 5, 2)]
+        if not variant_config.window:
+            events = [event[:2] for event in events]
+        for event in events:
+            if len(event) == 3:
+                single.observe(event[0], event[1], slot=event[2])
+            else:
+                single.observe(event[0], event[1])
+        batched.observe_batch(events)
+        assert single.stats() == batched.stats()
+        single.network.pump()
+        batched.network.pump()
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()

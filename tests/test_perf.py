@@ -1,0 +1,416 @@
+"""Tests for the perf subsystem: scenarios, suite, report, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.api import get_variant, sampler_variants
+from repro.errors import PerfError
+from repro.perf import (
+    SCHEMA_VERSION,
+    Comparison,
+    PerfRecord,
+    PerfReport,
+    ScenarioParams,
+    SuiteConfig,
+    Tolerances,
+    compare_reports,
+    get_scenario,
+    load_report,
+    perf_scenarios,
+    report_from_dict,
+    run_suite,
+    save_report,
+)
+
+SMALL = SuiteConfig(
+    n_events=400, num_sites=3, sample_size=4, window=8, seed=11, repeats=1
+)
+
+
+@pytest.fixture(scope="module")
+def small_report() -> PerfReport:
+    return run_suite(SMALL)
+
+
+class TestScenarioRegistry:
+    def test_builtin_scenarios(self):
+        assert perf_scenarios() == (
+            "adversarial",
+            "bursty",
+            "netsim-roundtrip",
+            "sliding-churn",
+            "uniform",
+        )
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(PerfError):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", perf_scenarios())
+    def test_builders_are_deterministic(self, name):
+        params = ScenarioParams(n_events=200, num_sites=3, seed=5, window=8)
+        scenario = get_scenario(name)
+        assert scenario.build(params) == scenario.build(params)
+
+    def test_seed_changes_workload(self):
+        scenario = get_scenario("uniform")
+        a = scenario.build(ScenarioParams(n_events=200, num_sites=3, seed=1))
+        b = scenario.build(ScenarioParams(n_events=200, num_sites=3, seed=2))
+        assert a != b
+
+    def test_slotted_scenario_stamps_slots(self):
+        params = ScenarioParams(n_events=200, num_sites=3, seed=5, window=8)
+        events = get_scenario("sliding-churn").build(params)
+        assert all(len(event) == 3 for event in events)
+        slots = [slot for _, _, slot in events]
+        assert slots == sorted(slots) and slots[0] == 1
+
+    def test_unslotted_scenarios_are_plain_pairs(self):
+        params = ScenarioParams(n_events=200, num_sites=3, seed=5)
+        for name in ("uniform", "bursty", "adversarial"):
+            events = get_scenario(name).build(params)
+            assert all(len(event) == 2 for event in events)
+            assert all(0 <= site < 3 for site, _ in events)
+
+    def test_adversarial_floods_every_site(self):
+        params = ScenarioParams(n_events=60, num_sites=3, seed=5)
+        events = get_scenario("adversarial").build(params)
+        # Every distinct element reaches all three sites exactly once.
+        by_element: dict = {}
+        for site, element in events:
+            by_element.setdefault(element, []).append(site)
+        assert all(sorted(sites) == [0, 1, 2] for sites in by_element.values())
+
+    def test_params_validation(self):
+        with pytest.raises(PerfError):
+            ScenarioParams(n_events=0).validate()
+        with pytest.raises(PerfError):
+            ScenarioParams(num_sites=0).validate()
+        with pytest.raises(PerfError):
+            ScenarioParams(window=0).validate()
+
+
+class TestSuite:
+    def test_covers_every_registered_variant(self, small_report):
+        assert {r.variant for r in small_report.records} == set(
+            sampler_variants()
+        )
+
+    def test_windowed_variants_only_on_slotted_scenarios(self, small_report):
+        for record in small_report.records:
+            if get_variant(record.variant).windowed:
+                assert record.scenario == "sliding-churn"
+
+    def test_netsim_skips_facades_without_network(self, small_report):
+        scenarios = {
+            r.variant: r for r in small_report.records
+            if r.scenario == "netsim-roundtrip"
+        }
+        assert "with-replacement" not in scenarios
+        assert "infinite" in scenarios
+
+    def test_record_metrics_are_sane(self, small_report):
+        for record in small_report.records:
+            assert record.n_events > 0
+            assert record.elapsed_s > 0
+            assert record.throughput_eps > 0
+            assert record.messages_total > 0
+            assert record.sample_len > 0
+
+    def test_protocol_counters_are_reproducible(self, small_report):
+        again = run_suite(SMALL)
+        for record in small_report.records:
+            twin = again.record_for(record.scenario, record.variant)
+            assert twin is not None
+            assert twin.messages_total == record.messages_total
+            assert twin.bytes_total == record.bytes_total
+            assert twin.memory_total == record.memory_total
+            assert twin.sample_len == record.sample_len
+
+    def test_scenario_and_variant_filters(self):
+        report = run_suite(
+            SuiteConfig(
+                n_events=200,
+                num_sites=2,
+                sample_size=2,
+                window=8,
+                scenarios=("uniform",),
+                variants=("infinite", "broadcast"),
+            )
+        )
+        assert {r.key for r in report.records} == {
+            ("uniform", "infinite"),
+            ("uniform", "broadcast"),
+        }
+
+    def test_unknown_names_raise(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(PerfError):
+            run_suite(SuiteConfig(scenarios=("nope",)))
+        with pytest.raises(ReproError):  # ConfigurationError from the registry
+            run_suite(SuiteConfig(variants=("nope",)))
+        with pytest.raises(PerfError):
+            run_suite(SuiteConfig(repeats=0))
+
+
+class TestReport:
+    def test_json_round_trip(self, small_report, tmp_path):
+        path = save_report(small_report, tmp_path / "report.json")
+        loaded = load_report(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.records == small_report.records
+        assert loaded.params == json.loads(
+            json.dumps(small_report.params)
+        )
+
+    def test_environment_is_stamped(self, small_report):
+        assert small_report.python
+        assert small_report.numpy
+        assert small_report.generated_at
+
+    def test_rejects_wrong_schema_version(self, small_report):
+        data = small_report.to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(PerfError):
+            report_from_dict(data)
+
+    def test_rejects_malformed_payloads(self, small_report):
+        with pytest.raises(PerfError):
+            report_from_dict([1, 2, 3])
+        data = small_report.to_dict()
+        del data["records"]
+        with pytest.raises(PerfError):
+            report_from_dict(data)
+        data = small_report.to_dict()
+        del data["records"][0]["elapsed_s"]
+        with pytest.raises(PerfError):
+            report_from_dict(data)
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(PerfError):
+            load_report(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(PerfError):
+            load_report(bad)
+
+
+def _tweak(report: PerfReport, index: int, **changes) -> PerfReport:
+    records = list(report.records)
+    data = {**records[index].__dict__, **changes}
+    records[index] = PerfRecord(**data)
+    return PerfReport(records=tuple(records), params=report.params)
+
+
+class TestRegressionGate:
+    def test_self_comparison_is_ok(self, small_report):
+        comparison = compare_reports(small_report, small_report)
+        assert isinstance(comparison, Comparison)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert "OK" in comparison.render()
+
+    def test_time_regression_fails(self, small_report):
+        slow = _tweak(
+            small_report, 0, elapsed_s=small_report.records[0].elapsed_s * 10
+        )
+        comparison = compare_reports(slow, small_report)
+        assert not comparison.ok
+        assert any(d.metric == "elapsed_s" for d in comparison.regressions)
+        assert "REGRESSION" in comparison.render()
+
+    def test_time_within_tolerance_passes(self, small_report):
+        slightly_slow = _tweak(
+            small_report, 0, elapsed_s=small_report.records[0].elapsed_s * 2
+        )
+        assert compare_reports(slightly_slow, small_report).ok
+
+    def test_count_regression_fails(self, small_report):
+        chatty = _tweak(
+            small_report,
+            0,
+            messages_total=small_report.records[0].messages_total * 2,
+        )
+        comparison = compare_reports(chatty, small_report)
+        assert not comparison.ok
+        assert any(
+            d.metric == "messages_total" for d in comparison.regressions
+        )
+
+    def test_lost_coverage_fails(self, small_report):
+        shrunk = PerfReport(
+            records=small_report.records[1:], params=small_report.params
+        )
+        comparison = compare_reports(shrunk, small_report)
+        assert not comparison.ok
+        assert comparison.missing == (small_report.records[0].key,)
+
+    def test_new_records_are_informational(self, small_report):
+        shrunk_baseline = PerfReport(
+            records=small_report.records[1:], params=small_report.params
+        )
+        comparison = compare_reports(small_report, shrunk_baseline)
+        assert comparison.ok
+        assert comparison.added == (small_report.records[0].key,)
+
+    def test_mismatched_workloads_are_rejected(self, small_report):
+        other = PerfReport(
+            records=small_report.records,
+            params={**small_report.params, "n_events": 999_999},
+        )
+        with pytest.raises(PerfError, match="not comparable"):
+            compare_reports(other, small_report)
+        # Hand-built fixtures without params skip the guard.
+        bare = PerfReport(records=small_report.records)
+        assert compare_reports(bare, small_report).ok
+
+    def test_repeats_do_not_block_comparison(self, small_report):
+        other = PerfReport(
+            records=small_report.records,
+            params={**small_report.params, "repeats": 5},
+        )
+        assert compare_reports(other, small_report).ok
+
+    def test_custom_tolerances(self, small_report):
+        slow = _tweak(
+            small_report, 0, elapsed_s=small_report.records[0].elapsed_s * 4
+        )
+        assert not compare_reports(slow, small_report).ok
+        assert compare_reports(
+            slow, small_report, Tolerances(time_factor=5.0)
+        ).ok
+        assert Tolerances().factor_for("elapsed_s") == 2.5
+        assert Tolerances().factor_for("messages_total") == 1.25
+
+
+class TestPerfCli:
+    ARGS = [
+        "--n", "300", "--sites", "2", "--sample-size", "2", "--window", "8",
+        "--scenario", "uniform", "--scenario", "sliding-churn",
+    ]
+
+    def test_run_writes_valid_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        assert main(["perf", "run", *self.ARGS, "--out", str(out)]) == 0
+        report = load_report(out)
+        assert report.schema_version == SCHEMA_VERSION
+        assert {r.scenario for r in report.records} == {
+            "uniform", "sliding-churn",
+        }
+        assert "wrote" in capsys.readouterr().out
+
+    def test_compare_ok_and_regressed(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        main(["perf", "run", *self.ARGS, "--out", str(out)])
+        assert main(["perf", "compare", str(out), str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        data["records"][0]["elapsed_s"] *= 100
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(data))
+        assert main(["perf", "compare", str(regressed), str(out)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_baseline_writes_default_path(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "baseline", *self.ARGS]) == 0
+        assert (tmp_path / "benchmarks" / "baseline.json").exists()
+
+    def test_baseline_defaults_mirror_ci_workload(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["perf", "baseline"])
+        assert (args.n, args.repeats) == (8_000, 2)
+
+    def test_mismatched_workload_compare_is_a_cli_error(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        small = tmp_path / "small.json"
+        big = tmp_path / "big.json"
+        base = ["--sites", "2", "--sample-size", "2", "--scenario", "uniform"]
+        main(["perf", "run", "--n", "200", *base, "--out", str(small)])
+        main(["perf", "run", "--n", "400", *base, "--out", str(big)])
+        assert main(["perf", "compare", str(big), str(small)]) == 2
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "run", "--scenario", "nope"]) == 2
+        assert "unknown perf scenario" in capsys.readouterr().err
+
+
+class TestBatchSpeedup:
+    @pytest.mark.speedup
+    def test_vectorized_batch_is_3x_on_infinite_20k(self):
+        """The acceptance floor: observe_batch >= 3x a single-observe loop
+        on the 20k-element infinite-window micro-benchmark (best-of-3
+        timings on each side to damp scheduler noise)."""
+        import time
+
+        from repro import make_sampler
+        from repro.perf import ScenarioParams, get_scenario
+
+        events = get_scenario("uniform").build(
+            ScenarioParams(n_events=20_000, num_sites=8, seed=7)
+        )
+
+        def build():
+            return make_sampler(
+                "infinite",
+                num_sites=8,
+                sample_size=16,
+                seed=5,
+                algorithm="mix64",
+            )
+
+        def time_single():
+            system = build()
+            observe = system.observe
+            started = time.perf_counter()
+            for site, element in events:
+                observe(site, element)
+            return time.perf_counter() - started, system
+
+        def time_batch():
+            system = build()
+            started = time.perf_counter()
+            system.observe_batch(events)
+            return time.perf_counter() - started, system
+
+        single_s, single = min(
+            (time_single() for _ in range(3)), key=lambda pair: pair[0]
+        )
+        batch_s, batched = min(
+            (time_batch() for _ in range(3)), key=lambda pair: pair[0]
+        )
+        assert single.sample() == batched.sample()
+        assert single.stats() == batched.stats()
+        speedup = single_s / batch_s
+        assert speedup >= 3.0, f"batch only {speedup:.2f}x faster"
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_valid_and_covers_all_variants(self):
+        import pathlib
+
+        baseline = load_report(
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "baseline.json"
+        )
+        assert baseline.schema_version == SCHEMA_VERSION
+        assert {r.variant for r in baseline.records} == set(sampler_variants())
+        assert {r.scenario for r in baseline.records} == set(perf_scenarios())
