@@ -58,6 +58,7 @@ from .errors import (
     ReproError,
 )
 from .hashing import SeededHashFamily, UnitHasher
+from .runtime import Engine, ShardedSampler, Topology
 
 __all__ = [
     "__version__",
@@ -85,6 +86,9 @@ __all__ = [
     "SlidingWindowWithReplacement",
     "CentralizedDistinctSampler",
     "CentralizedWindowSampler",
+    "Engine",
+    "ShardedSampler",
+    "Topology",
     "UnitHasher",
     "SeededHashFamily",
     "ReproError",

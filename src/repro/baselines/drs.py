@@ -28,13 +28,14 @@ introduction: the probability that a new occurrence matters decays as
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
 from ..errors import ConfigurationError, ProtocolError
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 
 __all__ = ["DRSSite", "DRSCoordinator", "DistributedRandomSampler"]
 
@@ -121,16 +122,29 @@ class DistributedRandomSampler:
     def __init__(self, num_sites: int, sample_size: int, seed: int = 0) -> None:
         if num_sites < 1:
             raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
-        seq = np.random.SeedSequence(seed)
-        self.network = Network()
-        self.coordinator = DRSCoordinator(sample_size)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [
-            DRSSite(i, np.random.default_rng(child))
-            for i, child in enumerate(seq.spawn(num_sites))
-        ]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
+        children = np.random.SeedSequence(seed).spawn(num_sites)
+        self.topology = Topology.build(
+            coordinator=DRSCoordinator(sample_size),
+            site_factory=lambda i: DRSSite(
+                i, np.random.default_rng(children[i])
+            ),
+            num_sites=num_sites,
+        )
+
+    @property
+    def network(self) -> Network:
+        """The topology's transport."""
+        return self.topology.network
+
+    @property
+    def coordinator(self) -> DRSCoordinator:
+        """The topology's coordinator node."""
+        return self.topology.coordinator
+
+    @property
+    def sites(self) -> list:
+        """The topology's site roster."""
+        return self.topology.sites
 
     def observe(self, site_id: int, element: Any) -> None:
         """Deliver one occurrence to site ``site_id``."""
@@ -143,4 +157,4 @@ class DistributedRandomSampler:
     @property
     def total_messages(self) -> int:
         """Total messages exchanged so far."""
-        return self.network.stats.total_messages
+        return self.topology.total_messages

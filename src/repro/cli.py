@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="window size in slots (sliding variants; 0 = infinite)",
     )
+    demo_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="coordinator groups S; > 1 runs the hash-partitioned "
+        "'sharded:<variant>' wrapper",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="benchmark suite: run / compare / baseline"
@@ -114,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sample-size", type=int, default=16)
         p.add_argument(
             "--window", type=int, default=64, help="window for slotted cells"
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=4,
+            help="coordinator groups for the sharded:* variants",
         )
         p.add_argument("--seed", type=int, default=20150525)
         p.add_argument(
@@ -238,7 +251,7 @@ def _cmd_datasets() -> int:
 
 def _cmd_variants() -> int:
     width = max(len(name) for name in sampler_variants())
-    print(f"{'variant'.ljust(width)}  {'kind':<10} description")
+    print(f"{'variant'.ljust(width)}  {'kind':<10} {'routing':<15} description")
     for name in sampler_variants():
         variant = get_variant(name)
         kind = "baseline" if variant.baseline else (
@@ -246,7 +259,10 @@ def _cmd_variants() -> int:
         )
         if variant.with_replacement:
             kind = "w/replace"
-        print(f"{name.ljust(width)}  {kind:<10} {variant.summary}")
+        print(
+            f"{name.ljust(width)}  {kind:<10} {variant.routing:<15} "
+            f"{variant.summary}"
+        )
     return 0
 
 
@@ -261,13 +277,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     spec = get_dataset(args.dataset, args.scale)
     rng = np.random.default_rng(args.seed)
     ids = spec.generate(rng)
+    variant = args.variant
+    if args.shards > 1 and not variant.startswith("sharded:"):
+        variant = f"sharded:{variant}"
     system = make_sampler(
-        args.variant,
+        variant,
         num_sites=args.sites,
         sample_size=args.sample_size,
         window=args.window,
         seed=args.seed,
         algorithm="mix64",
+        shards=args.shards,
     )
     started = time.perf_counter()
     truth = spec.n_distinct
@@ -293,10 +313,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{spec.n_distinct:,} distinct"
     )
     print(
-        f"variant={args.variant} k={args.sites}, s={args.sample_size}: "
+        f"variant={variant} k={args.sites}, s={args.sample_size}: "
         f"processed in {elapsed:.2f}s "
         f"({spec.n_elements / max(elapsed, 1e-9) / 1e6:.1f}M el/s)"
     )
+    if args.shards > 1:
+        critical = max(system.critical_path_seconds, 1e-9)
+        print(
+            f"shards: {system.shards} coordinator groups, critical-path "
+            f"{critical:.3f}s "
+            f"({spec.n_elements / critical / 1e6:.1f}M el/s across groups)"
+        )
     print(f"sample (first 10 ids): {list(result.items[:10])}")
     try:
         estimate = estimate_from_sampler(system)
@@ -323,6 +350,7 @@ def _perf_suite_config(args: argparse.Namespace):
         repeats=args.repeats,
         scenarios=tuple(args.scenario or ()),
         variants=tuple(args.variant or ()),
+        shards=args.shards,
     )
 
 

@@ -1,10 +1,12 @@
 """The paper's core contribution: distributed distinct sampling protocols."""
 
 from .api import (
+    SHARDABLE_VARIANTS,
     SamplerVariant,
     get_variant,
     infinite_window_sampler,
     make_sampler,
+    register_sharded_variant,
     register_variant,
     sampler_variants,
     sliding_window_sampler,
@@ -40,8 +42,10 @@ __all__ = [
     "SamplerConfig",
     "SamplerStats",
     "SamplerVariant",
+    "SHARDABLE_VARIANTS",
     "make_sampler",
     "register_variant",
+    "register_sharded_variant",
     "sampler_variants",
     "get_variant",
     "infinite_window_sampler",

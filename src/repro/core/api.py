@@ -38,8 +38,10 @@ from .with_replacement import SlidingWindowWithReplacement, WithReplacementSampl
 __all__ = [
     "SamplerConfig",
     "SamplerVariant",
+    "SHARDABLE_VARIANTS",
     "make_sampler",
     "register_variant",
+    "register_sharded_variant",
     "sampler_variants",
     "get_variant",
     "infinite_window_sampler",
@@ -62,6 +64,12 @@ class SamplerVariant:
         with_replacement: Whether samples are independent draws.
         baseline: True for comparison baselines rather than the paper's
             recommended protocols.
+        sharded: Whether the variant runs S coordinator groups and
+            accepts ``shards > 1`` (the ``sharded:*`` wrappers).
+        routing: How events reach a coordinator group: every variant
+            addresses sites explicitly (``"explicit-site"``); sharded
+            wrappers additionally hash-partition the key space across
+            groups (``"hash-partition"``).
     """
 
     name: str
@@ -70,6 +78,8 @@ class SamplerVariant:
     windowed: bool = False
     with_replacement: bool = False
     baseline: bool = False
+    sharded: bool = False
+    routing: str = "explicit-site"
 
 
 _REGISTRY: dict[str, SamplerVariant] = {}
@@ -152,6 +162,11 @@ def make_sampler(config=None, /, **overrides) -> Sampler:
         raise ConfigurationError(
             f"variant {config.variant!r} is infinite-window; "
             f"window must be 0, got {config.window}"
+        )
+    if config.shards > 1 and not variant.sharded:
+        raise ConfigurationError(
+            f"variant {config.variant!r} is single-coordinator; shards must "
+            f"be 1, got {config.shards} (use 'sharded:{config.variant}')"
         )
     return variant.factory(config)
 
@@ -309,6 +324,72 @@ register_variant(
         baseline=True,
     )
 )
+
+
+# ---------------------------------------------------------------------------
+# Sharded scale-out wrappers: S coordinator groups, hash-partitioned keys
+# ---------------------------------------------------------------------------
+
+#: Base variants that admit hash-partitioned sharding.  With-replacement
+#: is excluded: its per-copy samples use different hash functions, so a
+#: bottom-s merge across disjoint key spaces is meaningless there (see
+#: :mod:`repro.runtime.sharded`).
+SHARDABLE_VARIANTS = (
+    "infinite",
+    "sliding",
+    "sliding-feedback",
+    "sliding-local-push",
+    "broadcast",
+    "caching",
+)
+
+
+def _sharded_factory(base_name: str) -> Callable[[SamplerConfig], Sampler]:
+    def factory(config: SamplerConfig) -> Sampler:
+        # Lazy import: repro.runtime imports this module's protocol layer.
+        from ..runtime.sharded import ShardedSampler
+
+        base = get_variant(base_name)
+        # Every group is a full base-variant sampler sharing the same
+        # sampling hash (same seed/algorithm); only the key space differs.
+        inner = replace(config, variant=base_name, shards=1)
+        groups = [base.factory(inner) for _ in range(config.shards)]
+        return ShardedSampler(groups, config)
+
+    return factory
+
+
+def register_sharded_variant(base_name: str) -> SamplerVariant:
+    """Register ``sharded:<base_name>`` wrapping a registered base variant.
+
+    The wrapper inherits the base's windowing and baseline flags and is
+    reachable everywhere the registry is — ``make_sampler``, the CLI,
+    snapshots, and the perf suite.
+
+    Raises:
+        ConfigurationError: If the base is unknown or with-replacement.
+    """
+    base = get_variant(base_name)
+    if base.with_replacement or base.sharded:
+        raise ConfigurationError(
+            f"variant {base_name!r} cannot be sharded (see repro.runtime.sharded)"
+        )
+    return register_variant(
+        SamplerVariant(
+            name=f"sharded:{base_name}",
+            factory=_sharded_factory(base_name),
+            summary=f"S hash-partitioned coordinator groups of {base_name!r} "
+            "cores, merged at query time",
+            windowed=base.windowed,
+            baseline=base.baseline,
+            sharded=True,
+            routing="hash-partition",
+        )
+    )
+
+
+for _base_name in SHARDABLE_VARIANTS:
+    register_sharded_variant(_base_name)
 
 
 # ---------------------------------------------------------------------------

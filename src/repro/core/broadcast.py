@@ -18,8 +18,10 @@ from ..errors import ConfigurationError, ProtocolError
 from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 from ..structures.bottomk import BottomK
-from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
+from .infinite import BottomSFacadeBase
+from .protocol import SamplerConfig
 
 __all__ = [
     "BroadcastSite",
@@ -106,7 +108,7 @@ class BroadcastCoordinator:
         return self.sample_store.elements()
 
 
-class BroadcastSamplerSystem(Sampler):
+class BroadcastSamplerSystem(BottomSFacadeBase):
     """Facade for Algorithm Broadcast, mirroring
     :class:`~repro.core.infinite.DistinctSamplerSystem`.
 
@@ -126,54 +128,16 @@ class BroadcastSamplerSystem(Sampler):
         algorithm: str = "murmur2",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
-        self.network = Network()
-        self.sites = [BroadcastSite(i, self.hasher) for i in range(num_sites)]
-        self.coordinator = BroadcastCoordinator(
-            sample_size, [site.site_id for site in self.sites]
+        self._init_runtime(
+            Topology.build(
+                coordinator=BroadcastCoordinator(
+                    sample_size, list(range(num_sites))
+                ),
+                site_factory=lambda i: BroadcastSite(i, self.hasher),
+                num_sites=num_sites,
+            )
         )
-        self.network.register(COORDINATOR, self.coordinator)
-        for site in self.sites:
-            self.network.register(site.site_id, site)
-        self._init_protocol()
-
-    def _deliver(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
-        self.sites[site_id].observe(element, self.network)
-
-    def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
-        """Fast path with a precomputed hash."""
-        self.sites[site_id].observe_hashed(element, h, self.network)
-
-    def flood_hashed(self, element: Any, h: float) -> None:
-        """Deliver a pre-hashed element to every site."""
-        network = self.network
-        for site in self.sites:
-            site.observe_hashed(element, h, network)
-
-    def sample(self) -> SampleResult:
-        """The coordinator's current distinct sample."""
-        pairs = tuple(self.coordinator.sample_store.pairs())
-        return SampleResult(
-            items=tuple(element for _, element in pairs),
-            pairs=pairs,
-            threshold=self.coordinator.threshold,
-            sample_size=self.sample_size,
-            window=None,
-            slot=self.current_slot,
-        )
-
-    @property
-    def threshold(self) -> float:
-        """The coordinator's current threshold u."""
-        return self.coordinator.threshold
-
-    @property
-    def sample_size(self) -> int:
-        """Configured sample size s."""
-        return self.coordinator.sample_store.capacity
 
     # -- protocol: construction recipe + persistence -----------------------
 
@@ -190,24 +154,14 @@ class BroadcastSamplerSystem(Sampler):
 
     def _state(self) -> dict[str, Any]:
         return {
-            "sample": [
-                [h, element]
-                for h, element in self.coordinator.sample_store.pairs()
-            ],
+            "sample": self._sample_rows(),
             "site_thresholds": [site.u_local for site in self.sites],
             "reports_received": self.coordinator.reports_received,
             "broadcasts_sent": self.coordinator.broadcasts_sent,
         }
 
     def _load(self, state: dict[str, Any]) -> None:
-        store = self.coordinator.sample_store
-        store.clear()
-        for h, element in state["sample"]:
-            accepted, _ = store.offer(float(h), revive_element(element))
-            if not accepted:
-                raise ConfigurationError(
-                    "snapshot sample contains duplicates or unsorted entries"
-                )
+        self._load_sample_rows(state["sample"])
         for site, u in zip(self.sites, state["site_thresholds"]):
             site.u_local = float(u)
         self.coordinator.reports_received = int(state["reports_received"])

@@ -32,8 +32,9 @@ from ..errors import ConfigurationError, ProtocolError
 from ..hashing.unit import UnitHasher
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
-from .infinite import InfiniteWindowCoordinator
-from .protocol import Sampler, SampleResult, SamplerConfig, revive_element
+from ..runtime.topology import Topology
+from .infinite import BottomSFacadeBase, InfiniteWindowCoordinator
+from .protocol import SamplerConfig, revive_element
 
 __all__ = ["CachingSite", "CachingSamplerSystem"]
 
@@ -95,7 +96,7 @@ class CachingSite:
         self.u_local = message.payload
 
 
-class CachingSamplerSystem(Sampler):
+class CachingSamplerSystem(BottomSFacadeBase):
     """Facade: infinite-window sampling with duplicate-suppressing sites.
 
     Behaviourally identical to
@@ -122,49 +123,15 @@ class CachingSamplerSystem(Sampler):
         algorithm: str = "murmur2",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
         self.cache_size = cache_size
-        self.network = Network()
-        self.coordinator = InfiniteWindowCoordinator(sample_size)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [
-            CachingSite(i, self.hasher, cache_size) for i in range(num_sites)
-        ]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
-        self._init_protocol()
-
-    def _deliver(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
-        self.sites[site_id].observe(element, self.network)
-
-    def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
-        """Fast path with a precomputed hash."""
-        self.sites[site_id].observe_hashed(element, h, self.network)
-
-    def sample(self) -> SampleResult:
-        """The coordinator's current distinct sample."""
-        pairs = tuple(self.coordinator.sample_pairs())
-        return SampleResult(
-            items=tuple(element for _, element in pairs),
-            pairs=pairs,
-            threshold=self.coordinator.threshold,
-            sample_size=self.sample_size,
-            window=None,
-            slot=self.current_slot,
+        self._init_runtime(
+            Topology.build(
+                coordinator=InfiniteWindowCoordinator(sample_size),
+                site_factory=lambda i: CachingSite(i, self.hasher, cache_size),
+                num_sites=num_sites,
+            )
         )
-
-    @property
-    def threshold(self) -> float:
-        """The coordinator's current threshold u."""
-        return self.coordinator.threshold
-
-    @property
-    def sample_size(self) -> int:
-        """Configured sample size s."""
-        return self.coordinator.sample_store.capacity
 
     @property
     def total_suppressed(self) -> int:
@@ -191,9 +158,7 @@ class CachingSamplerSystem(Sampler):
 
     def _state(self) -> dict[str, Any]:
         return {
-            "sample": [
-                [h, element] for h, element in self.coordinator.sample_pairs()
-            ],
+            "sample": self._sample_rows(),
             "reports_received": self.coordinator.reports_received,
             "reports_accepted": self.coordinator.reports_accepted,
             "sites": [
@@ -207,14 +172,7 @@ class CachingSamplerSystem(Sampler):
         }
 
     def _load(self, state: dict[str, Any]) -> None:
-        store = self.coordinator.sample_store
-        store.clear()
-        for h, element in state["sample"]:
-            accepted, _ = store.offer(float(h), revive_element(element))
-            if not accepted:
-                raise ConfigurationError(
-                    "snapshot sample contains duplicates or unsorted entries"
-                )
+        self._load_sample_rows(state["sample"])
         self.coordinator.reports_received = int(state["reports_received"])
         self.coordinator.reports_accepted = int(state["reports_accepted"])
         for site, site_state in zip(self.sites, state["sites"]):

@@ -46,6 +46,7 @@ from ..errors import ConfigurationError, ProtocolError
 from ..hashing.unit import UnitHasher, unit_hash_vector
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 from ..structures.bottomk import BottomK
 from .protocol import (
     Sampler,
@@ -56,6 +57,7 @@ from .protocol import (
 )
 
 __all__ = [
+    "BottomSFacadeBase",
     "InfiniteWindowSite",
     "InfiniteWindowCoordinator",
     "DistinctSamplerSystem",
@@ -159,7 +161,80 @@ class InfiniteWindowCoordinator:
         return self.sample_store.pairs()
 
 
-class DistinctSamplerSystem(Sampler):
+class BottomSFacadeBase(Sampler):
+    """Shared facade plumbing for the infinite-window bottom-s systems.
+
+    The infinite-window system and the broadcast/caching baselines differ
+    only in protocol logic (site trigger and feedback policy); everything
+    else — delivery hooks, the :class:`BottomK`-backed sample/threshold
+    queries, and the sample's snapshot rows — is identical and lives here.
+    Subclasses need a coordinator exposing ``sample_store``
+    (a :class:`~repro.structures.bottomk.BottomK`), sites exposing
+    ``observe``/``observe_hashed``, and the standard
+    :meth:`~repro.core.protocol.Sampler` hook surface for the rest.
+    """
+
+    def _deliver(self, site_id: int, element: Any) -> None:
+        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
+        self.sites[site_id].observe(element, self.network)
+
+    def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
+        """Fast path with a precomputed hash (see site docs)."""
+        self.sites[site_id].observe_hashed(element, h, self.network)
+
+    def flood_hashed(self, element: Any, h: float) -> None:
+        """Deliver a pre-hashed element to every site ("flooding")."""
+        network = self.network
+        for site in self.sites:
+            site.observe_hashed(element, h, network)
+
+    # -- queries -----------------------------------------------------------
+
+    def sample(self) -> SampleResult:
+        """The coordinator's current distinct sample."""
+        pairs = tuple(self.coordinator.sample_store.pairs())
+        return SampleResult(
+            items=tuple(element for _, element in pairs),
+            pairs=pairs,
+            threshold=self.threshold,
+            sample_size=self.sample_size,
+            window=None,
+            slot=self.current_slot,
+        )
+
+    def sample_pairs(self) -> list[tuple[float, Any]]:
+        """The coordinator's ``(hash, element)`` pairs, ascending by hash."""
+        return self.coordinator.sample_store.pairs()
+
+    @property
+    def threshold(self) -> float:
+        """The coordinator's current threshold u."""
+        return self.coordinator.sample_store.threshold()
+
+    @property
+    def sample_size(self) -> int:
+        """Configured sample size s."""
+        return self.coordinator.sample_store.capacity
+
+    # -- persistence helpers -----------------------------------------------
+
+    def _sample_rows(self) -> list:
+        """The sample as JSON-safe ``[hash, element]`` snapshot rows."""
+        return [[h, element] for h, element in self.sample_pairs()]
+
+    def _load_sample_rows(self, rows: list) -> None:
+        """Rebuild the coordinator's sample store from snapshot rows."""
+        store = self.coordinator.sample_store
+        store.clear()
+        for h, element in rows:
+            accepted, _ = store.offer(float(h), revive_element(element))
+            if not accepted:
+                raise ConfigurationError(
+                    "snapshot sample contains duplicates or unsorted entries"
+                )
+
+
+class DistinctSamplerSystem(BottomSFacadeBase):
     """Facade wiring ``k`` sites and a coordinator over a simulated network.
 
     This is the main entry point for infinite-window distributed distinct
@@ -193,22 +268,16 @@ class DistinctSamplerSystem(Sampler):
         algorithm: str = "murmur2",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
-        self.network = Network()
-        self.coordinator = InfiniteWindowCoordinator(sample_size)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [InfiniteWindowSite(i, self.hasher) for i in range(num_sites)]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
-        self._init_protocol()
+        self._init_runtime(
+            Topology.build(
+                coordinator=InfiniteWindowCoordinator(sample_size),
+                site_factory=lambda i: InfiniteWindowSite(i, self.hasher),
+                num_sites=num_sites,
+            )
+        )
 
     # -- ingestion -------------------------------------------------------
-
-    def _deliver(self, site_id: int, element: Any) -> None:
-        """Deliver ``element`` to site ``site_id`` (protocol hook)."""
-        self.sites[site_id].observe(element, self.network)
 
     def observe_batch(self, events) -> int:
         """Vectorized batch ingestion (semantics of the generic loop).
@@ -246,10 +315,6 @@ class DistinctSamplerSystem(Sampler):
         if hashes is None:
             hashes = self.hasher.unit_many(items)
         self.process_batch(site_ids, items, hashes)
-
-    def observe_hashed(self, site_id: int, element: Any, h: float) -> None:
-        """Fast path with a precomputed hash (see site docs)."""
-        self.sites[site_id].observe_hashed(element, h, self.network)
 
     def process_batch(
         self,
@@ -314,44 +379,7 @@ class DistinctSamplerSystem(Sampler):
 
     def flood(self, element: Any) -> None:
         """Deliver ``element`` to every site (the "flooding" distribution)."""
-        h = self.hasher.unit(element)
-        network = self.network
-        for site in self.sites:
-            site.observe_hashed(element, h, network)
-
-    def flood_hashed(self, element: Any, h: float) -> None:
-        """Flooding fast path with a precomputed hash."""
-        network = self.network
-        for site in self.sites:
-            site.observe_hashed(element, h, network)
-
-    # -- queries -----------------------------------------------------------
-
-    def sample(self) -> SampleResult:
-        """The coordinator's current distinct sample."""
-        pairs = tuple(self.coordinator.sample_pairs())
-        return SampleResult(
-            items=tuple(element for _, element in pairs),
-            pairs=pairs,
-            threshold=self.coordinator.threshold,
-            sample_size=self.sample_size,
-            window=None,
-            slot=self.current_slot,
-        )
-
-    def sample_pairs(self) -> list[tuple[float, Any]]:
-        """The coordinator's ``(hash, element)`` pairs, ascending by hash."""
-        return self.coordinator.sample_pairs()
-
-    @property
-    def threshold(self) -> float:
-        """The coordinator's current threshold u."""
-        return self.coordinator.threshold
-
-    @property
-    def sample_size(self) -> int:
-        """Configured sample size s."""
-        return self.coordinator.sample_store.capacity
+        self.flood_hashed(element, self.hasher.unit(element))
 
     # -- protocol: construction recipe + persistence -----------------------
 
@@ -368,25 +396,18 @@ class DistinctSamplerSystem(Sampler):
 
     def _state(self) -> dict[str, Any]:
         return {
-            "sample": [[h, element] for h, element in self.sample_pairs()],
+            "sample": self._sample_rows(),
             "site_thresholds": [site.u_local for site in self.sites],
             "reports_received": self.coordinator.reports_received,
             "reports_accepted": self.coordinator.reports_accepted,
         }
 
     def _load(self, state: dict[str, Any]) -> None:
-        store = self.coordinator.sample_store
-        store.clear()
-        for h, element in state["sample"]:
-            accepted, _ = store.offer(float(h), revive_element(element))
-            if not accepted:
-                raise ConfigurationError(
-                    "snapshot sample contains duplicates or unsorted entries"
-                )
+        self._load_sample_rows(state["sample"])
         thresholds = state.get("site_thresholds")
         if thresholds is None:
             # Soft site state: any value >= the true u is safe.
-            u = store.threshold()
+            u = self.coordinator.sample_store.threshold()
             for site in self.sites:
                 site.u_local = u
         else:

@@ -193,6 +193,9 @@ class SamplerConfig:
             system (see :mod:`repro.core.sliding`).
         cache_size: Per-site LRU capacity for the ``"caching"`` variant
             (None selects the variant default, ``sample_size``).
+        shards: Number of independent coordinator groups S (>= 1).  Only
+            ``sharded:*`` variants accept ``shards > 1`` (see
+            :mod:`repro.runtime.sharded`).
     """
 
     variant: str = "infinite"
@@ -204,6 +207,7 @@ class SamplerConfig:
     structure: str = "treap"
     coordinator_mode: str = "exact"
     cache_size: Optional[int] = None
+    shards: int = 1
 
     def validate(self) -> "SamplerConfig":
         """Check variant-independent invariants; returns self.
@@ -225,6 +229,8 @@ class SamplerConfig:
             raise ConfigurationError(
                 f"cache_size must be >= 0, got {self.cache_size}"
             )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
         return self
 
     def to_dict(self) -> dict[str, Any]:
@@ -323,17 +329,16 @@ def iter_event_runs(events: Iterable[Event]):
 class Sampler(ABC):
     """Abstract base class for every distributed sampler facade.
 
-    Subclasses call :meth:`_init_protocol` at the end of their
-    ``__init__`` and implement the small hook surface
-    (:meth:`_deliver`, :meth:`_advance_to`, :meth:`sample`,
+    Single-group facades build a :class:`~repro.runtime.topology.Topology`
+    and call :meth:`_init_runtime` at the end of their ``__init__``;
+    composite facades (with-replacement copies, sharded groups) own no
+    topology of their own and call :meth:`_init_protocol` directly,
+    overriding :meth:`message_stats`.  Subclasses implement the small
+    hook surface (:meth:`_deliver`, :meth:`_advance_to`, :meth:`sample`,
     :meth:`config`, :meth:`_state`, :meth:`_load`); the base class
     provides the uniform lifecycle, accounting, and the deprecated
     compatibility shims on top.
     """
-
-    # Populated by subclasses before _init_protocol().
-    sites: list
-    network: Network
 
     # -- construction ------------------------------------------------------
 
@@ -341,6 +346,39 @@ class Sampler(ABC):
         """Initialize the lifecycle bookkeeping (call last in __init__)."""
         self._last_slot: Optional[int] = None
         self._slots_processed = 0
+
+    def _init_runtime(self, topology) -> None:
+        """Adopt a wired :class:`~repro.runtime.topology.Topology`.
+
+        The topology becomes the canonical owner of the transport and the
+        node roster; :attr:`network`, :attr:`coordinator`, and
+        :attr:`sites` read through it.
+        """
+        self.topology = topology
+        self._init_protocol()
+
+    # -- runtime delegation ------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The topology's transport (canonical; settable for rewiring)."""
+        return self.topology.network
+
+    @network.setter
+    def network(self, network: Network) -> None:
+        # DelayedNetwork.rewire swaps the transport under a live system;
+        # routing the assignment through the topology keeps it canonical.
+        self.topology.adopt_network(network)
+
+    @property
+    def coordinator(self):
+        """The topology's coordinator node."""
+        return self.topology.coordinator
+
+    @property
+    def sites(self) -> list:
+        """The topology's site roster, indexed by site id."""
+        return self.topology.sites
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -402,9 +440,18 @@ class Sampler(ABC):
     def sample(self) -> SampleResult:
         """The current sample as a :class:`SampleResult`."""
 
+    def message_stats(self):
+        """THE message-cost counters (canonical, via the runtime topology).
+
+        Composite facades override this with an aggregate over their
+        groups' topologies; every other cost accessor
+        (:meth:`stats`, :attr:`total_messages`) derives from it.
+        """
+        return self.topology.message_stats()
+
     def stats(self) -> SamplerStats:
         """Uniform cost counters as a :class:`SamplerStats`."""
-        stats = self.network.stats
+        stats = self.message_stats()
         return SamplerStats(
             messages_total=stats.total_messages,
             messages_to_coordinator=stats.site_to_coordinator,
@@ -447,7 +494,7 @@ class Sampler(ABC):
     @property
     def total_messages(self) -> int:
         """Total messages exchanged so far (the paper's cost metric)."""
-        return self.network.stats.total_messages
+        return self.message_stats().total_messages
 
     # -- persistence -------------------------------------------------------
 

@@ -66,6 +66,7 @@ from ..hashing.unit import UnitHasher, unit_hash_batch
 from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 from ..structures.dominance import SortedDominanceSet, TreapDominanceSet
 from .protocol import (
     Sampler,
@@ -335,8 +336,6 @@ class SlidingWindowSystem(Sampler):
         coordinator_mode: str = "exact",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
@@ -345,16 +344,17 @@ class SlidingWindowSystem(Sampler):
         self.structure = structure
         self.coordinator_mode = coordinator_mode
         self.clock = SlotClock(0)
-        self.network = Network()
-        self.coordinator = SlidingWindowCoordinator(self.clock, coordinator_mode)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [
-            SlidingWindowSite(i, self.hasher, window, structure)
-            for i in range(num_sites)
-        ]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
-        self._init_protocol()
+        self._init_runtime(
+            Topology.build(
+                coordinator=SlidingWindowCoordinator(
+                    self.clock, coordinator_mode
+                ),
+                site_factory=lambda i: SlidingWindowSite(
+                    i, self.hasher, window, structure
+                ),
+                num_sites=num_sites,
+            )
+        )
 
     # -- protocol hooks ----------------------------------------------------
 

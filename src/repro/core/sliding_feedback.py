@@ -44,6 +44,7 @@ from ..hashing.unit import UnitHasher, unit_hash_batch
 from ..netsim.clock import SlotClock
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 from ..structures.dominance import DominanceEntry, SortedDominanceSet
 from .protocol import (
     Sampler,
@@ -228,8 +229,6 @@ class SlidingWindowBottomSFeedback(Sampler):
         algorithm: str = "murmur2",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if sample_size < 1:
@@ -240,16 +239,15 @@ class SlidingWindowBottomSFeedback(Sampler):
         self.window = window
         self.sample_size = sample_size
         self.clock = SlotClock(0)
-        self.network = Network()
-        self.coordinator = FeedbackBottomSCoordinator(self.clock, sample_size)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [
-            FeedbackBottomSSite(i, self.hasher, window, sample_size)
-            for i in range(num_sites)
-        ]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
-        self._init_protocol()
+        self._init_runtime(
+            Topology.build(
+                coordinator=FeedbackBottomSCoordinator(self.clock, sample_size),
+                site_factory=lambda i: FeedbackBottomSSite(
+                    i, self.hasher, window, sample_size
+                ),
+                num_sites=num_sites,
+            )
+        )
 
     # -- protocol hooks ----------------------------------------------------
 

@@ -35,6 +35,7 @@ from ..errors import ConfigurationError, ProtocolError
 from ..hashing.unit import UnitHasher, unit_hash_batch
 from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
+from ..runtime.topology import Topology
 from ..structures.dominance import DominanceEntry, SortedDominanceSet
 from .protocol import (
     Sampler,
@@ -196,8 +197,6 @@ class SlidingWindowBottomS(Sampler):
         algorithm: str = "murmur2",
         hasher: Optional[UnitHasher] = None,
     ) -> None:
-        if num_sites < 1:
-            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if sample_size < 1:
@@ -207,17 +206,16 @@ class SlidingWindowBottomS(Sampler):
         self.hasher = hasher if hasher is not None else UnitHasher(seed, algorithm)
         self.window = window
         self.sample_size = sample_size
-        self.network = Network()
-        self.coordinator = LocalPushCoordinator(sample_size)
-        self.network.register(COORDINATOR, self.coordinator)
-        self.sites = [
-            LocalPushSite(i, self.hasher, window, sample_size)
-            for i in range(num_sites)
-        ]
-        for site in self.sites:
-            self.network.register(site.site_id, site)
         self._now = 0
-        self._init_protocol()
+        self._init_runtime(
+            Topology.build(
+                coordinator=LocalPushCoordinator(sample_size),
+                site_factory=lambda i: LocalPushSite(
+                    i, self.hasher, window, sample_size
+                ),
+                num_sites=num_sites,
+            )
+        )
 
     # -- protocol hooks ----------------------------------------------------
 

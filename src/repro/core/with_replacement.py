@@ -20,6 +20,7 @@ from typing import Any, Optional
 
 from ..errors import ConfigurationError
 from ..hashing.unit import SeededHashFamily
+from ..runtime.topology import aggregate_sampler_stats, merge_message_stats
 from .infinite import DistinctSamplerSystem
 from .protocol import (
     Sampler,
@@ -96,38 +97,20 @@ class _WithReplacementBase(Sampler):
     def _window_meta(self) -> Optional[int]:
         return None
 
+    def message_stats(self):
+        """Aggregate message counters across all s copies' transports."""
+        return merge_message_stats(copy.message_stats() for copy in self.copies)
+
     def stats(self) -> SamplerStats:
         """Aggregate cost counters across all s copies."""
-        per_site = [0] * self.num_sites
-        messages = to_coord = to_sites = nbytes = 0
-        for copy in self.copies:
-            copy_stats = copy.stats()
-            messages += copy_stats.messages_total
-            to_coord += copy_stats.messages_to_coordinator
-            to_sites += copy_stats.messages_to_sites
-            nbytes += copy_stats.bytes_total
-            for i, size in enumerate(copy_stats.per_site_memory):
-                per_site[i] += size
-        return SamplerStats(
-            messages_total=messages,
-            messages_to_coordinator=to_coord,
-            messages_to_sites=to_sites,
-            bytes_total=nbytes,
-            per_site_memory=tuple(per_site),
-            slots_processed=self._slots_processed,
-        )
+        return aggregate_sampler_stats(self.copies, self._slots_processed)
 
-    # -- overrides for the missing facade-level network/sites --------------
+    # -- overrides for the missing facade-level topology -------------------
 
     @property
     def num_sites(self) -> int:
         """Number of sites k."""
         return self.copies[0].num_sites
-
-    @property
-    def total_messages(self) -> int:
-        """Aggregate messages across all s copies."""
-        return sum(copy.total_messages for copy in self.copies)
 
     @property
     def sample_size(self) -> int:

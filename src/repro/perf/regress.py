@@ -37,6 +37,7 @@ WORKLOAD_PARAMS = (
     "window",
     "seed",
     "algorithm",
+    "shards",
 )
 
 

@@ -32,7 +32,7 @@ Scenarios are registered via :func:`register_scenario`, mirroring
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -124,8 +124,11 @@ class Scenario:
             ``observe_batch`` call).
         slotted: Whether events carry slot stamps.
         needs_network: Scenario requires a facade-level ``network``
-            attribute (excludes the with-replacement facades, whose
-            copies own their networks).
+            attribute (excludes the with-replacement and sharded facades,
+            whose copies/groups own their networks).
+        variant_filter: Optional predicate over the
+            :class:`~repro.core.api.SamplerVariant`; when given, only
+            variants it accepts run this scenario.
     """
 
     name: str
@@ -134,6 +137,7 @@ class Scenario:
     driver: Driver = field(default=drive_observe_batch)
     slotted: bool = False
     needs_network: bool = False
+    variant_filter: Optional[Callable] = None
 
     def applies_to(self, variant_name: str, sampler: Sampler) -> bool:
         """Whether this scenario can drive ``sampler`` meaningfully.
@@ -146,12 +150,15 @@ class Scenario:
         """
         from ..core.api import get_variant
 
+        variant = get_variant(variant_name)
+        if self.variant_filter is not None and not self.variant_filter(variant):
+            return False
         if self.needs_network and not all(
             hasattr(sampler, attr)
             for attr in ("network", "coordinator", "sites")
         ):
             return False
-        if not self.slotted and get_variant(variant_name).windowed:
+        if not self.slotted and variant.windowed:
             return False
         return True
 
@@ -273,5 +280,41 @@ register_scenario(
         build=_build_uniform,
         driver=_drive_netsim,
         needs_network=True,
+    )
+)
+
+
+def _build_sharded_uniform(params: ScenarioParams) -> list:
+    """The uniform workload as *raw items* — routing is the scenario."""
+    params.validate()
+    rng = np.random.default_rng(params.seed)
+    n = params.n_events
+    universe = max(1, n // 4)
+    return rng.integers(0, universe, n).tolist()
+
+
+def _drive_engine_hash(
+    sampler: Sampler, events: list, params: ScenarioParams
+) -> None:
+    """Route raw items through the Engine's hash-partition policy.
+
+    This is the scale-out ingestion shape: no explicit site ids — the
+    :class:`~repro.runtime.engine.Engine` assigns each key a sticky site,
+    and the sharded facade underneath assigns it a sticky coordinator
+    group.
+    """
+    from ..runtime.engine import Engine
+
+    Engine(sampler, policy="hash", seed=params.seed).observe_batch(events)
+
+
+register_scenario(
+    Scenario(
+        name="sharded-uniform",
+        summary="uniform raw-item workload, Engine hash-routing onto "
+        "sharded coordinator groups",
+        build=_build_sharded_uniform,
+        driver=_drive_engine_hash,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
     )
 )

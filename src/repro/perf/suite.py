@@ -40,6 +40,8 @@ class SuiteConfig:
         variants: Variant names to run; empty = all registered.
         algorithm: Hash algorithm (``mix64`` exercises the vectorized
             ingestion fast paths over the integer workloads).
+        shards: Coordinator groups S for the ``sharded:*`` variants
+            (single-coordinator variants always run with 1).
     """
 
     n_events: int = 20_000
@@ -51,6 +53,7 @@ class SuiteConfig:
     scenarios: tuple = ()
     variants: tuple = ()
     algorithm: str = "mix64"
+    shards: int = 4
 
     def scenario_names(self) -> tuple:
         """Scenario names this run covers (validated)."""
@@ -99,6 +102,7 @@ def build_sampler_for(
             window=window,
             seed=config.seed,
             algorithm=config.algorithm,
+            shards=config.shards if variant.sharded else 1,
         )
     )
 

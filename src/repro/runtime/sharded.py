@@ -1,0 +1,272 @@
+"""Sharded scale-out: S independent coordinator groups, one key space each.
+
+The single-coordinator topology is the scalability ceiling of every
+protocol in this package: one node absorbs every report.  The standard
+production remedy is *hash-partitioned sharding*: run ``S`` independent
+coordinator groups, deterministically route each key to exactly one group
+(an independent routing hash — :class:`~repro.streams.partition.HashDistributor`),
+and merge at query time.
+
+Exactness is preserved because all groups share the *same sampling hash*
+``h`` while owning *disjoint* key sets: group ``g`` maintains, by its own
+protocol's guarantee, the bottom-``s`` of the distinct keys routed to it,
+so the union of the groups' samples is a superset of the global
+bottom-``s``, and the query-time merge (sort the union by hash, keep the
+``s`` smallest) is exactly the bottom-``s`` of the whole key space.  The
+differential tests pin both halves: each group against a centralized
+oracle restricted to that group's keys, and the merge against the
+unrestricted oracle.
+
+Every group is a full sampler of the base variant with the *same* site
+count ``k`` — modeling the usual deployment where each physical ingest
+node runs one site per shard group — so per-site memory aggregates by
+summing site ``i`` across groups.
+
+Cost model: groups run on independent hardware in the deployment this
+simulates, so ingest wall-clock is measured per group
+(:attr:`ShardedSampler.group_ingest_seconds`) and the scale-out metric is
+the **critical path** — the slowest group
+(:attr:`ShardedSampler.critical_path_seconds`).  Message counts, by
+contrast, are a real total: sharding does not reduce (and with
+``S`` full-size samples slightly increases) the paper's message metric;
+what it buys is per-coordinator load ~``1/S``.
+
+With-replacement samplers are not shardable this way: their per-copy
+samples are independent draws under *different* hash functions, so a
+bottom-s merge across disjoint key spaces has no meaning there.  Compose
+the other way around if needed (``s`` parallel sharded ``s=1`` groups).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..core.protocol import (
+    Sampler,
+    SampleResult,
+    SamplerConfig,
+    SamplerStats,
+    iter_event_runs,
+)
+from ..errors import ConfigurationError
+from ..streams.partition import HashDistributor
+from .topology import aggregate_sampler_stats, merge_message_stats
+
+__all__ = ["ShardedSampler"]
+
+#: Salt for the key→group routing layer.  Distinct from the
+#: :class:`HashDistributor` default so that an Engine hash-routing sites
+#: with the same seed stays statistically independent of the shard
+#: assignment (otherwise each group would only ever see a 1/S slice of
+#: the sites).
+_SHARD_SALT = 0x51A2DED0C0FFEE42
+
+
+class ShardedSampler(Sampler):
+    """S hash-partitioned coordinator groups behind one Sampler facade.
+
+    Built through the registry (``make_sampler("sharded:<variant>",
+    shards=S, ...)``); the groups are full samplers of the base variant
+    sharing one sampling hash, and this facade owns only the routing and
+    the query-time merge.
+
+    Args:
+        groups: The ``S`` coordinator groups (same variant, same seed,
+            same site count).
+        config: The facade's construction recipe (``variant`` is the
+            ``sharded:<base>`` registry key; ``shards == len(groups)``).
+
+    Raises:
+        ConfigurationError: If ``groups`` is empty or its length does not
+            match ``config.shards``.
+    """
+
+    def __init__(self, groups: list, config: SamplerConfig) -> None:
+        groups = list(groups)
+        if not groups:
+            raise ConfigurationError("shards must be >= 1, got 0")
+        if len(groups) != config.shards:
+            raise ConfigurationError(
+                f"config.shards is {config.shards} but {len(groups)} "
+                "groups were built"
+            )
+        self.groups = groups
+        self._config = config
+        self._router = HashDistributor(
+            len(groups),
+            seed=config.seed,
+            algorithm=config.algorithm,
+            salt=_SHARD_SALT,
+        )
+        #: Cumulative batch-ingest wall-clock per group, in seconds.
+        self.group_ingest_seconds = [0.0] * len(groups)
+        self._init_protocol()
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """Number of coordinator groups S."""
+        return len(self.groups)
+
+    def shard_of(self, item: Any) -> int:
+        """The group that owns ``item``'s key (deterministic)."""
+        return self._router.assign_one(item)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _deliver(self, site_id: int, item: Any) -> None:
+        """Deliver one item to its owning group's site (protocol hook)."""
+        self.groups[self.shard_of(item)]._deliver(site_id, item)
+
+    def _advance_to(self, slot: int) -> None:
+        """Slot boundary: every group advances (independent maintenance)."""
+        for group in self.groups:
+            group.advance(slot)
+
+    def observe_batch(self, events) -> int:
+        """Partitioned batch ingestion (semantics of the generic loop).
+
+        Each same-slot run is split by owning group in one vectorized
+        routing pass, then every group bulk-ingests its sub-run through
+        its own fast path.  Groups share no state, so per-group order
+        (which this preserves) is all that matters — equivalence with the
+        event loop is pinned by the batch-equivalence tests.  Per-group
+        wall-clock accumulates in :attr:`group_ingest_seconds`.
+        """
+        events = events if isinstance(events, list) else list(events)
+        if not events:
+            return 0
+        for slot, batch in iter_event_runs(events):
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_batch(batch)
+        return len(events)
+
+    def _deliver_batch(self, batch: list) -> None:
+        if not batch:
+            return
+        timings = self.group_ingest_seconds
+        if len(self.groups) == 1:
+            started = time.perf_counter()
+            self.groups[0].observe_batch(batch)
+            timings[0] += time.perf_counter() - started
+            return
+        shard_ids = self._router.assignments_for([item for _, item in batch])
+        per_group: list[list] = [[] for _ in self.groups]
+        for event, shard in zip(batch, shard_ids.tolist()):
+            per_group[shard].append(event)
+        for shard, sub_batch in enumerate(per_group):
+            if not sub_batch:
+                continue
+            started = time.perf_counter()
+            self.groups[shard].observe_batch(sub_batch)
+            timings[shard] += time.perf_counter() - started
+
+    # -- queries -------------------------------------------------------------
+
+    def sample(self) -> SampleResult:
+        """Query-time merge: bottom-s over the union of group samples."""
+        pairs: list = []
+        for group in self.groups:
+            pairs.extend(group.sample().pairs)
+        pairs.sort(key=lambda pair: pair[0])
+        s = self._config.sample_size
+        top = tuple(pairs[:s])
+        threshold = top[-1][0] if len(top) == s else 1.0
+        return SampleResult(
+            items=tuple(item for _, item in top),
+            pairs=top,
+            threshold=threshold,
+            sample_size=s,
+            window=self._config.window or None,
+            slot=self.current_slot,
+        )
+
+    @property
+    def threshold(self) -> float:
+        """The merged sample's acceptance threshold."""
+        return self.sample().threshold
+
+    # -- cost accounting -----------------------------------------------------
+
+    def message_stats(self):
+        """Aggregate message counters across all S group transports."""
+        return merge_message_stats(
+            group.message_stats() for group in self.groups
+        )
+
+    def stats(self) -> SamplerStats:
+        """Uniform cost counters, aggregated across the groups.
+
+        ``per_site_memory[i]`` sums physical site ``i``'s footprint over
+        its S shard-local sites (one per group).
+        """
+        return aggregate_sampler_stats(self.groups, self._slots_processed)
+
+    @property
+    def ingest_seconds(self) -> float:
+        """Total batch-ingest wall-clock summed over groups (serial cost)."""
+        return sum(self.group_ingest_seconds)
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Batch-ingest wall-clock of the slowest group.
+
+        The scale-out metric: groups are independent and run on separate
+        hardware in the deployment this simulates, so elapsed time there
+        is the per-group maximum, not the in-process serial sum.
+        """
+        return max(self.group_ingest_seconds)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_sites(self) -> int:
+        """Number of physical sites k (each runs one site per group)."""
+        return self.groups[0].num_sites
+
+    @property
+    def sample_size(self) -> int:
+        """Configured sample size s."""
+        return self._config.sample_size
+
+    @property
+    def config(self) -> SamplerConfig:
+        """The :class:`SamplerConfig` reconstructing this sampler."""
+        return self._config
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": {
+                "last_slot": self._last_slot,
+                "slots_processed": self._slots_processed,
+            },
+            "groups": [group.state_dict() for group in self.groups],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        try:
+            protocol = state["protocol"]
+            groups = state["groups"]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed sampler state: {exc}") from exc
+        if len(groups) != len(self.groups):
+            raise ConfigurationError(
+                f"snapshot has {len(groups)} shard groups, sampler has "
+                f"{len(self.groups)}"
+            )
+        last_slot = protocol.get("last_slot")
+        self._last_slot = None if last_slot is None else int(last_slot)
+        self._slots_processed = int(protocol.get("slots_processed", 0))
+        for group, group_state in zip(self.groups, groups):
+            group.load_state(group_state)
+
+    def _state(self) -> dict[str, Any]:  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def _load(self, state: dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError

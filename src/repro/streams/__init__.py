@@ -9,6 +9,7 @@ from .partition import (
     Distributor,
     DominateDistributor,
     FloodingDistributor,
+    HashDistributor,
     RandomDistributor,
     RoundRobinDistributor,
     make_distributor,
@@ -42,6 +43,7 @@ __all__ = [
     "RandomDistributor",
     "RoundRobinDistributor",
     "DominateDistributor",
+    "HashDistributor",
     "make_distributor",
     "SlottedArrivals",
     "adversarial_input",

@@ -7,6 +7,13 @@ and *round-robin* — plus, in Section 5.2, a *dominate-rate* skew where site
 
 Single-site strategies produce a vectorized per-element site-id array;
 flooding is flagged so drivers replicate each element to all sites.
+
+:class:`HashDistributor` is the *content-addressed* strategy the runtime
+layer builds on: an element's destination is a pure function of the
+element (an independent routing hash), so the same key always lands in the
+same partition — the invariant sharded scale-out
+(:mod:`repro.runtime.sharded`) and the :class:`~repro.runtime.engine.Engine`
+hash-routing policy both rely on.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ from typing import Optional, Protocol, runtime_checkable
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..hashing.murmur import fmix64
+from ..hashing.unit import UnitHasher, unit_hash_vector
 
 __all__ = [
     "Distributor",
@@ -23,8 +32,14 @@ __all__ = [
     "RandomDistributor",
     "RoundRobinDistributor",
     "DominateDistributor",
+    "HashDistributor",
     "make_distributor",
 ]
+
+#: Salt decorrelating routing hashes from the sampling hash family: the
+#: same user seed must not make "which partition" and "is it sampled"
+#: statistically dependent decisions.
+_ROUTE_SALT = 0x5EED0A0B0C0D0E0F
 
 
 @runtime_checkable
@@ -131,16 +146,82 @@ class DominateDistributor:
         return rng.choice(k, size=n, p=probs).astype(np.int64)
 
 
+class HashDistributor:
+    """Content-addressed partitioning: a key's destination is fixed.
+
+    Element ``e`` goes to partition ``floor(h_route(e) * num_sites)``
+    where ``h_route`` is a unit hash seeded *independently* of the
+    sampling hash (same master seed, salted), so routing never correlates
+    with sample membership.  Unlike the positional strategies the
+    assignment is a function of the element, not the stream position —
+    use :meth:`assignments_for` (or :meth:`assign_one`); the positional
+    :meth:`assignments` is rejected by construction.
+
+    Args:
+        num_sites: Number of partitions (sites or shard groups).
+        seed: Master seed the routing seed is derived from.
+        algorithm: Hash algorithm (``"mix64"`` vectorizes over integer
+            batches; match the sampler's algorithm so anything the
+            sampler can hash, the router can too).
+        salt: Distinguishes stacked routing layers.  Two distributors
+            with the same seed and salt are the same hash function, so a
+            deployment that routes twice (Engine picks the site, a
+            sharded sampler picks the coordinator group) must give each
+            layer its own salt or the two decisions collapse into one
+            and every group sees only a slice of the sites.
+    """
+
+    floods = False
+
+    def __init__(
+        self,
+        num_sites: int,
+        seed: int = 0,
+        algorithm: str = "murmur2",
+        salt: int = _ROUTE_SALT,
+    ) -> None:
+        _check_sites(num_sites)
+        self.num_sites = num_sites
+        self.seed = int(seed)
+        self.algorithm = algorithm
+        self._hasher = UnitHasher(fmix64(self.seed ^ salt), algorithm)
+
+    def assignments(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> Optional[np.ndarray]:
+        raise ConfigurationError(
+            "HashDistributor is content-addressed; use assignments_for(items)"
+        )
+
+    def assignments_for(self, items) -> np.ndarray:
+        """Per-element partition ids (``int64`` array, len(items))."""
+        items = items if isinstance(items, list) else list(items)
+        hashes = unit_hash_vector(self._hasher, items)
+        if hashes is None:
+            hashes = np.asarray(self._hasher.unit_many(items))
+        ids = (hashes * self.num_sites).astype(np.int64)
+        # h < 1 guarantees ids < num_sites mathematically; the clip only
+        # guards float rounding at the very top of the unit interval.
+        return np.minimum(ids, self.num_sites - 1)
+
+    def assign_one(self, item) -> int:
+        """Partition id for a single element (matches the batch path)."""
+        return min(
+            int(self._hasher.unit(item) * self.num_sites), self.num_sites - 1
+        )
+
+
 def make_distributor(
-    name: str, num_sites: int, alpha: float = 1.0
+    name: str, num_sites: int, alpha: float = 1.0, seed: int = 0
 ) -> Distributor:
     """Construct a distributor by name.
 
     Args:
-        name: ``"flooding"``, ``"random"``, ``"round_robin"``, or
-            ``"dominate"``.
+        name: ``"flooding"``, ``"random"``, ``"round_robin"``,
+            ``"dominate"``, or ``"hash"``.
         num_sites: Number of sites.
         alpha: Dominate rate, used only by ``"dominate"``.
+        seed: Routing seed, used only by ``"hash"``.
 
     Raises:
         ConfigurationError: For an unknown name.
@@ -153,7 +234,9 @@ def make_distributor(
         return RoundRobinDistributor(num_sites)
     if name == "dominate":
         return DominateDistributor(num_sites, alpha)
+    if name == "hash":
+        return HashDistributor(num_sites, seed=seed)
     raise ConfigurationError(
         f"unknown distribution strategy {name!r}; expected flooding, random, "
-        "round_robin, or dominate"
+        "round_robin, dominate, or hash"
     )

@@ -41,6 +41,34 @@ CONFIGS = {
     "wr-sliding": SamplerConfig(
         variant="with-replacement", num_sites=3, window=12, sample_size=3
     ),
+    # Sharded wrappers: the batch path additionally hash-partitions each
+    # run across coordinator groups before the per-group fast paths run.
+    "sharded-infinite": SamplerConfig(
+        variant="sharded:infinite", num_sites=3, sample_size=4, shards=3
+    ),
+    "sharded-broadcast": SamplerConfig(
+        variant="sharded:broadcast", num_sites=3, sample_size=4, shards=2
+    ),
+    "sharded-caching": SamplerConfig(
+        variant="sharded:caching", num_sites=3, sample_size=4, shards=2
+    ),
+    "sharded-sliding-s1": SamplerConfig(
+        variant="sharded:sliding", num_sites=3, window=12, shards=2
+    ),
+    "sharded-sliding-feedback": SamplerConfig(
+        variant="sharded:sliding-feedback",
+        num_sites=3,
+        window=12,
+        sample_size=3,
+        shards=2,
+    ),
+    "sharded-sliding-local-push": SamplerConfig(
+        variant="sharded:sliding-local-push",
+        num_sites=3,
+        window=12,
+        sample_size=3,
+        shards=2,
+    ),
 }
 
 

@@ -74,6 +74,19 @@ class TestDatasets:
         assert "enron:tiny" in out
 
 
+class TestVariants:
+    def test_lists_sharded_wrappers_with_routing(self, capsys):
+        from repro import sampler_variants
+
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        for name in sampler_variants():
+            assert name in out
+        assert "sharded:infinite" in out
+        assert "hash-partition" in out
+        assert "explicit-site" in out
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         code = main(
@@ -83,6 +96,45 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "distinct-count estimate" in out
         assert "messages" in out
+
+    def test_demo_sharded(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "oc48",
+                "--scale",
+                "tiny",
+                "--sample-size",
+                "8",
+                "--shards",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variant=sharded:infinite" in out
+        assert "3 coordinator groups" in out
+        assert "critical-path" in out
+
+    def test_demo_sharded_sliding(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "oc48",
+                "--scale",
+                "tiny",
+                "--variant",
+                "sliding",
+                "--window",
+                "16",
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "variant=sharded:sliding" in capsys.readouterr().out
 
     def test_demo_unknown_dataset(self, capsys):
         assert main(["demo", "--dataset", "oc768", "--scale", "tiny"]) == 2

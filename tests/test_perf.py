@@ -41,6 +41,7 @@ class TestScenarioRegistry:
             "adversarial",
             "bursty",
             "netsim-roundtrip",
+            "sharded-uniform",
             "sliding-churn",
             "uniform",
         )
@@ -74,6 +75,14 @@ class TestScenarioRegistry:
             events = get_scenario(name).build(params)
             assert all(len(event) == 2 for event in events)
             assert all(0 <= site < 3 for site, _ in events)
+
+    def test_sharded_uniform_is_raw_items(self):
+        # Routing is the scenario: the builder emits bare keys and the
+        # driver assigns sites through the Engine's hash policy.
+        params = ScenarioParams(n_events=200, num_sites=3, seed=5)
+        events = get_scenario("sharded-uniform").build(params)
+        assert len(events) == 200
+        assert all(isinstance(event, int) for event in events)
 
     def test_adversarial_floods_every_site(self):
         params = ScenarioParams(n_events=60, num_sites=3, seed=5)
@@ -110,7 +119,17 @@ class TestSuite:
             if r.scenario == "netsim-roundtrip"
         }
         assert "with-replacement" not in scenarios
+        assert "sharded:infinite" not in scenarios
         assert "infinite" in scenarios
+
+    def test_sharded_uniform_runs_only_sharded_variants(self, small_report):
+        variants = {
+            r.variant for r in small_report.records
+            if r.scenario == "sharded-uniform"
+        }
+        assert variants == {
+            "sharded:infinite", "sharded:broadcast", "sharded:caching"
+        }
 
     def test_record_metrics_are_sane(self, small_report):
         for record in small_report.records:

@@ -55,6 +55,36 @@ CONFIGS = {
     "wr-sliding": SamplerConfig(
         variant="with-replacement", num_sites=3, window=20, sample_size=3, seed=9
     ),
+    # Sharded scale-out wrappers: S coordinator groups, hash-partitioned
+    # key space, query-time bottom-s merge (repro.runtime.sharded).
+    "sharded-infinite": SamplerConfig(
+        variant="sharded:infinite", num_sites=3, sample_size=4, shards=3, seed=9
+    ),
+    "sharded-broadcast": SamplerConfig(
+        variant="sharded:broadcast", num_sites=3, sample_size=4, shards=2, seed=9
+    ),
+    "sharded-caching": SamplerConfig(
+        variant="sharded:caching", num_sites=3, sample_size=4, shards=2, seed=9
+    ),
+    "sharded-sliding-s1": SamplerConfig(
+        variant="sharded:sliding", num_sites=3, window=20, shards=2, seed=9
+    ),
+    "sharded-sliding-feedback": SamplerConfig(
+        variant="sharded:sliding-feedback",
+        num_sites=3,
+        window=20,
+        sample_size=3,
+        shards=2,
+        seed=9,
+    ),
+    "sharded-sliding-local-push": SamplerConfig(
+        variant="sharded:sliding-local-push",
+        num_sites=3,
+        window=20,
+        sample_size=3,
+        shards=2,
+        seed=9,
+    ),
 }
 
 

@@ -1,0 +1,340 @@
+"""Sharded scale-out correctness: S hash-partitioned coordinator groups
+must reproduce, after the query-time merge, exactly the sample the
+single-coordinator system defines — and each group must agree with a
+centralized oracle restricted to that group's key space."""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    CentralizedDistinctSampler,
+    CentralizedWindowSampler,
+    SamplerConfig,
+    ShardedSampler,
+    UnitHasher,
+    make_sampler,
+    restore,
+    snapshot,
+)
+from repro.core.api import register_sharded_variant
+from repro.errors import ConfigurationError
+
+SEED = 20150525
+
+
+def uniform_events(n: int, sites: int, universe: int, seed: int = SEED) -> list:
+    rng = np.random.default_rng(seed)
+    site_ids = rng.integers(0, sites, n).tolist()
+    items = rng.integers(0, universe, n).tolist()
+    return list(zip(site_ids, items))
+
+
+def slotted_schedule(n_slots: int, per_slot: int, sites: int, universe: int):
+    rng = np.random.default_rng(SEED + 1)
+    for slot in range(1, n_slots + 1):
+        arrivals = [
+            (int(rng.integers(0, sites)), int(rng.integers(0, universe)))
+            for _ in range(per_slot)
+        ]
+        yield slot, arrivals
+
+
+class TestInfiniteOracleMerge:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "variant", ["sharded:infinite", "sharded:broadcast", "sharded:caching"]
+    )
+    def test_merge_equals_unrestricted_oracle(self, variant, shards):
+        sampler = make_sampler(
+            variant, num_sites=4, sample_size=8, shards=shards, seed=SEED
+        )
+        oracle = CentralizedDistinctSampler(8, UnitHasher(SEED, "murmur2"))
+        for site, item in uniform_events(3000, sites=4, universe=400):
+            sampler.observe(site, item)
+            oracle.observe(item)
+        result = sampler.sample()
+        assert list(result.items) == oracle.sample()
+        assert list(result.pairs) == oracle.sample_pairs()
+        assert result.threshold == oracle.threshold
+
+    def test_each_group_matches_its_restricted_oracle(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=4, sample_size=6, shards=3, seed=SEED
+        )
+        assert isinstance(sampler, ShardedSampler)
+        restricted = [
+            CentralizedDistinctSampler(6, UnitHasher(SEED, "murmur2"))
+            for _ in range(3)
+        ]
+        for site, item in uniform_events(3000, sites=4, universe=300):
+            sampler.observe(site, item)
+            restricted[sampler.shard_of(item)].observe(item)
+        for group, oracle in zip(sampler.groups, restricted):
+            assert list(group.sample().items) == oracle.sample()
+
+    def test_key_spaces_are_disjoint_and_cover(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=4, shards=4, seed=SEED
+        )
+        owners = {key: sampler.shard_of(key) for key in range(1000)}
+        assert set(owners.values()) == {0, 1, 2, 3}
+        # Stickiness: re-asking never moves a key.
+        assert all(sampler.shard_of(key) == owner for key, owner in owners.items())
+
+
+class TestSlidingOracleMerge:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_feedback_bottom_s_tracks_window_oracle(self, shards):
+        sampler = make_sampler(
+            "sharded:sliding-feedback",
+            num_sites=3,
+            window=15,
+            sample_size=4,
+            shards=shards,
+            seed=SEED,
+        )
+        oracle = CentralizedWindowSampler(15, 4, UnitHasher(SEED, "murmur2"))
+        for slot, arrivals in slotted_schedule(120, 6, sites=3, universe=90):
+            sampler.advance(slot)
+            oracle.advance(slot)
+            for site, item in arrivals:
+                sampler.observe(site, item)
+                oracle.observe(item, slot)
+            assert list(sampler.sample().items) == oracle.sample(), slot
+
+    @pytest.mark.parametrize(
+        "variant", ["sharded:sliding", "sharded:sliding-local-push"]
+    )
+    def test_s1_variants_track_window_minimum(self, variant):
+        sampler = make_sampler(
+            variant, num_sites=3, window=12, shards=2, seed=SEED
+        )
+        oracle = CentralizedWindowSampler(12, 1, UnitHasher(SEED, "murmur2"))
+        for slot, arrivals in slotted_schedule(100, 5, sites=3, universe=60):
+            sampler.advance(slot)
+            oracle.advance(slot)
+            for site, item in arrivals:
+                sampler.observe(site, item)
+                oracle.observe(item, slot)
+            assert sampler.sample().first == oracle.min_element(), slot
+
+    def test_sliding_groups_match_restricted_window_oracles(self):
+        sampler = make_sampler(
+            "sharded:sliding-feedback",
+            num_sites=3,
+            window=10,
+            sample_size=3,
+            shards=2,
+            seed=SEED,
+        )
+        restricted = [
+            CentralizedWindowSampler(10, 3, UnitHasher(SEED, "murmur2"))
+            for _ in range(2)
+        ]
+        for slot, arrivals in slotted_schedule(80, 5, sites=3, universe=50):
+            sampler.advance(slot)
+            for oracle in restricted:
+                oracle.advance(slot)
+            for site, item in arrivals:
+                sampler.observe(site, item)
+                restricted[sampler.shard_of(item)].observe(item, slot)
+        for group, oracle in zip(sampler.groups, restricted):
+            assert list(group.sample().items) == oracle.sample()
+
+
+class TestShardOneDegeneracy:
+    def test_shards_1_is_indistinguishable_from_the_base(self):
+        sharded = make_sampler(
+            "sharded:infinite", num_sites=3, sample_size=5, shards=1, seed=SEED
+        )
+        base = make_sampler("infinite", num_sites=3, sample_size=5, seed=SEED)
+        events = uniform_events(2000, sites=3, universe=250)
+        sharded.observe_batch(events)
+        base.observe_batch(events)
+        assert sharded.sample() == base.sample()
+        assert sharded.stats() == base.stats()
+        assert sharded.total_messages == base.total_messages
+
+
+class TestShardedPersistence:
+    def test_snapshot_roundtrip_and_continuation(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=3, sample_size=6, shards=3, seed=SEED
+        )
+        events = uniform_events(1500, sites=3, universe=200)
+        sampler.observe_batch(events[:1000])
+        revived = restore(json.loads(json.dumps(snapshot(sampler))))
+        assert type(revived) is type(sampler)
+        assert revived.shards == 3
+        assert revived.sample() == sampler.sample()
+        assert revived.stats() == sampler.stats()
+        sampler.observe_batch(events[1000:])
+        revived.observe_batch(events[1000:])
+        assert revived.sample() == sampler.sample()
+        assert revived.stats() == sampler.stats()
+
+    def test_load_state_rejects_group_count_mismatch(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=2, shards=2
+        )
+        other = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=2, shards=3
+        )
+        with pytest.raises(ConfigurationError, match="shard groups"):
+            other.load_state(sampler.state_dict())
+
+
+class TestShardedConfigSurface:
+    def test_config_roundtrips_through_the_front_door(self):
+        config = SamplerConfig(
+            variant="sharded:sliding-feedback",
+            num_sites=4,
+            window=9,
+            sample_size=3,
+            shards=2,
+            seed=11,
+        )
+        sampler = make_sampler(config)
+        assert sampler.config == config
+        rebuilt = make_sampler(sampler.config)
+        assert type(rebuilt) is type(sampler)
+        assert rebuilt.shards == 2
+
+    def test_plain_variants_reject_shards(self):
+        with pytest.raises(ConfigurationError, match="single-coordinator"):
+            make_sampler("infinite", num_sites=2, sample_size=2, shards=2)
+
+    def test_with_replacement_is_not_shardable(self):
+        with pytest.raises(ConfigurationError, match="unknown sampler variant"):
+            make_sampler(
+                "sharded:with-replacement", num_sites=2, sample_size=2, shards=2
+            )
+        with pytest.raises(ConfigurationError, match="cannot be sharded"):
+            register_sharded_variant("with-replacement")
+
+    def test_shards_validation(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            SamplerConfig(variant="sharded:infinite", shards=0).validate()
+
+    def test_group_count_must_match_config(self):
+        groups = [
+            make_sampler("infinite", num_sites=2, sample_size=2)
+            for _ in range(2)
+        ]
+        with pytest.raises(ConfigurationError, match="groups"):
+            ShardedSampler(
+                groups,
+                SamplerConfig(
+                    variant="sharded:infinite", num_sites=2, sample_size=2,
+                    shards=3,
+                ),
+            )
+
+
+class TestShardedCostModel:
+    def test_message_totals_aggregate_group_networks(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=3, sample_size=4, shards=3, seed=SEED
+        )
+        sampler.observe_batch(uniform_events(1200, sites=3, universe=150))
+        assert sampler.total_messages == sum(
+            group.total_messages for group in sampler.groups
+        )
+        stats = sampler.stats()
+        assert stats.messages_total == sampler.total_messages
+        assert stats.num_sites == 3
+        # Physical site i runs one shard-local site per group.
+        for i in range(3):
+            assert stats.per_site_memory[i] == sum(
+                group.stats().per_site_memory[i] for group in sampler.groups
+            )
+
+    def test_ingest_timing_accumulates_per_group(self):
+        sampler = make_sampler(
+            "sharded:infinite",
+            num_sites=4,
+            sample_size=8,
+            shards=4,
+            algorithm="mix64",
+            seed=SEED,
+        )
+        rng = np.random.default_rng(3)
+        events = list(
+            zip(
+                rng.integers(0, 4, 4000).tolist(),
+                rng.integers(0, 1000, 4000).tolist(),
+            )
+        )
+        sampler.observe_batch(events)
+        assert all(elapsed > 0 for elapsed in sampler.group_ingest_seconds)
+        assert sampler.critical_path_seconds == max(
+            sampler.group_ingest_seconds
+        )
+        assert sampler.ingest_seconds == pytest.approx(
+            sum(sampler.group_ingest_seconds)
+        )
+
+
+@pytest.mark.speedup
+class TestShardedScaleOut:
+    """The scale-out acceptance gate: ingest throughput along the critical
+    path (the slowest coordinator group — groups run on independent
+    hardware in the deployment the simulation models) must scale >= 1.5x
+    from S=1 to S=4 on the uniform workload."""
+
+    def test_critical_path_throughput_scales(self):
+        n = 100_000
+        rng = np.random.default_rng(SEED)
+        events = list(
+            zip(
+                rng.integers(0, 8, n).tolist(),
+                rng.integers(0, n // 4, n).tolist(),
+            )
+        )
+
+        def critical_seconds(shards: int) -> float:
+            sampler = make_sampler(
+                "sharded:infinite",
+                num_sites=8,
+                sample_size=16,
+                shards=shards,
+                algorithm="mix64",
+                seed=1,
+            )
+            started = time.perf_counter()
+            sampler.observe_batch(events)
+            assert time.perf_counter() > started  # ingest really ran
+            return sampler.critical_path_seconds
+
+        def measure() -> tuple[float, float]:
+            # Interleave the two shapes so machine-load drift hits both;
+            # best-of-5 is the standard noise-floor estimator.  GC stays
+            # off during timing: the critical path is a max over S
+            # windows, so a collection pause landing in any one of them
+            # would inflate it far more than the single-group run.
+            singles, shardeds = [], []
+            gc.collect()
+            gc.disable()
+            try:
+                for _ in range(5):
+                    singles.append(critical_seconds(1))
+                    shardeds.append(critical_seconds(4))
+            finally:
+                gc.enable()
+            return min(singles), min(shardeds)
+
+        t_single, t_sharded = measure()
+        if t_single / t_sharded < 1.5:  # one retry absorbs load spikes
+            t_single, t_sharded = measure()
+        scaling = t_single / t_sharded
+        assert scaling >= 1.5, (
+            f"critical-path throughput scaled only {scaling:.2f}x "
+            f"from S=1 ({t_single * 1e3:.1f} ms) to S=4 "
+            f"({t_sharded * 1e3:.1f} ms)"
+        )
