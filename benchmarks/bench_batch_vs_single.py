@@ -1,22 +1,25 @@
-"""Batch vs single-item ingestion through the unified protocol.
+"""Batch vs single-item vs columnar ingestion through the unified protocol.
 
-Quantifies what the vectorized ``observe_batch`` fast path buys over a
-loop of per-item ``observe`` calls on the same stream (the acceptance
-floor tracked by ``tests/test_perf.py`` is >= 3x on this 20k-element
-infinite-window workload).  The batch path bulk-hashes with NumPy and
-pre-filters elements that provably cannot be reported (site thresholds
-only ever decrease, re-read chunk by chunk), so it skips most of the
-per-element Python work; both paths produce byte-identical coordinator
-state (asserted in the batch-equivalence tests).
+Quantifies the ingestion-path ladder on one stream:
 
-The workload comes from the shared scenario registry
-(:mod:`repro.perf.scenarios`) — the same ``uniform`` recipe the
-``repro perf`` suite measures and CI gates.
+* a loop of per-item ``observe`` calls (the slow floor);
+* tuple-batch ``observe_batch`` (NumPy bulk hashing + chunked threshold
+  pre-filtering; the >= 3x acceptance floor in ``tests/test_perf.py``);
+* columnar ``observe_batch`` over an
+  :class:`~repro.core.events.EventBatch` — the same workload with the
+  tuple churn removed entirely (cached hash columns, array routing; the
+  sharded-workload twin of this gap is gated >= 2x in
+  ``tests/test_perf.py``).
+
+All three paths produce byte-identical coordinator state (asserted in
+the batch-equivalence tests).  The workload comes from the shared
+scenario registry (:mod:`repro.perf.scenarios`) — the same ``uniform``
+recipe the ``repro perf`` suite measures and CI gates.
 """
 
 from __future__ import annotations
 
-from conftest import scenario_events
+from conftest import scenario_batch, scenario_events
 
 from repro import make_sampler
 
@@ -56,6 +59,25 @@ def test_observe_batch(benchmark):
     def run():
         system = _build()
         system.observe_batch(events)
+        return system.total_messages
+
+    messages = benchmark(run)
+    assert messages > 0
+
+
+def test_observe_columnar(benchmark):
+    # Workload generation stays outside the timer (like the other two
+    # series); only the cheap EventBatch wrap is rebuilt per iteration,
+    # so the hash-column cache is cold every run but the rng work is not
+    # being measured.
+    source = scenario_batch("uniform", _N, _SITES, seed=7)
+    items, sites = source.items, source.sites
+
+    def run():
+        from repro import EventBatch
+
+        system = _build()
+        system.observe_batch(EventBatch(items, sites=sites))
         return system.total_messages
 
     messages = benchmark(run)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.events import EventBatch
 from repro.experiments import ExperimentConfig
 from repro.perf import ScenarioParams, get_scenario
 
@@ -53,3 +54,23 @@ def scenario_events(
         n_events=n_events, num_sites=num_sites, seed=seed, window=window
     )
     return get_scenario(name).build(params)
+
+
+def scenario_batch(
+    name: str,
+    n_events: int,
+    num_sites: int,
+    seed: int = 7,
+    window: int = 64,
+) -> EventBatch:
+    """The columnar twin of :func:`scenario_events`: the same workload as
+    an :class:`~repro.core.events.EventBatch` (built fresh on every call,
+    so benchmark iterations never reuse a warm hash-column cache).
+    Raw-item scenarios (``sharded-uniform``) come back site-less —
+    routing is still the driver's job there."""
+    events = scenario_events(name, n_events, num_sites, seed, window)
+    if isinstance(events, EventBatch):
+        return events
+    if events and not isinstance(events[0], tuple):
+        return EventBatch(events)
+    return EventBatch.from_events(events)

@@ -30,6 +30,7 @@ from .core import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
     DistinctSamplerSystem,
+    EventBatch,
     Sampler,
     SampleResult,
     SamplerConfig,
@@ -62,6 +63,7 @@ from .runtime import Engine, ShardedSampler, Topology
 
 __all__ = [
     "__version__",
+    "EventBatch",
     "Sampler",
     "SampleResult",
     "SamplerConfig",

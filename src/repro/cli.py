@@ -13,6 +13,9 @@ Commands:
   scenario x variant grid to a schema-versioned JSON report, diff a
   report against a baseline with per-metric tolerances (nonzero exit on
   regression), or (re)generate ``benchmarks/baseline.json``.
+* ``repro perf profile <scenario>`` — cProfile one (scenario, variant)
+  cell and print the top cumulative hot spots, so perf work starts from
+  data instead of guesses.
 """
 
 from __future__ import annotations
@@ -175,6 +178,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.25,
         help="max factor for the deterministic counters (default 1.25)",
+    )
+
+    perf_prof = perf_sub.add_parser(
+        "profile",
+        help="cProfile one (scenario, variant) cell and print hot spots",
+    )
+    perf_prof.add_argument("scenario", help="perf scenario to profile")
+    perf_prof.add_argument(
+        "--variant",
+        default=None,
+        metavar="NAME",
+        help="variant to drive (default: first registered variant the "
+        "scenario applies to)",
+    )
+    perf_prof.add_argument("--n", type=int, default=20_000)
+    perf_prof.add_argument("--sites", type=int, default=8)
+    perf_prof.add_argument("--sample-size", type=int, default=16)
+    perf_prof.add_argument("--window", type=int, default=64)
+    perf_prof.add_argument("--shards", type=int, default=4)
+    perf_prof.add_argument("--seed", type=int, default=20150525)
+    perf_prof.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="hot spots to print, by cumulative time (default 25)",
     )
 
     perf_base = perf_sub.add_parser(
@@ -354,6 +382,61 @@ def _perf_suite_config(args: argparse.Namespace):
     )
 
 
+def _cmd_perf_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
+    from .errors import PerfError
+    from .perf import SuiteConfig
+    from .perf.scenarios import get_scenario
+    from .perf.suite import build_sampler_for
+
+    scenario = get_scenario(args.scenario)
+    config = SuiteConfig(
+        n_events=args.n,
+        num_sites=args.sites,
+        sample_size=args.sample_size,
+        window=args.window,
+        seed=args.seed,
+        shards=args.shards,
+    )
+    variant_name = args.variant
+    if variant_name is None:
+        for name in sampler_variants():
+            probe = build_sampler_for(config, name, scenario.slotted)
+            if scenario.applies_to(name, probe):
+                variant_name = name
+                break
+        if variant_name is None:
+            raise PerfError(
+                f"no registered variant applies to scenario {args.scenario!r}"
+            )
+    else:
+        probe = build_sampler_for(config, variant_name, scenario.slotted)
+        if not scenario.applies_to(variant_name, probe):
+            raise PerfError(
+                f"scenario {args.scenario!r} does not apply to variant "
+                f"{variant_name!r}"
+            )
+    params = config.scenario_params()
+    events = scenario.build(params)
+    sampler = build_sampler_for(config, variant_name, scenario.slotted)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.driver(sampler, events, params)
+    profiler.disable()
+    print(
+        f"profiled scenario={args.scenario} variant={variant_name} "
+        f"n={len(events)} sites={args.sites} shards={args.shards}"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(stream.getvalue(), end="")
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import (
         Tolerances,
@@ -362,6 +445,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         run_suite,
         save_report,
     )
+
+    if args.perf_command == "profile":
+        return _cmd_perf_profile(args)
 
     if args.perf_command == "compare":
         current = load_report(args.current)

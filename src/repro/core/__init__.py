@@ -12,6 +12,7 @@ from .api import (
     sliding_window_sampler,
     with_replacement_sampler,
 )
+from .events import EventBatch
 from .protocol import Sampler, SampleResult, SamplerConfig, SamplerStats
 from .broadcast import BroadcastCoordinator, BroadcastSamplerSystem, BroadcastSite
 from .caching import CachingSamplerSystem, CachingSite
@@ -37,6 +38,7 @@ from .sliding_general import LocalPushCoordinator, LocalPushSite, SlidingWindowB
 from .with_replacement import SlidingWindowWithReplacement, WithReplacementSampler
 
 __all__ = [
+    "EventBatch",
     "Sampler",
     "SampleResult",
     "SamplerConfig",

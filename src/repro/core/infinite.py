@@ -48,6 +48,7 @@ from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..runtime.topology import Topology
 from ..structures.bottomk import BottomK
+from .events import EventBatch
 from .protocol import (
     Sampler,
     SampleResult,
@@ -188,6 +189,32 @@ class BottomSFacadeBase(Sampler):
         for site in self.sites:
             site.observe_hashed(element, h, network)
 
+    # -- columnar ingestion --------------------------------------------------
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Columnar fast path: one cached hash column per same-slot run.
+
+        Semantics of the generic loop (slots here are bookkeeping only);
+        delivery goes through :meth:`_deliver_columns`, which subclasses
+        override to add protocol-specific pre-filtering.
+        """
+        batch.require_sites()
+        for slot, run in batch.slot_runs():
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_columns(run)
+        return len(batch)
+
+    def _deliver_columns(self, run: EventBatch) -> None:
+        """Deliver one routed run through the precomputed-hash site entry."""
+        if not len(run):
+            return
+        hashes = run.hash_column(self.hasher).tolist()
+        network = self.network
+        sites = self.sites
+        for site_id, item, h in zip(run.sites_list(), run.items_list(), hashes):
+            sites[site_id].observe_hashed(item, h, network)
+
     # -- queries -----------------------------------------------------------
 
     def sample(self) -> SampleResult:
@@ -289,6 +316,8 @@ class DistinctSamplerSystem(BottomSFacadeBase):
         cannot be reported.  Equivalence with looping :meth:`observe` is
         covered by the conformance and batch-equivalence tests.
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
@@ -315,6 +344,14 @@ class DistinctSamplerSystem(BottomSFacadeBase):
         if hashes is None:
             hashes = self.hasher.unit_many(items)
         self.process_batch(site_ids, items, hashes)
+
+    def _deliver_columns(self, run: EventBatch) -> None:
+        """Columnar delivery: cached hash column + threshold pre-filter."""
+        if not len(run):
+            return
+        self.process_batch(
+            run.sites, run.items_list(), run.hash_column(self.hasher)
+        )
 
     def process_batch(
         self,

@@ -41,6 +41,7 @@ from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 from ..errors import ConfigurationError, ProtocolError
 from ..netsim.message import MessageKind
 from ..netsim.network import Network
+from .events import EventBatch
 
 __all__ = [
     "SampleResult",
@@ -399,10 +400,14 @@ class Sampler(ABC):
         """Deliver a batch of events; returns the number delivered.
 
         Each event is ``(site_id, item)`` — delivered at the current
-        slot — or ``(site_id, item, slot)``.  Subclasses may override
-        with a vectorized fast path; semantics must match this loop
-        (the equivalence is covered by the conformance tests).
+        slot — or ``(site_id, item, slot)``.  An
+        :class:`~repro.core.events.EventBatch` is dispatched to
+        :meth:`observe_columns` instead.  Subclasses may override with a
+        vectorized fast path; semantics must match this loop (the
+        equivalence is covered by the conformance tests).
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         count = 0
         for event in events:
             if len(event) == 2:
@@ -412,6 +417,17 @@ class Sampler(ABC):
                 self._deliver(event[0], event[1])
             count += 1
         return count
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Deliver a columnar batch; returns the number delivered.
+
+        The base implementation replays the batch as tuple events, so
+        every variant accepts :class:`~repro.core.events.EventBatch`
+        input and equivalence with the tuple path holds by construction.
+        Cores with a true columnar fast path (precomputed hash columns,
+        no tuple materialization) override this.
+        """
+        return self.observe_batch(batch.to_events())
 
     def advance(self, slot: int) -> None:
         """Advance slotted time to ``slot`` and run boundary maintenance.

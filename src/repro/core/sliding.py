@@ -68,6 +68,7 @@ from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..runtime.topology import Topology
 from ..structures.dominance import SortedDominanceSet, TreapDominanceSet
+from .events import EventBatch
 from .protocol import (
     Sampler,
     SampleResult,
@@ -385,6 +386,8 @@ class SlidingWindowSystem(Sampler):
         Equivalence with looping :meth:`observe` is covered by the
         batch-equivalence tests for both network flavours.
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
@@ -393,6 +396,32 @@ class SlidingWindowSystem(Sampler):
                 self.advance(slot)
             self._deliver_batch(batch)
         return len(events)
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Columnar fast path: cached hash column + vectorized dedup."""
+        batch.require_sites()
+        for slot, run in batch.slot_runs():
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_columns(run)
+        return len(batch)
+
+    def _deliver_columns(self, run: EventBatch) -> None:
+        """Columnar twin of :meth:`_deliver_batch` (same dedup proof)."""
+        if not len(run):
+            return
+        hashes = run.hash_column(self.hasher).tolist()
+        site_ids = run.sites_list()
+        items = run.items_list()
+        now = self.clock.now
+        network = self.network
+        sites = self.sites
+        if not network.synchronous:
+            for site_id, item, h in zip(site_ids, items, hashes):
+                sites[site_id].observe_hashed(item, h, now, network)
+            return
+        for j in run.first_occurrence_indices().tolist():
+            sites[site_ids[j]].observe_hashed(items[j], hashes[j], now, network)
 
     def _deliver_batch(self, batch: list) -> None:
         """Deliver one same-slot run with precomputed hashes (+ dedup)."""

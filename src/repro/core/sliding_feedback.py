@@ -46,6 +46,7 @@ from ..netsim.message import COORDINATOR, Message, MessageKind
 from ..netsim.network import Network
 from ..runtime.topology import Topology
 from ..structures.dominance import DominanceEntry, SortedDominanceSet
+from .events import EventBatch
 from .protocol import (
     Sampler,
     SampleResult,
@@ -272,6 +273,8 @@ class SlidingWindowBottomSFeedback(Sampler):
         ``s`` candidates), so a same-slot repeat may legitimately report
         where its first occurrence did not.
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
@@ -280,6 +283,26 @@ class SlidingWindowBottomSFeedback(Sampler):
                 self.advance(slot)
             self._deliver_batch(batch)
         return len(events)
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Columnar fast path: cached hash column, no dedup (see above)."""
+        batch.require_sites()
+        for slot, run in batch.slot_runs():
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_columns(run)
+        return len(batch)
+
+    def _deliver_columns(self, run: EventBatch) -> None:
+        """Columnar twin of :meth:`_deliver_batch` (repeats kept)."""
+        if not len(run):
+            return
+        hashes = run.hash_column(self.hasher).tolist()
+        now = self.clock.now
+        network = self.network
+        sites = self.sites
+        for site_id, item, h in zip(run.sites_list(), run.items_list(), hashes):
+            sites[site_id].observe_hashed(item, h, now, network)
 
     def _deliver_batch(self, batch: list) -> None:
         """Deliver one same-slot run with precomputed hashes."""

@@ -21,6 +21,7 @@ from typing import Any, Optional
 from ..errors import ConfigurationError
 from ..hashing.unit import SeededHashFamily
 from ..runtime.topology import aggregate_sampler_stats, merge_message_stats
+from .events import EventBatch
 from .infinite import DistinctSamplerSystem
 from .protocol import (
     Sampler,
@@ -60,6 +61,8 @@ class _WithReplacementBase(Sampler):
         the sliding flavour) moves every copy's clock to the run's slot
         before delivery.
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
@@ -69,6 +72,21 @@ class _WithReplacementBase(Sampler):
             for copy in self.copies:
                 copy.observe_batch(batch)
         return len(events)
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Columnar ingestion: each copy takes the run's columnar path.
+
+        Every copy hashes with *its own* family member, so each same-slot
+        run accumulates one cached hash column per copy and the copies'
+        vectorized ``observe_columns`` fast paths do the rest.
+        """
+        batch.require_sites()
+        for slot, run in batch.slot_runs():
+            if slot is not None:
+                self.advance(slot)
+            for copy in self.copies:
+                copy.observe_columns(run)
+        return len(batch)
 
     def sample(self) -> SampleResult:
         """One independent uniform distinct draw per copy.

@@ -24,6 +24,11 @@ Built-in scenarios:
   :class:`~repro.netsim.delayed.DelayedNetwork` with periodic pumps,
   measuring ingestion with queued (rather than synchronous) coordinator
   round-trips.
+* ``uniform-columnar`` / ``sharded-uniform-columnar`` — the *same*
+  workloads as their tuple twins (same seeds, same columns), emitted as
+  :class:`~repro.core.events.EventBatch` so the whole pipeline stays
+  columnar; the gap between twin cells is the tuple-churn tax the
+  columnar ingest path removes.
 
 Scenarios are registered via :func:`register_scenario`, mirroring
 :func:`repro.core.api.register_variant`.
@@ -36,6 +41,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.events import EventBatch
 from ..core.protocol import Sampler
 from ..errors import PerfError
 from ..streams.bursty import bursty_stream
@@ -81,7 +87,8 @@ class ScenarioParams:
         return self
 
 
-#: A workload builder: params -> list of protocol events.
+#: A workload builder: params -> protocol events (a tuple-event list or
+#: a columnar :class:`~repro.core.events.EventBatch`).
 EventBuilder = Callable[[ScenarioParams], list]
 #: A driver: (sampler, events, params) -> None; ingests the workload.
 Driver = Callable[[Sampler, list, ScenarioParams], None]
@@ -196,20 +203,37 @@ def get_scenario(name: str) -> Scenario:
 # ---------------------------------------------------------------------------
 
 
-def _deal(elements: np.ndarray, params: ScenarioParams) -> list:
-    """Assign each element a uniformly random site; plain 2-tuple events."""
+def _deal_columns(
+    elements: np.ndarray, params: ScenarioParams
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each element a uniformly random site; ``(sites, elements)``."""
     rng = np.random.default_rng(params.seed + 1)
-    sites = rng.integers(0, params.num_sites, elements.size).tolist()
-    return list(zip(sites, elements.tolist()))
+    sites = rng.integers(0, params.num_sites, elements.size)
+    return sites, elements
 
 
-def _build_uniform(params: ScenarioParams) -> list:
+def _deal(elements: np.ndarray, params: ScenarioParams) -> list:
+    """The dealt workload as plain 2-tuple events."""
+    sites, elements = _deal_columns(elements, params)
+    return list(zip(sites.tolist(), elements.tolist()))
+
+
+def _uniform_elements(params: ScenarioParams) -> np.ndarray:
     params.validate()
     rng = np.random.default_rng(params.seed)
     n = params.n_events
     universe = max(1, n // 4)
-    elements = rng.integers(0, universe, n)
-    return _deal(elements, params)
+    return rng.integers(0, universe, n)
+
+
+def _build_uniform(params: ScenarioParams) -> list:
+    return _deal(_uniform_elements(params), params)
+
+
+def _build_uniform_columnar(params: ScenarioParams) -> EventBatch:
+    """The uniform workload, column-for-column identical, zero tuples."""
+    sites, elements = _deal_columns(_uniform_elements(params), params)
+    return EventBatch(elements, sites=sites)
 
 
 def _build_bursty(params: ScenarioParams) -> list:
@@ -286,11 +310,12 @@ register_scenario(
 
 def _build_sharded_uniform(params: ScenarioParams) -> list:
     """The uniform workload as *raw items* — routing is the scenario."""
-    params.validate()
-    rng = np.random.default_rng(params.seed)
-    n = params.n_events
-    universe = max(1, n // 4)
-    return rng.integers(0, universe, n).tolist()
+    return _uniform_elements(params).tolist()
+
+
+def _build_sharded_uniform_columnar(params: ScenarioParams) -> EventBatch:
+    """The same raw keys as a site-less columnar batch (Engine routes)."""
+    return EventBatch(_uniform_elements(params))
 
 
 def _drive_engine_hash(
@@ -314,6 +339,24 @@ register_scenario(
         summary="uniform raw-item workload, Engine hash-routing onto "
         "sharded coordinator groups",
         build=_build_sharded_uniform,
+        driver=_drive_engine_hash,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+    )
+)
+register_scenario(
+    Scenario(
+        name="uniform-columnar",
+        summary="the uniform workload as a columnar EventBatch "
+        "(zero-tuple ingest)",
+        build=_build_uniform_columnar,
+    )
+)
+register_scenario(
+    Scenario(
+        name="sharded-uniform-columnar",
+        summary="sharded-uniform's raw keys as a site-less EventBatch, "
+        "Engine hash-routed end to end in columns",
+        build=_build_sharded_uniform_columnar,
         driver=_drive_engine_hash,
         variant_filter=lambda variant: variant.sharded and not variant.windowed,
     )

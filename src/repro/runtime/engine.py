@@ -25,6 +25,9 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+import numpy as np
+
+from ..core.events import EventBatch
 from ..core.protocol import Sampler
 from ..errors import ConfigurationError
 from ..streams.partition import HashDistributor, RoundRobinDistributor
@@ -127,14 +130,23 @@ class Engine:
         followed by looping :meth:`observe` without ``slot`` — the batch
         path computes the same site assignments, then hands the addressed
         events to the sampler's (vectorized) ``observe_batch``.
+
+        A columnar :class:`~repro.core.events.EventBatch` (items column;
+        sites optional under ``explicit``) dispatches to
+        :meth:`observe_columns`, which keeps the routing output as an
+        array end to end.
         """
-        items = items if isinstance(items, list) else list(items)
+        if isinstance(items, EventBatch):
+            return self.observe_columns(items, slot=slot)
         if slot is not None:
             self.sampler.advance(slot)
+        if self.policy == "explicit":
+            # Pass-through: the events already carry site ids, so no copy
+            # is needed here (the sampler materializes if it must).
+            return self.sampler.observe_batch(items)
+        items = items if isinstance(items, list) else list(items)
         if not items:
             return 0
-        if self.policy == "explicit":
-            return self.sampler.observe_batch(items)
         if self.policy == "hash":
             sites = self._distributor.assignments_for(items).tolist()
         else:
@@ -143,3 +155,30 @@ class Engine:
             sites = [(start + j) % k for j in range(len(items))]
         self._position += len(items)
         return self.sampler.observe_batch(list(zip(sites, items)))
+
+    def observe_columns(
+        self, batch: EventBatch, *, slot: Optional[int] = None
+    ) -> int:
+        """Route a columnar batch; site assignments stay NumPy arrays.
+
+        Semantics of :meth:`observe_batch` over ``batch.to_events()``:
+        the same distributor computes the same site ids, but the column
+        is attached with :meth:`~repro.core.events.EventBatch.with_sites`
+        (sharing the cached hash columns) instead of being zipped back
+        into tuples.
+        """
+        if slot is not None:
+            self.sampler.advance(slot)
+        n = len(batch)
+        if self.policy == "explicit":
+            batch.require_sites()
+            return self.sampler.observe_batch(batch)
+        if not n:
+            return 0
+        if self.policy == "hash":
+            sites = self._distributor.assignments_for_batch(batch)
+        else:
+            k = self.num_sites
+            sites = (self._position + np.arange(n, dtype=np.int64)) % k
+        self._position += n
+        return self.sampler.observe_batch(batch.with_sites(sites))

@@ -42,6 +42,9 @@ from __future__ import annotations
 import time
 from typing import Any
 
+import numpy as np
+
+from ..core.events import EventBatch
 from ..core.protocol import (
     Sampler,
     SampleResult,
@@ -135,6 +138,8 @@ class ShardedSampler(Sampler):
         event loop is pinned by the batch-equivalence tests.  Per-group
         wall-clock accumulates in :attr:`group_ingest_seconds`.
         """
+        if isinstance(events, EventBatch):
+            return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
@@ -143,6 +148,45 @@ class ShardedSampler(Sampler):
                 self.advance(slot)
             self._deliver_batch(batch)
         return len(events)
+
+    def observe_columns(self, batch: EventBatch) -> int:
+        """Columnar ingestion: array-sliced shard split, zero tuples.
+
+        Each same-slot run is routed with one vectorized shard-hash pass,
+        the shared *sampling*-hash column is computed once on the whole
+        run, and :meth:`~repro.core.events.EventBatch.select` slices both
+        into per-group sub-batches — the groups (which share the sampling
+        hasher) never rehash or touch a tuple.
+        """
+        batch.require_sites()
+        for slot, run in batch.slot_runs():
+            if slot is not None:
+                self.advance(slot)
+            self._deliver_columns(run)
+        return len(batch)
+
+    def _deliver_columns(self, run: EventBatch) -> None:
+        if not len(run):
+            return
+        timings = self.group_ingest_seconds
+        groups = self.groups
+        if len(groups) == 1:
+            started = time.perf_counter()
+            groups[0].observe_columns(run)
+            timings[0] += time.perf_counter() - started
+            return
+        shard_ids = self._router.assignments_for_batch(run)
+        # Warm the shared sampling-hash column on the full run so the
+        # per-group select() slices it instead of rehashing per group.
+        run.hash_column(groups[0].hasher)
+        for shard in range(len(groups)):
+            index = np.flatnonzero(shard_ids == shard)
+            if not index.size:
+                continue
+            sub_run = run.select(index)
+            started = time.perf_counter()
+            groups[shard].observe_columns(sub_run)
+            timings[shard] += time.perf_counter() - started
 
     def _deliver_batch(self, batch: list) -> None:
         if not batch:
@@ -153,13 +197,13 @@ class ShardedSampler(Sampler):
             self.groups[0].observe_batch(batch)
             timings[0] += time.perf_counter() - started
             return
-        shard_ids = self._router.assignments_for([item for _, item in batch])
-        per_group: list[list] = [[] for _ in self.groups]
-        for event, shard in zip(batch, shard_ids.tolist()):
-            per_group[shard].append(event)
-        for shard, sub_batch in enumerate(per_group):
-            if not sub_batch:
+        _, items = zip(*batch)  # one C-level transpose, no per-item listcomp
+        shard_ids = self._router.assignments_for(items)
+        for shard in range(len(self.groups)):
+            index = np.flatnonzero(shard_ids == shard)
+            if not index.size:
                 continue
+            sub_batch = [batch[i] for i in index.tolist()]
             started = time.perf_counter()
             self.groups[shard].observe_batch(sub_batch)
             timings[shard] += time.perf_counter() - started

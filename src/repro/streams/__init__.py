@@ -1,7 +1,8 @@
 """Stream generation: calibrated datasets, distributors, arrival processes."""
 
+from ..core.events import EventBatch
 from .adversarial import adversarial_input
-from .bursty import bursty_stream, mean_run_length
+from .bursty import bursty_batch, bursty_stream, mean_run_length
 from .datasets import DATASETS, SCALES, DatasetSpec, dataset_names, get_dataset
 from .email import email_stream, enron_like, format_email_pair
 from .ipstream import flow_stream, format_flow, oc48_like
@@ -18,11 +19,13 @@ from .slotted import SlottedArrivals
 from .synthetic import (
     all_distinct_stream,
     calibrated_stream,
+    dealt_batch,
     uniform_stream,
     zipf_weights,
 )
 
 __all__ = [
+    "EventBatch",
     "DatasetSpec",
     "DATASETS",
     "SCALES",
@@ -31,6 +34,7 @@ __all__ = [
     "calibrated_stream",
     "uniform_stream",
     "all_distinct_stream",
+    "dealt_batch",
     "zipf_weights",
     "format_flow",
     "oc48_like",
@@ -48,5 +52,6 @@ __all__ = [
     "SlottedArrivals",
     "adversarial_input",
     "bursty_stream",
+    "bursty_batch",
     "mean_run_length",
 ]

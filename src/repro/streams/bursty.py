@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.events import EventBatch
 from ..errors import DatasetError
-from .synthetic import zipf_weights
+from .synthetic import dealt_batch, zipf_weights
 
-__all__ = ["bursty_stream", "mean_run_length"]
+__all__ = ["bursty_stream", "bursty_batch", "mean_run_length"]
 
 
 def bursty_stream(
@@ -94,6 +95,24 @@ def bursty_stream(
         pos += size
     assert pos == n_elements
     return out
+
+
+def bursty_batch(
+    n_elements: int,
+    n_distinct: int,
+    skew: float,
+    burst_mean: float,
+    num_sites: int,
+    rng: np.random.Generator,
+) -> EventBatch:
+    """A :func:`bursty_stream` dealt to random sites as a columnar batch.
+
+    Generation and dealing consume the rng in the same order as building
+    the stream first and zipping tuple events after, so the columnar and
+    tuple representations of one seed are the same workload.
+    """
+    stream = bursty_stream(n_elements, n_distinct, skew, burst_mean, rng)
+    return dealt_batch(stream, num_sites, rng)
 
 
 def mean_run_length(stream: np.ndarray) -> float:

@@ -195,11 +195,24 @@ class HashDistributor:
 
     def assignments_for(self, items) -> np.ndarray:
         """Per-element partition ids (``int64`` array, len(items))."""
-        items = items if isinstance(items, list) else list(items)
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
         hashes = unit_hash_vector(self._hasher, items)
         if hashes is None:
             hashes = np.asarray(self._hasher.unit_many(items))
-        ids = (hashes * self.num_sites).astype(np.int64)
+        return self._partition_ids(hashes)
+
+    def assignments_for_batch(self, batch) -> np.ndarray:
+        """Partition ids for a columnar :class:`~repro.core.events.EventBatch`.
+
+        Routes off the batch's cached hash column for this distributor's
+        hasher — one vectorized pass per batch per routing layer, shared
+        with every row subset derived from it.
+        """
+        return self._partition_ids(batch.hash_column(self._hasher))
+
+    def _partition_ids(self, hashes) -> np.ndarray:
+        ids = (np.asarray(hashes) * self.num_sites).astype(np.int64)
         # h < 1 guarantees ids < num_sites mathematically; the clip only
         # guards float rounding at the very top of the unit interval.
         return np.minimum(ids, self.num_sites - 1)

@@ -13,6 +13,7 @@ from collections.abc import Iterator, Sequence
 
 import numpy as np
 
+from ..core.events import EventBatch
 from ..errors import ConfigurationError
 
 __all__ = ["SlottedArrivals"]
@@ -65,3 +66,24 @@ class SlottedArrivals:
             yield slot + 1, [
                 (sites[i], elements[i]) for i in range(lo, hi)
             ]
+
+    def event_batch(self) -> EventBatch:
+        """The whole schedule as one slot-stamped columnar batch.
+
+        Feeding the result to ``observe_batch`` is equivalent to driving
+        :meth:`slots` with ``advance(slot)`` + per-slot deliveries — the
+        batch's slot column replays the same (1-based) slot boundaries.
+        Requires integer element ids (exotic elements keep the tuple
+        schedule of :meth:`slots`).
+        """
+        n = len(self.elements)
+        if not n:
+            # np.asarray([]) would infer float64; mirror slots(): nothing.
+            empty = np.empty(0, dtype=np.int64)
+            return EventBatch(empty, sites=empty, slots=empty)
+        slots = np.arange(n, dtype=np.int64) // self.per_slot + 1
+        return EventBatch(
+            np.asarray(self.elements),
+            sites=np.asarray(self.sites),
+            slots=slots,
+        )

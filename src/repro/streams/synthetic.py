@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.events import EventBatch
 from ..errors import DatasetError
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "calibrated_stream",
     "uniform_stream",
     "all_distinct_stream",
+    "dealt_batch",
 ]
 
 
@@ -108,3 +110,23 @@ def all_distinct_stream(n_elements: int) -> np.ndarray:
     theory-validation tests and the Lemma 9 adversary.
     """
     return np.arange(n_elements, dtype=np.int64)
+
+
+def dealt_batch(
+    elements: np.ndarray, num_sites: int, rng: np.random.Generator
+) -> EventBatch:
+    """Deal an element column to uniformly random sites, columnar.
+
+    The zero-tuple successor of ``list(zip(sites, elements.tolist()))``:
+    pairs the generated id column with a random site column in one
+    :class:`~repro.core.events.EventBatch`, so the workload reaches
+    ``observe_batch`` without ever materializing per-event tuples.  The
+    site draw consumes the rng exactly like the tuple dealing helpers
+    (``rng.integers(0, num_sites, n)``), so tuple and columnar builds of
+    the same seed describe the same workload.
+    """
+    if num_sites < 1:
+        raise DatasetError(f"num_sites must be >= 1, got {num_sites}")
+    elements = np.asarray(elements, dtype=np.int64)
+    sites = rng.integers(0, num_sites, elements.size)
+    return EventBatch(elements, sites=sites)

@@ -1,11 +1,14 @@
-"""Batch/single ingestion equivalence, for every registered variant.
+"""Batch/single/columnar ingestion equivalence, for every registered variant.
 
 The vectorized ``observe_batch`` overrides (bulk hashing, threshold
 pre-filtering, same-slot dedup, per-copy delegation) must be *invisible*:
 feeding N events through one ``observe_batch`` call has to leave the
 sampler in exactly the state N single ``observe`` calls would — same
 :class:`SampleResult`, same :class:`SamplerStats` (message counts
-included), same full ``state_dict``.  These tests pin that contract for
+included), same full ``state_dict``.  The columnar
+:class:`~repro.core.events.EventBatch` fast paths (cached hash columns,
+array shard splits, vectorized dedup) carry the same contract: columnar
+== tuple-batch == single-observe.  These tests pin all three legs for
 every variant in the registry, under both the NumPy-vectorizable
 ``mix64`` hash and the scalar ``murmur2`` path.
 """
@@ -14,8 +17,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro import SamplerConfig, make_sampler, sampler_variants
-from repro.errors import ProtocolError
+from repro import EventBatch, SamplerConfig, make_sampler, sampler_variants
+from repro.errors import ConfigurationError, ProtocolError
 
 #: One config per registered variant and per concrete facade flavour.
 CONFIGS = {
@@ -107,29 +110,42 @@ class TestBatchSingleEquivalence:
         config = SamplerConfig(**{**config.to_dict(), "algorithm": algorithm})
         return make_sampler(config), make_sampler(config)
 
+    def _trio(self, config, algorithm):
+        config = SamplerConfig(**{**config.to_dict(), "algorithm": algorithm})
+        return make_sampler(config), make_sampler(config), make_sampler(config)
+
+    @staticmethod
+    def _assert_all_equal(single, batched, columnar):
+        for other in (batched, columnar):
+            assert single.sample() == other.sample()
+            assert single.sample().pairs == other.sample().pairs
+            assert single.sample().threshold == other.sample().threshold
+            assert single.stats() == other.stats()
+            assert single.state_dict() == other.state_dict()
+
     def test_slotted_stream(self, config, algorithm):
-        single, batched = self._pair(config, algorithm)
+        single, batched, columnar = self._trio(config, algorithm)
         events = slotted_workload()
         for site, item, slot in events:
             single.observe(site, item, slot=slot)
         assert batched.observe_batch(events) == len(events)
-        assert single.sample() == batched.sample()
-        assert single.sample().pairs == batched.sample().pairs
-        assert single.sample().threshold == batched.sample().threshold
-        assert single.stats() == batched.stats()
-        assert single.state_dict() == batched.state_dict()
+        assert columnar.observe_batch(EventBatch.from_events(events)) == len(
+            events
+        )
+        self._assert_all_equal(single, batched, columnar)
 
     def test_flat_stream(self, config, algorithm):
         if config.window:
             pytest.skip("flat stream drives the infinite-window variants")
-        single, batched = self._pair(config, algorithm)
+        single, batched, columnar = self._trio(config, algorithm)
         events = flat_workload()
         for site, item in events:
             single.observe(site, item)
         assert batched.observe_batch(events) == len(events)
-        assert single.sample() == batched.sample()
-        assert single.stats() == batched.stats()
-        assert single.state_dict() == batched.state_dict()
+        assert columnar.observe_batch(EventBatch.from_events(events)) == len(
+            events
+        )
+        self._assert_all_equal(single, batched, columnar)
 
     def test_mixed_stamped_and_unstamped(self, config, algorithm):
         """2-tuples interleaved after slot stamps join the current slot."""
@@ -163,6 +179,33 @@ class TestBatchSingleEquivalence:
         assert one.sample() == chunked.sample()
         assert one.stats() == chunked.stats()
         assert one.state_dict() == chunked.state_dict()
+
+    def test_incremental_columnar_batches_compose(self, config, algorithm):
+        """Chunked EventBatch ingestion composes like chunked tuples."""
+        one, chunked = self._pair(config, algorithm)
+        events = slotted_workload(n_slots=20)
+        one.observe_batch(EventBatch.from_events(events))
+        for start in range(0, len(events), 7):
+            chunked.observe_batch(
+                EventBatch.from_events(events[start : start + 7])
+            )
+        assert one.sample() == chunked.sample()
+        assert one.stats() == chunked.stats()
+        assert one.state_dict() == chunked.state_dict()
+
+    def test_columnar_via_engine_explicit_policy(self, config, algorithm):
+        """An Engine pass-through delivers a columnar batch unchanged."""
+        from repro.runtime.engine import Engine
+
+        direct, routed = self._pair(config, algorithm)
+        events = slotted_workload(n_slots=15)
+        batch = EventBatch.from_events(events)
+        direct.observe_batch(batch)
+        engine = Engine(routed, policy="explicit")
+        assert engine.observe_batch(batch) == len(events)
+        assert direct.sample() == routed.sample()
+        assert direct.stats() == routed.stats()
+        assert direct.state_dict() == routed.state_dict()
 
 
 class TestBatchEdgeCases:
@@ -233,6 +276,28 @@ class TestBatchEdgeCases:
         assert single.sample() == batched.sample()
         assert single.stats() == batched.stats()
 
+    def test_empty_columnar_batch(self):
+        sampler = make_sampler("infinite", num_sites=2, sample_size=2)
+        assert sampler.observe_batch(EventBatch.from_events([])) == 0
+        assert sampler.stats().messages_total == 0
+
+    def test_mixed_arity_events_keep_the_tuple_path(self):
+        with pytest.raises(ConfigurationError):
+            EventBatch.from_events([(0, 1, 3), (1, 9)])
+
+    def test_exotic_elements_keep_the_tuple_path(self):
+        with pytest.raises(ConfigurationError):
+            EventBatch.from_events([(0, "alice")])
+        with pytest.raises(ConfigurationError):
+            EventBatch.from_events([(0, True), (1, 1)])
+        with pytest.raises(ConfigurationError):
+            EventBatch.from_events([(0, 2**80)])
+
+    def test_siteless_batch_needs_an_engine(self):
+        sampler = make_sampler("infinite", num_sites=2, sample_size=2)
+        with pytest.raises(ConfigurationError, match="no site column"):
+            sampler.observe_batch(EventBatch([1, 2, 3]))
+
     def test_every_variant_is_covered_here(self):
         assert set(sampler_variants()) == {c.variant for c in CONFIGS.values()}
 
@@ -261,7 +326,7 @@ class TestDelayedNetworkEquivalence:
             DelayedNetwork.rewire(sampler)
             return sampler
 
-        single, batched = build(), build()
+        single, batched, columnar = build(), build(), build()
         assert single.network.synchronous is False
         # Same-site same-slot repeats: the case synchronous dedup elides.
         events = [(0, 5, 1), (0, 5, 1), (0, 7, 1), (1, 5, 1), (0, 5, 2)]
@@ -273,8 +338,11 @@ class TestDelayedNetworkEquivalence:
             else:
                 single.observe(event[0], event[1])
         batched.observe_batch(events)
+        columnar.observe_batch(EventBatch.from_events(events))
         assert single.stats() == batched.stats()
+        assert single.stats() == columnar.stats()
         single.network.pump()
         batched.network.pump()
-        assert single.sample() == batched.sample()
-        assert single.stats() == batched.stats()
+        columnar.network.pump()
+        assert single.sample() == batched.sample() == columnar.sample()
+        assert single.stats() == batched.stats() == columnar.stats()

@@ -42,8 +42,10 @@ class TestScenarioRegistry:
             "bursty",
             "netsim-roundtrip",
             "sharded-uniform",
+            "sharded-uniform-columnar",
             "sliding-churn",
             "uniform",
+            "uniform-columnar",
         )
 
     def test_unknown_scenario_raises(self):
@@ -84,6 +86,22 @@ class TestScenarioRegistry:
         assert len(events) == 200
         assert all(isinstance(event, int) for event in events)
 
+    def test_columnar_twins_describe_the_same_workloads(self):
+        """The columnar scenarios are representation changes only: same
+        seeds, same columns, zero tuples."""
+        from repro.core.events import EventBatch
+
+        params = ScenarioParams(n_events=200, num_sites=3, seed=5)
+        tuple_uniform = get_scenario("uniform").build(params)
+        columnar_uniform = get_scenario("uniform-columnar").build(params)
+        assert isinstance(columnar_uniform, EventBatch)
+        assert columnar_uniform == EventBatch.from_events(tuple_uniform)
+        raw = get_scenario("sharded-uniform").build(params)
+        columnar_raw = get_scenario("sharded-uniform-columnar").build(params)
+        assert isinstance(columnar_raw, EventBatch)
+        assert columnar_raw.sites is None
+        assert columnar_raw.items.tolist() == raw
+
     def test_adversarial_floods_every_site(self):
         params = ScenarioParams(n_events=60, num_sites=3, seed=5)
         events = get_scenario("adversarial").build(params)
@@ -122,14 +140,42 @@ class TestSuite:
         assert "sharded:infinite" not in scenarios
         assert "infinite" in scenarios
 
-    def test_sharded_uniform_runs_only_sharded_variants(self, small_report):
+    @pytest.mark.parametrize(
+        "scenario", ["sharded-uniform", "sharded-uniform-columnar"]
+    )
+    def test_sharded_uniform_runs_only_sharded_variants(
+        self, small_report, scenario
+    ):
         variants = {
             r.variant for r in small_report.records
-            if r.scenario == "sharded-uniform"
+            if r.scenario == scenario
         }
         assert variants == {
             "sharded:infinite", "sharded:broadcast", "sharded:caching"
         }
+
+    def test_columnar_cells_match_tuple_counters(self, small_report):
+        """Same workload, different representation: the deterministic
+        counters of every columnar cell equal its tuple twin's."""
+        for tuple_name, columnar_name in (
+            ("uniform", "uniform-columnar"),
+            ("sharded-uniform", "sharded-uniform-columnar"),
+        ):
+            tuple_cells = {
+                r.variant: r for r in small_report.records
+                if r.scenario == tuple_name
+            }
+            columnar_cells = {
+                r.variant: r for r in small_report.records
+                if r.scenario == columnar_name
+            }
+            assert set(columnar_cells) == set(tuple_cells)
+            for variant, cell in columnar_cells.items():
+                twin = tuple_cells[variant]
+                assert cell.messages_total == twin.messages_total
+                assert cell.bytes_total == twin.bytes_total
+                assert cell.memory_total == twin.memory_total
+                assert cell.sample_len == twin.sample_len
 
     def test_record_metrics_are_sane(self, small_report):
         for record in small_report.records:
@@ -370,6 +416,39 @@ class TestPerfCli:
         assert main(["perf", "run", "--scenario", "nope"]) == 2
         assert "unknown perf scenario" in capsys.readouterr().err
 
+    def test_profile_prints_hot_spots(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "perf", "profile", "sharded-uniform",
+            "--n", "500", "--sites", "2", "--sample-size", "2",
+            "--shards", "2", "--variant", "sharded:infinite", "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "variant=sharded:infinite" in out
+        assert "cumulative" in out
+        assert "observe_batch" in out
+
+    def test_profile_picks_first_applicable_variant(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "perf", "profile", "uniform", "--n", "300", "--sites", "2",
+            "--sample-size", "2", "--top", "3",
+        ]) == 0
+        # sorted(registry)[0] applicable to the uniform scenario
+        assert "variant=broadcast" in capsys.readouterr().out
+
+    def test_profile_errors_are_cli_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "profile", "nope"]) == 2
+        assert "unknown perf scenario" in capsys.readouterr().err
+        assert main([
+            "perf", "profile", "sharded-uniform", "--variant", "infinite",
+        ]) == 2
+        assert "does not apply" in capsys.readouterr().err
+
 
 class TestBatchSpeedup:
     @pytest.mark.speedup
@@ -419,6 +498,66 @@ class TestBatchSpeedup:
         assert single.stats() == batched.stats()
         speedup = single_s / batch_s
         assert speedup >= 3.0, f"batch only {speedup:.2f}x faster"
+
+    @pytest.mark.speedup
+    def test_columnar_ingest_is_2x_on_sharded_uniform_100k(self):
+        """The columnar acceptance floor: an EventBatch through the
+        Engine → ShardedSampler → core pipeline must be >= 2x the
+        tuple-batch path on the sharded-uniform workload at n=100k
+        (measured ~5x locally; best-of-3 with GC off to damp noise).
+        The columnar batch is rebuilt per run so the hash-column cache
+        never carries over between timings."""
+        import gc
+        import time
+
+        from repro import make_sampler
+        from repro.perf import ScenarioParams, get_scenario
+        from repro.runtime.engine import Engine
+
+        params = ScenarioParams(n_events=100_000, num_sites=8, seed=7)
+        tuple_events = get_scenario("sharded-uniform").build(params)
+        columnar_scenario = get_scenario("sharded-uniform-columnar")
+
+        def build():
+            sampler = make_sampler(
+                "sharded:infinite",
+                num_sites=8,
+                sample_size=16,
+                shards=4,
+                seed=5,
+                algorithm="mix64",
+            )
+            return sampler, Engine(sampler, policy="hash", seed=params.seed)
+
+        def time_tuple():
+            sampler, engine = build()
+            started = time.perf_counter()
+            engine.observe_batch(tuple_events)
+            return time.perf_counter() - started, sampler
+
+        def time_columnar():
+            sampler, engine = build()
+            batch = columnar_scenario.build(params)
+            started = time.perf_counter()
+            engine.observe_batch(batch)
+            return time.perf_counter() - started, sampler
+
+        gc.collect()
+        gc.disable()
+        try:
+            tuple_s, tupled = min(
+                (time_tuple() for _ in range(3)), key=lambda pair: pair[0]
+            )
+            columnar_s, columnar = min(
+                (time_columnar() for _ in range(3)), key=lambda pair: pair[0]
+            )
+        finally:
+            gc.enable()
+        assert tupled.sample() == columnar.sample()
+        assert tupled.stats() == columnar.stats()
+        assert tupled.state_dict() == columnar.state_dict()
+        speedup = tuple_s / columnar_s
+        assert speedup >= 2.0, f"columnar only {speedup:.2f}x faster"
 
 
 class TestCommittedBaseline:
