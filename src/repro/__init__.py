@@ -59,7 +59,13 @@ from .errors import (
     ReproError,
 )
 from .hashing import SeededHashFamily, UnitHasher
-from .runtime import Engine, ShardedSampler, Topology
+from .runtime import (
+    Engine,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedSampler,
+    Topology,
+)
 
 __all__ = [
     "__version__",
@@ -89,6 +95,8 @@ __all__ = [
     "CentralizedDistinctSampler",
     "CentralizedWindowSampler",
     "Engine",
+    "ProcessExecutor",
+    "SerialExecutor",
     "ShardedSampler",
     "Topology",
     "UnitHasher",

@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator groups S; > 1 runs the hash-partitioned "
         "'sharded:<variant>' wrapper",
     )
+    demo_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes W; > 0 ingests the shard groups through "
+        "the multiprocessing ProcessExecutor (0 = in-process serial)",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="benchmark suite: run / compare / baseline"
@@ -130,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=4,
             help="coordinator groups for the sharded:* variants",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=4,
+            help="worker processes for the parallel-executor scenarios",
         )
         p.add_argument("--seed", type=int, default=20150525)
         p.add_argument(
@@ -197,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf_prof.add_argument("--sample-size", type=int, default=16)
     perf_prof.add_argument("--window", type=int, default=64)
     perf_prof.add_argument("--shards", type=int, default=4)
+    perf_prof.add_argument("--workers", type=int, default=4)
     perf_prof.add_argument("--seed", type=int, default=20150525)
     perf_prof.add_argument(
         "--top",
@@ -306,7 +320,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     ids = spec.generate(rng)
     variant = args.variant
-    if args.shards > 1 and not variant.startswith("sharded:"):
+    if (args.shards > 1 or args.workers > 0) and not variant.startswith(
+        "sharded:"
+    ):
         variant = f"sharded:{variant}"
     system = make_sampler(
         variant,
@@ -316,6 +332,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
         algorithm="mix64",
         shards=args.shards,
+        executor="process" if args.workers > 0 else "serial",
+        workers=args.workers,
     )
     started = time.perf_counter()
     truth = spec.n_distinct
@@ -345,13 +363,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"processed in {elapsed:.2f}s "
         f"({spec.n_elements / max(elapsed, 1e-9) / 1e6:.1f}M el/s)"
     )
-    if args.shards > 1:
+    if variant.startswith("sharded:"):
         critical = max(system.critical_path_seconds, 1e-9)
+        path_kind = (
+            f"measured over {args.workers} worker processes"
+            if args.workers > 0
+            else "simulated (serial in-process)"
+        )
         print(
-            f"shards: {system.shards} coordinator groups, critical-path "
-            f"{critical:.3f}s "
+            f"shards: {system.shards} coordinator groups "
+            f"[{system.executor.name} executor], critical-path "
+            f"{critical:.3f}s {path_kind} "
             f"({spec.n_elements / critical / 1e6:.1f}M el/s across groups)"
         )
+        system.close()
     print(f"sample (first 10 ids): {list(result.items[:10])}")
     try:
         estimate = estimate_from_sampler(system)
@@ -379,6 +404,7 @@ def _perf_suite_config(args: argparse.Namespace):
         scenarios=tuple(args.scenario or ()),
         variants=tuple(args.variant or ()),
         shards=args.shards,
+        workers=args.workers,
     )
 
 
@@ -390,7 +416,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     from .errors import PerfError
     from .perf import SuiteConfig
     from .perf.scenarios import get_scenario
-    from .perf.suite import build_sampler_for
+    from .perf.suite import build_sampler_for, close_sampler, warmup_sampler
 
     scenario = get_scenario(args.scenario)
     config = SuiteConfig(
@@ -400,11 +426,14 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
         window=args.window,
         seed=args.seed,
         shards=args.shards,
+        workers=args.workers,
     )
     variant_name = args.variant
     if variant_name is None:
         for name in sampler_variants():
-            probe = build_sampler_for(config, name, scenario.slotted)
+            probe = build_sampler_for(
+                config, name, scenario.slotted, scenario.executor
+            )
             if scenario.applies_to(name, probe):
                 variant_name = name
                 break
@@ -413,7 +442,9 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
                 f"no registered variant applies to scenario {args.scenario!r}"
             )
     else:
-        probe = build_sampler_for(config, variant_name, scenario.slotted)
+        probe = build_sampler_for(
+            config, variant_name, scenario.slotted, scenario.executor
+        )
         if not scenario.applies_to(variant_name, probe):
             raise PerfError(
                 f"scenario {args.scenario!r} does not apply to variant "
@@ -421,11 +452,15 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
             )
     params = config.scenario_params()
     events = scenario.build(params)
-    sampler = build_sampler_for(config, variant_name, scenario.slotted)
+    sampler = build_sampler_for(
+        config, variant_name, scenario.slotted, scenario.executor
+    )
+    warmup_sampler(sampler)  # keep pool start-up out of the profile
     profiler = cProfile.Profile()
     profiler.enable()
     scenario.driver(sampler, events, params)
     profiler.disable()
+    close_sampler(sampler)
     print(
         f"profiled scenario={args.scenario} variant={variant_name} "
         f"n={len(events)} sites={args.sites} shards={args.shards}"

@@ -168,6 +168,12 @@ def make_sampler(config=None, /, **overrides) -> Sampler:
             f"variant {config.variant!r} is single-coordinator; shards must "
             f"be 1, got {config.shards} (use 'sharded:{config.variant}')"
         )
+    if config.executor != "serial" and not variant.sharded:
+        raise ConfigurationError(
+            f"variant {config.variant!r} is single-coordinator; the "
+            f"{config.executor!r} executor applies only to 'sharded:*' "
+            f"variants (use 'sharded:{config.variant}')"
+        )
     return variant.factory(config)
 
 
@@ -352,7 +358,11 @@ def _sharded_factory(base_name: str) -> Callable[[SamplerConfig], Sampler]:
         base = get_variant(base_name)
         # Every group is a full base-variant sampler sharing the same
         # sampling hash (same seed/algorithm); only the key space differs.
-        inner = replace(config, variant=base_name, shards=1)
+        # Groups always carry the serial executor: the facade owns the
+        # execution backend, and workers rebuild groups from this config.
+        inner = replace(
+            config, variant=base_name, shards=1, executor="serial", workers=0
+        )
         groups = [base.factory(inner) for _ in range(config.shards)]
         return ShardedSampler(groups, config)
 

@@ -280,6 +280,13 @@ class EventBatch:
 
     # -- dunder --------------------------------------------------------------
 
+    def __reduce__(self):
+        # Cached hash columns and row-view lists are derived data: the
+        # receiving side (a ProcessExecutor worker) recomputes its slice
+        # locally — in parallel — so pickling ships only the defining
+        # columns.
+        return (EventBatch, (self.items, self.sites, self.slots))
+
     def __len__(self) -> int:
         return self.items.size
 

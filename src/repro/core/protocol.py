@@ -48,11 +48,16 @@ __all__ = [
     "SamplerStats",
     "SamplerConfig",
     "Sampler",
+    "EXECUTORS",
     "deprecated_call",
     "iter_event_runs",
 ]
 
 _INF = float("inf")
+
+#: Execution backend names accepted by ``SamplerConfig.executor`` (see
+#: :mod:`repro.runtime.executor` for the implementations).
+EXECUTORS = ("serial", "process")
 
 
 def deprecated_call(old: str, new: str) -> None:
@@ -197,6 +202,12 @@ class SamplerConfig:
         shards: Number of independent coordinator groups S (>= 1).  Only
             ``sharded:*`` variants accept ``shards > 1`` (see
             :mod:`repro.runtime.sharded`).
+        executor: Execution backend for the sharded batch-ingest path
+            (see :data:`EXECUTORS` and :mod:`repro.runtime.executor`):
+            ``"serial"`` (in-process, the default) or ``"process"`` (a
+            multiprocessing pool; ``sharded:*`` variants only).
+        workers: Worker-process count W for the ``"process"`` executor
+            (0 = auto); ignored by the serial executor.
     """
 
     variant: str = "infinite"
@@ -209,6 +220,8 @@ class SamplerConfig:
     coordinator_mode: str = "exact"
     cache_size: Optional[int] = None
     shards: int = 1
+    executor: str = "serial"
+    workers: int = 0
 
     def validate(self) -> "SamplerConfig":
         """Check variant-independent invariants; returns self.
@@ -232,6 +245,14 @@ class SamplerConfig:
             )
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
+            )
         return self
 
     def to_dict(self) -> dict[str, Any]:

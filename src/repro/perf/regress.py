@@ -38,6 +38,9 @@ WORKLOAD_PARAMS = (
     "seed",
     "algorithm",
     "shards",
+    # Pool size does not change the deterministic counters, but the
+    # parallel cells' wall-clock is only comparable at equal W.
+    "workers",
 )
 
 

@@ -29,6 +29,11 @@ Built-in scenarios:
   :class:`~repro.core.events.EventBatch` so the whole pipeline stays
   columnar; the gap between twin cells is the tuple-churn tax the
   columnar ingest path removes.
+* ``sharded-uniform-parallel`` — the columnar sharded workload again,
+  but ingested through the
+  :class:`~repro.runtime.executor.ProcessExecutor` (``SuiteConfig.workers``
+  worker processes): deterministic counters identical to the serial
+  twins by construction, wall-clock measuring real multi-core ingest.
 
 Scenarios are registered via :func:`register_scenario`, mirroring
 :func:`repro.core.api.register_variant`.
@@ -136,6 +141,11 @@ class Scenario:
         variant_filter: Optional predicate over the
             :class:`~repro.core.api.SamplerVariant`; when given, only
             variants it accepts run this scenario.
+        executor: Execution backend this scenario forces on its samplers
+            (``None`` = the default serial backend).  The
+            ``sharded-uniform-parallel`` scenario sets ``"process"`` so
+            the suite times real multi-core ingest; the suite sizes the
+            pool from ``SuiteConfig.workers``.
     """
 
     name: str
@@ -145,6 +155,7 @@ class Scenario:
     slotted: bool = False
     needs_network: bool = False
     variant_filter: Optional[Callable] = None
+    executor: Optional[str] = None
 
     def applies_to(self, variant_name: str, sampler: Sampler) -> bool:
         """Whether this scenario can drive ``sampler`` meaningfully.
@@ -359,5 +370,17 @@ register_scenario(
         build=_build_sharded_uniform_columnar,
         driver=_drive_engine_hash,
         variant_filter=lambda variant: variant.sharded and not variant.windowed,
+    )
+)
+register_scenario(
+    Scenario(
+        name="sharded-uniform-parallel",
+        summary="sharded-uniform-columnar's workload through the "
+        "multiprocessing ProcessExecutor (real multi-core ingest, "
+        "measured critical path)",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_engine_hash,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+        executor="process",
     )
 )

@@ -21,7 +21,32 @@ from ..errors import PerfError
 from .report import PerfRecord, PerfReport
 from .scenarios import ScenarioParams, get_scenario, perf_scenarios
 
-__all__ = ["SuiteConfig", "run_suite", "build_sampler_for"]
+__all__ = [
+    "SuiteConfig",
+    "run_suite",
+    "build_sampler_for",
+    "close_sampler",
+    "warmup_sampler",
+]
+
+
+def close_sampler(sampler: Sampler) -> None:
+    """Release a cell sampler's backend resources (process pools)."""
+    close = getattr(sampler, "close", None)
+    if close is not None:
+        close()
+
+
+def warmup_sampler(sampler: Sampler) -> None:
+    """Force a process-backend sampler's worker pool into existence.
+
+    Timed and profiled windows must measure ingest, not pool start-up —
+    the pool is created lazily, so without this the first batch of every
+    fresh sampler pays the fork cost inside the measurement.
+    """
+    warmup = getattr(getattr(sampler, "executor", None), "warmup", None)
+    if warmup is not None:
+        warmup()
 
 
 @dataclass(frozen=True)
@@ -42,6 +67,9 @@ class SuiteConfig:
             ingestion fast paths over the integer workloads).
         shards: Coordinator groups S for the ``sharded:*`` variants
             (single-coordinator variants always run with 1).
+        workers: Worker-process count W for scenarios that force the
+            ``"process"`` execution backend (``sharded-uniform-parallel``);
+            serial cells ignore it.
     """
 
     n_events: int = 20_000
@@ -54,6 +82,7 @@ class SuiteConfig:
     variants: tuple = ()
     algorithm: str = "mix64"
     shards: int = 4
+    workers: int = 4
 
     def scenario_names(self) -> tuple:
         """Scenario names this run covers (validated)."""
@@ -82,18 +111,24 @@ class SuiteConfig:
 
 
 def build_sampler_for(
-    config: SuiteConfig, variant_name: str, slotted: bool = False
+    config: SuiteConfig,
+    variant_name: str,
+    slotted: bool = False,
+    executor: Optional[str] = None,
 ) -> Sampler:
     """Construct one variant instance for a suite cell.
 
     Windowed variants get ``config.window``; infinite-window variants get
     ``window=0``.  The with-replacement family keys its flavour off the
     window, so it runs its sliding flavour on slotted scenarios and its
-    infinite flavour everywhere else.
+    infinite flavour everywhere else.  A scenario-forced ``executor``
+    applies only to sharded variants (the only ones that accept one);
+    pool size comes from ``config.workers``.
     """
     variant = get_variant(variant_name)
     windowed = variant.windowed or (variant.with_replacement and slotted)
     window = config.window if windowed else 0
+    executor = executor if (executor and variant.sharded) else "serial"
     return make_sampler(
         SamplerConfig(
             variant=variant_name,
@@ -103,6 +138,8 @@ def build_sampler_for(
             seed=config.seed,
             algorithm=config.algorithm,
             shards=config.shards if variant.sharded else 1,
+            executor=executor,
+            workers=config.workers if executor == "process" else 0,
         )
     )
 
@@ -129,22 +166,29 @@ def run_suite(
         scenario = get_scenario(scenario_name)
         events = scenario.build(params)
         for variant_name in config.variant_names():
-            probe = build_sampler_for(config, variant_name, scenario.slotted)
+            probe = build_sampler_for(
+                config, variant_name, scenario.slotted, scenario.executor
+            )
             if not scenario.applies_to(variant_name, probe):
+                close_sampler(probe)
                 continue
             best = float("inf")
             sampler = probe
             for repeat in range(config.repeats):
                 if repeat:
+                    close_sampler(sampler)
                     sampler = build_sampler_for(
-                        config, variant_name, scenario.slotted
+                        config, variant_name, scenario.slotted,
+                        scenario.executor,
                     )
+                warmup_sampler(sampler)
                 started = time.perf_counter()
                 scenario.driver(sampler, events, params)
                 elapsed = time.perf_counter() - started
                 best = min(best, elapsed)
             stats = sampler.stats()
             result = sampler.sample()
+            close_sampler(sampler)
             record = PerfRecord(
                 scenario=scenario_name,
                 variant=variant_name,

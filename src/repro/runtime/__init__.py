@@ -12,6 +12,11 @@ Everything the protocol facades used to duplicate lives here, once:
 * :class:`~repro.runtime.sharded.ShardedSampler` — S independent
   coordinator groups over a hash-partitioned key space with query-time
   bottom-s merge (registered as ``sharded:<variant>``).
+* :mod:`~repro.runtime.executor` — pluggable execution backends for the
+  sharded ingest path: :class:`~repro.runtime.executor.SerialExecutor`
+  (in-process, simulated critical path) and
+  :class:`~repro.runtime.executor.ProcessExecutor` (a multiprocessing
+  pool; measured critical path, bit-identical results).
 
 Layering: ``streams → runtime (engine) → protocol cores → runtime
 (topology) → netsim transports``.  The runtime depends only on
@@ -21,13 +26,23 @@ topologies (multi-process, async) plug in behind the same interfaces.
 """
 
 from .engine import ROUTING_POLICIES, Engine
+from .executor import (
+    ExecutionBackend,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .sharded import ShardedSampler
 from .topology import Topology, merge_message_stats
 
 __all__ = [
     "Engine",
+    "ExecutionBackend",
+    "ProcessExecutor",
     "ROUTING_POLICIES",
+    "SerialExecutor",
     "ShardedSampler",
     "Topology",
+    "make_executor",
     "merge_message_stats",
 ]

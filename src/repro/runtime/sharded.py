@@ -22,14 +22,26 @@ count ``k`` — modeling the usual deployment where each physical ingest
 node runs one site per shard group — so per-site memory aggregates by
 summing site ``i`` across groups.
 
-Cost model: groups run on independent hardware in the deployment this
-simulates, so ingest wall-clock is measured per group
-(:attr:`ShardedSampler.group_ingest_seconds`) and the scale-out metric is
-the **critical path** — the slowest group
-(:attr:`ShardedSampler.critical_path_seconds`).  Message counts, by
-contrast, are a real total: sharding does not reduce (and with
-``S`` full-size samples slightly increases) the paper's message metric;
-what it buys is per-coordinator load ~``1/S``.
+Cost model and execution backends: groups run on independent hardware in
+the deployment this models, and *how* the simulation executes them is a
+pluggable :class:`~repro.runtime.executor.ExecutionBackend`
+(``SamplerConfig.executor``).  Under the default
+:class:`~repro.runtime.executor.SerialExecutor` the groups ingest
+sequentially in-process and per-group wall-clock is accumulated in
+:attr:`ShardedSampler.group_ingest_seconds`, so the scale-out metric —
+the **critical path**, i.e. the slowest group
+(:attr:`ShardedSampler.critical_path_seconds`) — is a *simulated*
+quantity.  Under the :class:`~repro.runtime.executor.ProcessExecutor`
+(``executor="process"``, ``workers=W``) each group's batch plan really
+runs in its own worker process and the per-group timers hold the
+workers' own measurements, making the critical path a *measured*
+quantity — with results bit-identical to the serial backend, because
+every group replays the same per-group delivery order under the same
+shared sampling hash.  Message counts, by contrast, are a real total
+either way: sharding does not reduce (and with ``S`` full-size samples
+slightly increases) the paper's message metric; what it buys is
+per-coordinator load ~``1/S`` and, under the process backend, real
+multi-core ingest throughput.
 
 With-replacement samplers are not shardable this way: their per-copy
 samples are independent draws under *different* hash functions, so a
@@ -40,7 +52,7 @@ the other way around if needed (``s`` parallel sharded ``s=1`` groups).
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -52,8 +64,9 @@ from ..core.protocol import (
     SamplerStats,
     iter_event_runs,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ProtocolError
 from ..streams.partition import HashDistributor
+from .executor import make_executor
 from .topology import aggregate_sampler_stats, merge_message_stats
 
 __all__ = ["ShardedSampler"]
@@ -78,7 +91,8 @@ class ShardedSampler(Sampler):
         groups: The ``S`` coordinator groups (same variant, same seed,
             same site count).
         config: The facade's construction recipe (``variant`` is the
-            ``sharded:<base>`` registry key; ``shards == len(groups)``).
+            ``sharded:<base>`` registry key; ``shards == len(groups)``;
+            ``executor``/``workers`` select the execution backend).
 
     Raises:
         ConfigurationError: If ``groups`` is empty or its length does not
@@ -102,9 +116,23 @@ class ShardedSampler(Sampler):
             algorithm=config.algorithm,
             salt=_SHARD_SALT,
         )
-        #: Cumulative batch-ingest wall-clock per group, in seconds.
+        #: Cumulative batch-ingest wall-clock per group, in seconds —
+        #: in-process timers under the serial executor, the workers' own
+        #: measurements under the process executor.
         self.group_ingest_seconds = [0.0] * len(groups)
+        #: The execution backend (swappable; e.g. tests share one
+        #: :class:`~repro.runtime.executor.ProcessExecutor` pool across
+        #: many short-lived samplers).
+        self.executor = make_executor(config)
         self._init_protocol()
+
+    def close(self) -> None:
+        """Release the execution backend's resources (worker pool).
+
+        Idempotent, and a no-op for the serial backend; the sampler
+        remains usable — a process pool is re-created on the next batch.
+        """
+        self.executor.close()
 
     # -- routing -------------------------------------------------------------
 
@@ -133,37 +161,114 @@ class ShardedSampler(Sampler):
 
         Each same-slot run is split by owning group in one vectorized
         routing pass, then every group bulk-ingests its sub-run through
-        its own fast path.  Groups share no state, so per-group order
-        (which this preserves) is all that matters — equivalence with the
-        event loop is pinned by the batch-equivalence tests.  Per-group
-        wall-clock accumulates in :attr:`group_ingest_seconds`.
+        its own fast path — in-process under the serial executor, in a
+        worker process per group under the process executor.  Groups
+        share no state, so per-group order (which both backends
+        preserve) is all that matters — equivalence with the event loop
+        is pinned by the batch-equivalence and property tests.
+        Per-group wall-clock accumulates in :attr:`group_ingest_seconds`.
         """
         if isinstance(events, EventBatch):
             return self.observe_columns(events)
         events = events if isinstance(events, list) else list(events)
         if not events:
             return 0
-        for slot, batch in iter_event_runs(events):
-            if slot is not None:
-                self.advance(slot)
-            self._deliver_batch(batch)
-        return len(events)
+        return self.executor.ingest_events(self, events)
 
     def observe_columns(self, batch: EventBatch) -> int:
         """Columnar ingestion: array-sliced shard split, zero tuples.
 
-        Each same-slot run is routed with one vectorized shard-hash pass,
-        the shared *sampling*-hash column is computed once on the whole
-        run, and :meth:`~repro.core.events.EventBatch.select` slices both
-        into per-group sub-batches — the groups (which share the sampling
-        hasher) never rehash or touch a tuple.
+        Each same-slot run is routed with one vectorized shard-hash pass
+        and :meth:`~repro.core.events.EventBatch.select` slices it into
+        per-group sub-batches.  The serial backend additionally warms the
+        shared *sampling*-hash column once per run so the groups never
+        rehash; the process backend ships the raw column slices instead
+        and lets every worker hash its own slice — in parallel.
         """
         batch.require_sites()
+        if not len(batch):
+            return 0
+        return self.executor.ingest_columns(self, batch)
+
+    # -- per-group plans (the process backend's unit of shipment) ------------
+
+    def _plan_advance(self, plans: list, slot: int, state: list) -> None:
+        """Append an ``advance`` task to every group's plan, replicating
+        :meth:`~repro.core.protocol.Sampler.advance` semantics (monotone,
+        idempotent) against ``state = [pending_last_slot, advances]``."""
+        slot = int(slot)
+        last = state[0]
+        if last is not None:
+            if slot < last:
+                raise ProtocolError(
+                    f"slots must be non-decreasing: now at {last}, "
+                    f"got {slot}"
+                )
+            if slot == last:
+                return
+        for tasks in plans:
+            tasks.append((slot, None))
+        state[0] = slot
+        state[1] += 1
+
+    def _plan_events(self, events: list) -> tuple:
+        """Per-group ``(slot, None) | (None, batch)`` plans for a whole
+        tuple-event call, plus the facade's pending slot bookkeeping.
+
+        Slot stamps are validated up front (a non-monotone stamp raises
+        *before* any delivery), so a plan that builds is safe to ship.
+        """
+        plans: list = [[] for _ in self.groups]
+        state = [self._last_slot, 0]
+        for slot, run in iter_event_runs(events):
+            if slot is not None:
+                self._plan_advance(plans, slot, state)
+            if not run:
+                continue
+            if len(self.groups) == 1:
+                plans[0].append((None, run))
+                continue
+            _, items = zip(*run)
+            shard_ids = self._router.assignments_for(items)
+            for shard in range(len(self.groups)):
+                index = np.flatnonzero(shard_ids == shard)
+                if index.size:
+                    plans[shard].append(
+                        (None, [run[i] for i in index.tolist()])
+                    )
+        return plans, state[0], state[1]
+
+    def _plan_columns(self, batch: EventBatch) -> tuple:
+        """Columnar twin of :meth:`_plan_events`: per-group column slices.
+
+        The shared sampling-hash column is deliberately *not* warmed
+        here — each worker hashes its own slice, in parallel (and
+        :class:`~repro.core.events.EventBatch` drops derived hash caches
+        when pickled, so nothing is shipped twice).
+        """
+        plans: list = [[] for _ in self.groups]
+        state = [self._last_slot, 0]
         for slot, run in batch.slot_runs():
             if slot is not None:
-                self.advance(slot)
-            self._deliver_columns(run)
-        return len(batch)
+                self._plan_advance(plans, slot, state)
+            if not len(run):
+                continue
+            if len(self.groups) == 1:
+                plans[0].append((None, run))
+                continue
+            shard_ids = self._router.assignments_for_batch(run)
+            for shard in range(len(self.groups)):
+                index = np.flatnonzero(shard_ids == shard)
+                if index.size:
+                    plans[shard].append((None, run.select(index)))
+        return plans, state[0], state[1]
+
+    def _commit_slots(self, last_slot: Optional[int], advances: int) -> None:
+        """Adopt the slot bookkeeping of a successfully executed plan
+        (the groups advanced inside their workers)."""
+        if last_slot is not None:
+            self._last_slot = last_slot
+        self._slots_processed += advances
 
     def _deliver_columns(self, run: EventBatch) -> None:
         if not len(run):

@@ -1,11 +1,29 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.hashing import UnitHasher
+
+# Hypothesis profiles: CI runs derandomized (fixed seed — a red build
+# must be reproducible by anyone checking out the commit) and without
+# deadlines (shared runners + coverage tracing make per-example timing
+# meaningless).  Local runs keep fresh randomness to actually explore,
+# but drop the deadline for the same timing-noise reason.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

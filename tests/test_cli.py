@@ -117,6 +117,49 @@ class TestDemo:
         assert "3 coordinator groups" in out
         assert "critical-path" in out
 
+    def test_demo_sharded_parallel_workers(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "oc48",
+                "--scale",
+                "tiny",
+                "--sample-size",
+                "8",
+                "--shards",
+                "2",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variant=sharded:infinite" in out
+        assert "process executor" in out
+        assert "measured over 2 worker processes" in out
+
+    def test_demo_workers_alone_wrap_into_sharded(self, capsys):
+        # --workers without --shards still runs the sharded wrapper
+        # (shards=1) so the process backend has groups to fan out.
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "oc48",
+                "--scale",
+                "tiny",
+                "--sample-size",
+                "4",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "variant=sharded:infinite" in out
+        assert "1 coordinator groups" in out
+
     def test_demo_sharded_sliding(self, capsys):
         code = main(
             [

@@ -119,6 +119,20 @@ class TestHashColumns:
         # (0,5) first at 0, (0,7) at 2, (1,5) at 3; repeats at 1 and 4 drop.
         assert batch.first_occurrence_indices().tolist() == [0, 2, 3]
 
+    def test_pickle_ships_columns_but_drops_hash_caches(self):
+        # The ProcessExecutor ships sub-batches to workers via pickle;
+        # the defining columns must round-trip exactly while derived
+        # hash caches are recomputed on the receiving side.
+        import pickle
+
+        batch = EventBatch([1, 2, 3], sites=[0, 1, 0], slots=[1, 1, 2])
+        hasher = UnitHasher(7, "mix64")
+        column = batch.hash_column(hasher)
+        revived = pickle.loads(pickle.dumps(batch))
+        assert revived == batch
+        assert not revived._hash_columns
+        assert revived.hash_column(hasher).tolist() == column.tolist()
+
 
 class TestSlotRuns:
     def test_groups_consecutive_equal_slots(self):

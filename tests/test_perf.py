@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -43,6 +44,7 @@ class TestScenarioRegistry:
             "netsim-roundtrip",
             "sharded-uniform",
             "sharded-uniform-columnar",
+            "sharded-uniform-parallel",
             "sliding-churn",
             "uniform",
             "uniform-columnar",
@@ -141,7 +143,12 @@ class TestSuite:
         assert "infinite" in scenarios
 
     @pytest.mark.parametrize(
-        "scenario", ["sharded-uniform", "sharded-uniform-columnar"]
+        "scenario",
+        [
+            "sharded-uniform",
+            "sharded-uniform-columnar",
+            "sharded-uniform-parallel",
+        ],
     )
     def test_sharded_uniform_runs_only_sharded_variants(
         self, small_report, scenario
@@ -176,6 +183,26 @@ class TestSuite:
                 assert cell.bytes_total == twin.bytes_total
                 assert cell.memory_total == twin.memory_total
                 assert cell.sample_len == twin.sample_len
+
+    def test_parallel_cells_match_serial_counters(self, small_report):
+        """The ProcessExecutor scenario is an execution change only: its
+        deterministic counters must equal the serial columnar twin's —
+        the suite-level face of the bit-identical acceptance criterion."""
+        parallel = {
+            r.variant: r for r in small_report.records
+            if r.scenario == "sharded-uniform-parallel"
+        }
+        serial = {
+            r.variant: r for r in small_report.records
+            if r.scenario == "sharded-uniform-columnar"
+        }
+        assert set(parallel) == set(serial) and parallel
+        for variant, cell in parallel.items():
+            twin = serial[variant]
+            assert cell.messages_total == twin.messages_total
+            assert cell.bytes_total == twin.bytes_total
+            assert cell.memory_total == twin.memory_total
+            assert cell.sample_len == twin.sample_len
 
     def test_record_metrics_are_sane(self, small_report):
         for record in small_report.records:
@@ -558,6 +585,78 @@ class TestBatchSpeedup:
         assert tupled.state_dict() == columnar.state_dict()
         speedup = tuple_s / columnar_s
         assert speedup >= 2.0, f"columnar only {speedup:.2f}x faster"
+
+
+    @pytest.mark.speedup
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="measured multi-core speedup needs >= 4 cores",
+    )
+    def test_process_executor_is_1_5x_at_w4_on_sharded_uniform_parallel(self):
+        """The scale-out acceptance floor: real multi-core ingest through
+        the ProcessExecutor (W=4) must beat the serial backend by >= 1.5x
+        wall-clock on the sharded-uniform-parallel workload — the point
+        where the simulated critical path becomes a measured one.  The
+        columnar batch is rebuilt per run (hash-column caches must not
+        carry over) and the pool is warmed before timing so start-up cost
+        stays out of the measured window."""
+        import gc
+        import time
+
+        from repro import make_sampler
+        from repro.perf import ScenarioParams, get_scenario
+        from repro.runtime.engine import Engine
+
+        params = ScenarioParams(n_events=500_000, num_sites=8, seed=7)
+        scenario = get_scenario("sharded-uniform-parallel")
+
+        def build(executor):
+            sampler = make_sampler(
+                "sharded:infinite",
+                num_sites=8,
+                sample_size=16,
+                shards=4,
+                seed=5,
+                algorithm="mix64",
+                executor=executor,
+                workers=4,
+            )
+            return sampler, Engine(sampler, policy="hash", seed=params.seed)
+
+        def timed(executor):
+            sampler, engine = build(executor)
+            if executor == "process":
+                sampler.executor.warmup()
+            batch = scenario.build(params)
+            started = time.perf_counter()
+            engine.observe_batch(batch)
+            elapsed = time.perf_counter() - started
+            return elapsed, sampler
+
+        gc.collect()
+        gc.disable()
+        try:
+            serial_s, serial = min(
+                (timed("serial") for _ in range(3)), key=lambda pair: pair[0]
+            )
+            parallel_s, parallel = min(
+                (timed("process") for _ in range(3)), key=lambda pair: pair[0]
+            )
+        finally:
+            gc.enable()
+        try:
+            assert parallel.sample() == serial.sample()
+            assert parallel.stats() == serial.stats()
+            # The measured critical path is the workers' own clock and can
+            # never exceed the wall the parent observed around them.
+            assert parallel.critical_path_seconds <= parallel_s
+            speedup = serial_s / parallel_s
+            assert speedup >= 1.5, (
+                f"ProcessExecutor only {speedup:.2f}x over serial "
+                f"({serial_s * 1e3:.1f} ms vs {parallel_s * 1e3:.1f} ms at W=4)"
+            )
+        finally:
+            parallel.close()
 
 
 class TestCommittedBaseline:

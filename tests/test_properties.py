@@ -1,0 +1,377 @@
+"""Hypothesis differential properties for the whole sampler surface.
+
+The hand-picked-seed differential tests (``test_sharded.py``,
+``test_batch_equivalence.py``, ``test_sliding*.py``) each pin one
+carefully chosen stream; this module turns the same exactness arguments
+into *properties* over random streams and random ``(s, k, S, variant)``
+configurations:
+
+* **Sharded merge == centralized oracle.**  The exactness argument in
+  :mod:`repro.runtime.sharded` — disjoint key spaces + one shared
+  sampling hash ⇒ the query-time merge is the global bottom-s — must
+  hold for every stream, not just the seeds someone thought of.
+* **Columnar == tuple-batch == single-observe.**  The three ingest
+  representations are one semantics; random streams (slot stamps
+  included) must leave identical full ``state_dict``\\ s.
+* **ProcessExecutor == SerialExecutor, bit-identically.**  The parallel
+  backend ships state through snapshot-v2 dicts and replays per-group
+  plans in worker processes; sample, message stats, and state must be
+  indistinguishable from the in-process run for every ``sharded:*``
+  variant.
+* **Snapshot round-trip == continued run.**  A stateful
+  :class:`~hypothesis.stateful.RuleBasedStateMachine` interleaves
+  observe/advance/query/snapshot/restore and checks, after every step,
+  that a restored twin remains indistinguishable from the original.
+
+CI runs these derandomized (see ``tests/conftest.py``); locally they
+explore fresh examples every run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro import (
+    CentralizedDistinctSampler,
+    CentralizedWindowSampler,
+    EventBatch,
+    ProcessExecutor,
+    UnitHasher,
+    make_sampler,
+    restore,
+    snapshot,
+)
+
+SHARDED_INFINITE = ("sharded:infinite", "sharded:broadcast", "sharded:caching")
+SHARDED_WINDOWED = (
+    "sharded:sliding",
+    "sharded:sliding-feedback",
+    "sharded:sliding-local-push",
+)
+SHARDED_ALL = SHARDED_INFINITE + SHARDED_WINDOWED
+
+#: Variants the three-way ingest-equivalence property samples from
+#: (`test_batch_equivalence.py` pins fixed configs for the full registry;
+#: here the configs and streams are random).
+INGEST_VARIANTS = (
+    "infinite",
+    "broadcast",
+    "caching",
+    "with-replacement",
+    "sliding",
+    "sliding-feedback",
+    "sliding-local-push",
+    "sharded:infinite",
+    "sharded:sliding-feedback",
+)
+WINDOWED_VARIANTS = frozenset(
+    ("sliding", "sliding-feedback", "sliding-local-push") + SHARDED_WINDOWED
+)
+
+_items = st.integers(0, 60)
+
+
+@st.composite
+def flat_streams(draw):
+    """``(k, [(site, item), ...])`` — unstamped events over k sites."""
+    k = draw(st.integers(1, 4))
+    events = draw(
+        st.lists(st.tuples(st.integers(0, k - 1), _items), max_size=120)
+    )
+    return k, events
+
+
+@st.composite
+def slotted_streams(draw):
+    """``(k, window, [(site, item, slot), ...])`` with non-decreasing
+    slot stamps starting at 1 (the synchronized-clock model)."""
+    k = draw(st.integers(1, 4))
+    window = draw(st.integers(1, 8))
+    steps = draw(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, k - 1), _items),
+            max_size=100,
+        )
+    )
+    slot, events = 1, []
+    for delta, site, item in steps:
+        slot += delta
+        events.append((site, item, slot))
+    return k, window, events
+
+
+def assert_indistinguishable(actual, expected) -> None:
+    """Full observable equality: sample (items, pairs, threshold),
+    uniform cost counters, and the entire logical state."""
+    assert actual.sample() == expected.sample()
+    assert actual.sample().threshold == expected.sample().threshold
+    assert actual.stats() == expected.stats()
+    assert actual.state_dict() == expected.state_dict()
+
+
+class TestShardedMergeOracle:
+    """Random-stream form of the sharded exactness argument."""
+
+    @given(
+        variant=st.sampled_from(SHARDED_INFINITE),
+        shards=st.integers(1, 4),
+        s=st.integers(1, 8),
+        seed=st.integers(0, 5),
+        stream=flat_streams(),
+    )
+    @settings(max_examples=40)
+    def test_merge_equals_unrestricted_oracle(
+        self, variant, shards, s, seed, stream
+    ):
+        k, events = stream
+        sampler = make_sampler(
+            variant, num_sites=k, sample_size=s, shards=shards, seed=seed
+        )
+        oracle = CentralizedDistinctSampler(s, UnitHasher(seed, "murmur2"))
+        for site, item in events:
+            sampler.observe(site, item)
+            oracle.observe(item)
+        result = sampler.sample()
+        assert list(result.items) == oracle.sample()
+        assert list(result.pairs) == oracle.sample_pairs()
+        assert result.threshold == oracle.threshold
+
+    @given(
+        variant=st.sampled_from(SHARDED_WINDOWED),
+        shards=st.integers(1, 3),
+        s=st.integers(1, 5),
+        seed=st.integers(0, 5),
+        stream=slotted_streams(),
+    )
+    @settings(max_examples=30)
+    def test_windowed_merge_tracks_window_oracle(
+        self, variant, shards, s, seed, stream
+    ):
+        k, window, events = stream
+        sampler = make_sampler(
+            variant,
+            num_sites=k,
+            window=window,
+            sample_size=s,
+            shards=shards,
+            seed=seed,
+        )
+        oracle = CentralizedWindowSampler(window, s, UnitHasher(seed, "murmur2"))
+        for site, item, slot in events:
+            sampler.observe(site, item, slot=slot)
+            oracle.observe(item, slot)
+        assert list(sampler.sample().items) == oracle.sample()
+
+
+class TestIngestEquivalence:
+    """Columnar == tuple-batch == single-observe on random streams."""
+
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_columnar_equals_tuple_equals_single(self, data):
+        variant = data.draw(st.sampled_from(INGEST_VARIANTS), label="variant")
+        windowed = variant in WINDOWED_VARIANTS
+        s = data.draw(st.integers(1, 5), label="sample_size")
+        seed = data.draw(st.integers(0, 3), label="seed")
+        if windowed:
+            k, window, events = data.draw(slotted_streams(), label="stream")
+        else:
+            k, events = data.draw(flat_streams(), label="stream")
+            window = 0
+
+        def build():
+            return make_sampler(
+                variant,
+                num_sites=k,
+                sample_size=s,
+                window=window,
+                shards=2 if variant.startswith("sharded:") else 1,
+                seed=seed,
+            )
+
+        single, tupled, columnar = build(), build(), build()
+        for event in events:
+            if len(event) == 2:
+                single.observe(event[0], event[1])
+            else:
+                single.observe(event[0], event[1], slot=event[2])
+        tupled.observe_batch(list(events))
+        columnar.observe_batch(EventBatch.from_events(events))
+        assert_indistinguishable(tupled, single)
+        assert_indistinguishable(columnar, single)
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    """One ProcessExecutor shared by every example (pool start-up would
+    otherwise dominate the property run)."""
+    executor = ProcessExecutor(workers=2)
+    yield executor
+    executor.close()
+
+
+class TestExecutorEquivalence:
+    """The acceptance pin: ProcessExecutor is byte-identical to
+    SerialExecutor for every ``sharded:*`` variant."""
+
+    @given(data=st.data())
+    @settings(max_examples=12)
+    def test_process_executor_is_bit_identical_to_serial(
+        self, shared_pool, data
+    ):
+        variant = data.draw(st.sampled_from(SHARDED_ALL), label="variant")
+        windowed = variant in SHARDED_WINDOWED
+        shards = data.draw(st.integers(1, 3), label="shards")
+        s = data.draw(st.integers(1, 6), label="sample_size")
+        seed = data.draw(st.integers(0, 3), label="seed")
+        if windowed:
+            k, window, events = data.draw(slotted_streams(), label="stream")
+        else:
+            k, events = data.draw(flat_streams(), label="stream")
+            window = 0
+
+        def build(executor, workers):
+            return make_sampler(
+                variant,
+                num_sites=k,
+                sample_size=s,
+                window=window,
+                shards=shards,
+                seed=seed,
+                executor=executor,
+                workers=workers,
+            )
+
+        serial = build("serial", 0)
+        parallel = build("process", 2)
+        parallel.executor = shared_pool  # reuse one pool across examples
+        cut = len(events) // 2
+        for chunk in (events[:cut], events[cut:]):
+            serial.observe_batch(list(chunk))
+            parallel.observe_batch(list(chunk))
+        assert_indistinguishable(parallel, serial)
+        assert parallel.current_slot == serial.current_slot
+
+    @given(stream=flat_streams(), seed=st.integers(0, 3))
+    @settings(max_examples=10)
+    def test_process_executor_columnar_matches_serial(
+        self, shared_pool, stream, seed
+    ):
+        k, events = stream
+        batch = EventBatch.from_events(events)
+
+        def build(executor):
+            return make_sampler(
+                "sharded:infinite",
+                num_sites=k,
+                sample_size=4,
+                shards=3,
+                seed=seed,
+                algorithm="mix64",
+                executor=executor,
+                workers=2,
+            )
+
+        serial, parallel = build("serial"), build("process")
+        parallel.executor = shared_pool
+        serial.observe_batch(batch)
+        parallel.observe_batch(EventBatch.from_events(events))
+        assert_indistinguishable(parallel, serial)
+
+
+class SnapshotContinuationMachine(RuleBasedStateMachine):
+    """Snapshot round-trip == continued run, under arbitrary interleaving.
+
+    Holds a restored twin next to the primary sampler; every rule drives
+    both, and ``reload_twin`` replaces the twin with a fresh
+    JSON-round-tripped restore (also from the twin itself, so restores
+    compose).  The invariant asserts full indistinguishability after
+    every step.
+    """
+
+    VARIANTS = (
+        "infinite",
+        "caching",
+        "sliding-feedback",
+        "with-replacement",
+        "sharded:infinite",
+        "sharded:sliding",
+    )
+
+    @initialize(
+        variant=st.sampled_from(VARIANTS),
+        s=st.integers(1, 4),
+        seed=st.integers(0, 3),
+    )
+    def setup(self, variant, s, seed):
+        windowed = variant in WINDOWED_VARIANTS
+        self.window = 6 if windowed else 0
+        self.slot = 1 if windowed else 0
+        self.sampler = make_sampler(
+            variant,
+            num_sites=3,
+            sample_size=s,
+            window=self.window,
+            shards=2 if variant.startswith("sharded:") else 1,
+            seed=seed,
+        )
+        if windowed:
+            self.sampler.advance(1)
+        self.twin = self._roundtrip(self.sampler)
+
+    @staticmethod
+    def _roundtrip(sampler):
+        return restore(json.loads(json.dumps(snapshot(sampler))))
+
+    @rule(site=st.integers(0, 2), item=st.integers(0, 40))
+    def observe(self, site, item):
+        self.sampler.observe(site, item)
+        self.twin.observe(site, item)
+
+    @rule(
+        batch=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 40)), max_size=12
+        )
+    )
+    def observe_batch(self, batch):
+        self.sampler.observe_batch(list(batch))
+        self.twin.observe_batch(list(batch))
+
+    @rule(delta=st.integers(1, 3))
+    def advance(self, delta):
+        self.slot += delta
+        self.sampler.advance(self.slot)
+        self.twin.advance(self.slot)
+
+    @rule()
+    def reload_twin(self):
+        self.twin = self._roundtrip(self.sampler)
+
+    @rule()
+    def reload_twin_from_twin(self):
+        self.twin = self._roundtrip(self.twin)
+
+    @invariant()
+    def twin_is_indistinguishable(self):
+        if not hasattr(self, "twin"):
+            return  # invariants also run before initialize
+        assert self.twin.sample() == self.sampler.sample()
+        assert self.twin.sample().threshold == self.sampler.sample().threshold
+        assert self.twin.stats() == self.sampler.stats()
+        assert snapshot(self.twin) == snapshot(self.sampler)
+
+
+SnapshotContinuationMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestSnapshotContinuation = SnapshotContinuationMachine.TestCase

@@ -15,7 +15,9 @@ import pytest
 from repro import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
+    ProcessExecutor,
     SamplerConfig,
+    SerialExecutor,
     ShardedSampler,
     UnitHasher,
     make_sampler,
@@ -237,6 +239,28 @@ class TestShardedConfigSurface:
             )
 
 
+def _timed_ingest_sampler(executor: str = "serial", workers: int = 0):
+    sampler = make_sampler(
+        "sharded:infinite",
+        num_sites=4,
+        sample_size=8,
+        shards=4,
+        algorithm="mix64",
+        seed=SEED,
+        executor=executor,
+        workers=workers,
+    )
+    rng = np.random.default_rng(3)
+    events = list(
+        zip(
+            rng.integers(0, 4, 4000).tolist(),
+            rng.integers(0, 1000, 4000).tolist(),
+        )
+    )
+    sampler.observe_batch(events)
+    return sampler
+
+
 class TestShardedCostModel:
     def test_message_totals_aggregate_group_networks(self):
         sampler = make_sampler(
@@ -256,29 +280,193 @@ class TestShardedCostModel:
             )
 
     def test_ingest_timing_accumulates_per_group(self):
-        sampler = make_sampler(
-            "sharded:infinite",
-            num_sites=4,
-            sample_size=8,
-            shards=4,
-            algorithm="mix64",
-            seed=SEED,
-        )
-        rng = np.random.default_rng(3)
-        events = list(
-            zip(
-                rng.integers(0, 4, 4000).tolist(),
-                rng.integers(0, 1000, 4000).tolist(),
-            )
-        )
-        sampler.observe_batch(events)
-        assert all(elapsed > 0 for elapsed in sampler.group_ingest_seconds)
+        # Deterministic timer *semantics* only — strict positivity is a
+        # wall-clock property and lives under the speedup marker below,
+        # so tier-1 stays deterministic on loaded machines.
+        sampler = _timed_ingest_sampler()
+        assert all(elapsed >= 0 for elapsed in sampler.group_ingest_seconds)
+        assert sampler.critical_path_seconds >= 0
         assert sampler.critical_path_seconds == max(
             sampler.group_ingest_seconds
         )
         assert sampler.ingest_seconds == pytest.approx(
             sum(sampler.group_ingest_seconds)
         )
+
+    @pytest.mark.speedup
+    def test_ingest_timers_strictly_positive_on_quiet_machines(self):
+        sampler = _timed_ingest_sampler()
+        assert all(elapsed > 0 for elapsed in sampler.group_ingest_seconds)
+
+
+class TestExecutionBackends:
+    """The pluggable executor surface: default wiring, process-backend
+    equivalence, config validation, lifecycle."""
+
+    def test_serial_is_the_default_backend(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=2, shards=2
+        )
+        assert isinstance(sampler.executor, SerialExecutor)
+        assert sampler.config.executor == "serial"
+
+    @pytest.mark.parametrize(
+        "variant,window",
+        [
+            ("sharded:infinite", 0),
+            ("sharded:broadcast", 0),
+            ("sharded:caching", 0),
+            ("sharded:sliding", 10),
+            ("sharded:sliding-feedback", 10),
+            ("sharded:sliding-local-push", 10),
+        ],
+    )
+    def test_process_backend_is_bit_identical_to_serial(self, variant, window):
+        def build(executor):
+            return make_sampler(
+                variant,
+                num_sites=3,
+                sample_size=3,
+                window=window,
+                shards=2,
+                seed=SEED,
+                executor=executor,
+                workers=2,
+            )
+
+        serial, parallel = build("serial"), build("process")
+        assert isinstance(parallel.executor, ProcessExecutor)
+        if window:
+            events = [
+                (site, item, slot)
+                for slot, arrivals in slotted_schedule(
+                    30, 4, sites=3, universe=60
+                )
+                for site, item in arrivals
+            ]
+        else:
+            events = uniform_events(1500, sites=3, universe=200)
+        cut = len(events) // 2
+        for chunk in (events[:cut], events[cut:]):
+            serial.observe_batch(chunk)
+            parallel.observe_batch(chunk)
+        assert parallel.sample() == serial.sample()
+        assert parallel.sample().threshold == serial.sample().threshold
+        assert parallel.stats() == serial.stats()
+        assert parallel.state_dict() == serial.state_dict()
+        parallel.close()
+
+    def test_process_backend_measures_per_group_time(self):
+        sampler = _timed_ingest_sampler(executor="process", workers=2)
+        # Worker-measured timers carry the same semantics as the serial
+        # simulation; strict positivity again belongs to the speedup tier.
+        assert all(elapsed >= 0 for elapsed in sampler.group_ingest_seconds)
+        assert sampler.critical_path_seconds == max(
+            sampler.group_ingest_seconds
+        )
+        sampler.close()
+
+    def test_executor_config_survives_snapshot_roundtrip(self):
+        sampler = make_sampler(
+            "sharded:infinite",
+            num_sites=2,
+            sample_size=4,
+            shards=2,
+            seed=SEED,
+            executor="process",
+            workers=2,
+        )
+        sampler.observe_batch(uniform_events(500, sites=2, universe=80))
+        revived = restore(json.loads(json.dumps(snapshot(sampler))))
+        assert revived.config.executor == "process"
+        assert revived.config.workers == 2
+        assert isinstance(revived.executor, ProcessExecutor)
+        assert revived.sample() == sampler.sample()
+        sampler.close()
+        revived.close()
+
+    def test_close_is_idempotent_and_pool_recreates(self):
+        sampler = make_sampler(
+            "sharded:infinite",
+            num_sites=2,
+            sample_size=4,
+            shards=2,
+            seed=SEED,
+            executor="process",
+            workers=2,
+        )
+        events = uniform_events(600, sites=2, universe=100)
+        sampler.observe_batch(events[:300])
+        sampler.close()
+        sampler.close()
+        # The backend stays usable: the pool is re-created on demand.
+        sampler.observe_batch(events[300:])
+        serial = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=4, shards=2, seed=SEED
+        )
+        serial.observe_batch(events)
+        assert sampler.sample() == serial.sample()
+        sampler.close()
+
+    def test_single_observe_stays_in_process(self):
+        # Event-at-a-time delivery never pays a pool round-trip.
+        sampler = make_sampler(
+            "sharded:infinite",
+            num_sites=2,
+            sample_size=4,
+            shards=2,
+            seed=SEED,
+            executor="process",
+            workers=2,
+        )
+        for site, item in uniform_events(200, sites=2, universe=50):
+            sampler.observe(site, item)
+        assert sampler.executor._pool is None
+        serial = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=4, shards=2, seed=SEED
+        )
+        serial.observe_batch(uniform_events(200, sites=2, universe=50))
+        assert sampler.sample() == serial.sample()
+
+    def test_non_monotone_slot_raises_before_any_delivery(self):
+        from repro.errors import ProtocolError
+
+        sampler = make_sampler(
+            "sharded:sliding",
+            num_sites=2,
+            window=5,
+            shards=2,
+            seed=SEED,
+            executor="process",
+            workers=2,
+        )
+        events = [(0, 1, 3), (1, 2, 2)]  # slot rewinds: plan must refuse
+        with pytest.raises(ProtocolError, match="non-decreasing"):
+            sampler.observe_batch(events)
+        # Nothing shipped, nothing delivered, clock untouched.
+        assert sampler.current_slot is None
+        assert sampler.sample().items == ()
+        sampler.close()
+
+    def test_plain_variants_reject_process_executor(self):
+        with pytest.raises(ConfigurationError, match="single-coordinator"):
+            make_sampler(
+                "infinite", num_sites=2, sample_size=2, executor="process"
+            )
+
+    def test_executor_validation(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            SamplerConfig(variant="sharded:infinite", executor="nope").validate()
+        with pytest.raises(ConfigurationError, match="workers"):
+            SamplerConfig(variant="sharded:infinite", workers=-1).validate()
+        with pytest.raises(ConfigurationError, match="workers"):
+            ProcessExecutor(workers=-2)
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            from repro.runtime import make_executor
+
+            make_executor(
+                SamplerConfig(variant="sharded:infinite", executor="nope")
+            )
 
 
 @pytest.mark.speedup

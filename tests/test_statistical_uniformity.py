@@ -16,6 +16,7 @@ import pytest
 
 from repro import (
     DistinctSamplerSystem,
+    ProcessExecutor,
     SlidingWindowBottomS,
     SlidingWindowSystem,
     make_sampler,
@@ -90,6 +91,55 @@ class TestInfiniteWindowUniformity:
                         system.flood(element)
                 sampled.append(tuple(system.sample()))
             assert len(set(sampled)) == 1
+
+
+class TestParallelShardedUniformity:
+    """The defining distinct-sample property must survive the parallel
+    path: merged sharded samples ingested through the ProcessExecutor
+    are uniform over the distinct elements, regardless of frequency —
+    the multi-core mirror of the serial chi-square test above."""
+
+    def test_merged_sample_inclusion_uniform_under_process_executor(self):
+        universe, s, trials = 24, 3, 150
+        counts: Counter = Counter()
+        # One shared pool across the seed sweep; each trial's sampler is
+        # fresh (new hash seed) but rides the same two worker processes.
+        executor = ProcessExecutor(workers=2)
+        try:
+            for seed in range(trials):
+                sampler = make_sampler(
+                    "sharded:infinite",
+                    num_sites=2,
+                    sample_size=s,
+                    shards=2,
+                    seed=seed,
+                    executor="process",
+                    workers=2,
+                )
+                sampler.executor = executor
+                rng = np.random.default_rng(seed)
+                # Element e appears 1 to 7 times: skewed frequencies.
+                stream = [
+                    e for e in range(universe) for _ in range((e + 1) ** 2 % 7 + 1)
+                ]
+                rng.shuffle(stream)
+                sites = rng.integers(0, 2, len(stream)).tolist()
+                sampler.observe_batch(list(zip(sites, stream)))
+                members = sampler.sample().items
+                assert len(members) == s
+                for member in members:
+                    counts[member] += 1
+        finally:
+            executor.close()
+        total = sum(counts.values())
+        assert total == trials * s
+        expected = total / universe
+        chi2 = sum(
+            (counts.get(e, 0) - expected) ** 2 / expected
+            for e in range(universe)
+        )
+        # 23 dof; p=0.001 critical ≈ 49.7.
+        assert chi2 < 49.7, f"chi2={chi2:.1f}"
 
 
 class TestSlidingWindowUniformity:
