@@ -16,6 +16,10 @@ Commands:
 * ``repro perf profile <scenario>`` — cProfile one (scenario, variant)
   cell and print the top cumulative hot spots, so perf work starts from
   data instead of guesses.
+* ``repro lint [paths ...]`` — the project-invariant static analyzer
+  (AST rules RPR001-RPR006 over ``src/`` by default); ``--format json``
+  emits the schema-versioned report CI archives, ``--list-rules`` prints
+  the rule catalog.
 """
 
 from __future__ import annotations
@@ -217,6 +221,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=25,
         help="hot spots to print, by cumulative time (default 25)",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (AST rules RPR001-RPR006)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to scan (default: src)",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="restrict to a rule code (repeatable; default all)",
+    )
+    lint_p.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default human)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
     )
 
     perf_base = perf_sub.add_parser(
@@ -472,6 +505,25 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.lint import all_rules, run_lint
+
+    if args.list_rules:
+        width = max(len(rule.code) for rule in all_rules())
+        for rule in all_rules():
+            print(
+                f"{rule.code.ljust(width)}  [{rule.severity}] "
+                f"{rule.name}: {rule.summary}"
+            )
+        return 0
+    report = run_lint(args.paths, rules=args.rule)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import (
         Tolerances,
@@ -525,6 +577,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "perf":
             return _cmd_perf(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

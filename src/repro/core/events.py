@@ -32,17 +32,24 @@ single-``observe`` paths by ``tests/test_batch_equivalence.py``.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import ConfigurationError
 from ..hashing.unit import UnitHasher, unit_hash_array
 
 __all__ = ["EventBatch"]
 
+#: One int64 column (items, sites, or slots).
+IntColumn = npt.NDArray[np.int64]
 
-def _as_int64(values, name: str) -> np.ndarray:
+#: One float64 unit-hash column.
+HashColumn = npt.NDArray[np.float64]
+
+
+def _as_int64(values: npt.ArrayLike, name: str) -> IntColumn:
     """Coerce a column to ``int64`` without ever silently truncating."""
     arr = np.asarray(values)
     if arr.ndim != 1:
@@ -89,7 +96,12 @@ class EventBatch:
     __slots__ = ("items", "sites", "slots", "_hash_columns", "_items_list",
                  "_sites_list")
 
-    def __init__(self, items, sites=None, slots=None) -> None:
+    def __init__(
+        self,
+        items: npt.ArrayLike,
+        sites: Optional[npt.ArrayLike] = None,
+        slots: Optional[npt.ArrayLike] = None,
+    ) -> None:
         self.items = _as_int64(items, "items")
         n = self.items.size
         self.sites = None if sites is None else _as_int64(sites, "sites")
@@ -100,14 +112,14 @@ class EventBatch:
                     f"{name} column has {column.size} rows, items has {n}"
                 )
         #: hasher -> float64 unit-hash column, computed at most once.
-        self._hash_columns: dict[UnitHasher, np.ndarray] = {}
-        self._items_list: Optional[list] = None
-        self._sites_list: Optional[list] = None
+        self._hash_columns: dict[UnitHasher, HashColumn] = {}
+        self._items_list: Optional[list[int]] = None
+        self._sites_list: Optional[list[int]] = None
 
     # -- converters ----------------------------------------------------------
 
     @classmethod
-    def from_events(cls, events) -> "EventBatch":
+    def from_events(cls, events: Iterable[Sequence[int]]) -> "EventBatch":
         """Build a batch from tuple events (the exact tuple-path inverse).
 
         Accepts a uniform sequence of ``(site, item)`` or
@@ -150,7 +162,7 @@ class EventBatch:
             None if slots is None else np.array(slots, dtype=np.int64),
         )
 
-    def to_events(self) -> list:
+    def to_events(self) -> list[tuple[int, ...]]:
         """The equivalent tuple-event list (the generic-loop fallback).
 
         Raises:
@@ -166,7 +178,7 @@ class EventBatch:
 
     # -- derived batches (columns shared, hashes never recomputed) -----------
 
-    def with_sites(self, sites) -> "EventBatch":
+    def with_sites(self, sites: npt.ArrayLike) -> "EventBatch":
         """A new batch over the same rows with ``sites`` attached.
 
         The engine's routing step: items/slots and every cached hash
@@ -177,7 +189,7 @@ class EventBatch:
         batch._items_list = self._items_list
         return batch
 
-    def select(self, index) -> "EventBatch":
+    def select(self, index: npt.ArrayLike) -> "EventBatch":
         """The row subset ``index`` (boolean mask or index array).
 
         Order-preserving for sorted/boolean indices; cached hash columns
@@ -225,7 +237,7 @@ class EventBatch:
 
     # -- hash columns --------------------------------------------------------
 
-    def hash_column(self, hasher: UnitHasher) -> np.ndarray:
+    def hash_column(self, hasher: UnitHasher) -> HashColumn:
         """The unit-hash column under ``hasher``, computed at most once.
 
         Element-for-element equal to ``[hasher.unit(e) for e in items]``:
@@ -245,7 +257,7 @@ class EventBatch:
             self._hash_columns[hasher] = column
         return column
 
-    def first_occurrence_indices(self) -> np.ndarray:
+    def first_occurrence_indices(self) -> IntColumn:
         """Indices of the first occurrence of each ``(site, item)`` pair,
         ascending — the vectorized form of the same-slot dedup loop the
         sliding cores run on synchronous networks."""
@@ -256,7 +268,7 @@ class EventBatch:
 
     # -- row views -----------------------------------------------------------
 
-    def require_sites(self) -> np.ndarray:
+    def require_sites(self) -> IntColumn:
         """The site column, or a clear error for a still-unrouted batch."""
         if self.sites is None:
             raise ConfigurationError(
@@ -265,22 +277,22 @@ class EventBatch:
             )
         return self.sites
 
-    def items_list(self) -> list:
+    def items_list(self) -> list[int]:
         """The item column as plain Python ints (cached)."""
         if self._items_list is None:
             self._items_list = self.items.tolist()
         return self._items_list
 
-    def sites_list(self) -> list:
+    def sites_list(self) -> list[int]:
         """The site column as plain Python ints (cached)."""
-        self.require_sites()
+        sites = self.require_sites()
         if self._sites_list is None:
-            self._sites_list = self.sites.tolist()
+            self._sites_list = sites.tolist()
         return self._sites_list
 
     # -- dunder --------------------------------------------------------------
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Cached hash columns and row-view lists are derived data: the
         # receiving side (a ProcessExecutor worker) recomputes its slice
         # locally — in parallel — so pickling ships only the defining
@@ -294,7 +306,7 @@ class EventBatch:
         if not isinstance(other, EventBatch):
             return NotImplemented
 
-        def column_eq(a, b) -> bool:
+        def column_eq(a: Optional[IntColumn], b: Optional[IntColumn]) -> bool:
             if a is None or b is None:
                 return a is None and b is None
             return bool(np.array_equal(a, b))

@@ -36,12 +36,23 @@ from __future__ import annotations
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass
-from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..errors import ConfigurationError, ProtocolError
 from ..netsim.message import MessageKind
-from ..netsim.network import Network
+from ..netsim.network import MessageStats, Network
 from .events import EventBatch
+
+if TYPE_CHECKING:  # runtime.topology imports this module back at call time
+    from ..runtime.topology import Topology
 
 __all__ = [
     "SampleResult",
@@ -101,8 +112,8 @@ class SampleResult:
     sites (``system.sample() == [...]``) keep working.
     """
 
-    items: tuple
-    pairs: tuple = ()
+    items: tuple[Any, ...]
+    pairs: tuple[tuple[float, Any], ...] = ()
     threshold: Optional[float] = None
     sample_size: int = 1
     window: Optional[int] = None
@@ -114,13 +125,13 @@ class SampleResult:
     def __len__(self) -> int:
         return len(self.items)
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.items)
 
     def __contains__(self, item: Any) -> bool:
         return item in self.items
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self.items[index]
 
     def __bool__(self) -> bool:
@@ -164,7 +175,7 @@ class SamplerStats:
     messages_to_coordinator: int
     messages_to_sites: int
     bytes_total: int
-    per_site_memory: tuple
+    per_site_memory: tuple[int, ...]
     slots_processed: int
 
     @property
@@ -312,10 +323,12 @@ def load_stats_state(network: Network, state: dict[str, Any]) -> None:
 
 #: An ingestion event: ``(site_id, item)`` delivered at the current slot,
 #: or ``(site_id, item, slot)`` advancing time first.
-Event = Union[tuple, Sequence]
+Event = Union[tuple[Any, ...], Sequence[Any]]
 
 
-def iter_event_runs(events: Iterable[Event]):
+def iter_event_runs(
+    events: Iterable[Event],
+) -> Iterator[tuple[Optional[int], list[tuple[Any, Any]]]]:
     """Group an event sequence into ``(slot, [(site, item), ...])`` runs.
 
     A run collects consecutive events delivered at the same protocol time:
@@ -334,7 +347,7 @@ def iter_event_runs(events: Iterable[Event]):
         ``(site_id, item)`` pairs in arrival order.
     """
     pending_slot: Optional[int] = None
-    run: list = []
+    run: list[tuple[Any, Any]] = []
     for event in events:
         # Mirror the generic loop's branch exactly: anything that is not
         # a 2-tuple is treated as slot-stamped via event[2].
@@ -369,7 +382,7 @@ class Sampler(ABC):
         self._last_slot: Optional[int] = None
         self._slots_processed = 0
 
-    def _init_runtime(self, topology) -> None:
+    def _init_runtime(self, topology: "Topology") -> None:
         """Adopt a wired :class:`~repro.runtime.topology.Topology`.
 
         The topology becomes the canonical owner of the transport and the
@@ -393,12 +406,12 @@ class Sampler(ABC):
         self.topology.adopt_network(network)
 
     @property
-    def coordinator(self):
+    def coordinator(self) -> Any:
         """The topology's coordinator node."""
         return self.topology.coordinator
 
     @property
-    def sites(self) -> list:
+    def sites(self) -> list[Any]:
         """The topology's site roster, indexed by site id."""
         return self.topology.sites
 
@@ -448,7 +461,9 @@ class Sampler(ABC):
         Cores with a true columnar fast path (precomputed hash columns,
         no tuple materialization) override this.
         """
-        return self.observe_batch(batch.to_events())
+        # The one sanctioned tuple fallback: correctness-by-construction
+        # for variants that have no columnar override yet.
+        return self.observe_batch(batch.to_events())  # repro-lint: disable=RPR001
 
     def advance(self, slot: int) -> None:
         """Advance slotted time to ``slot`` and run boundary maintenance.
@@ -477,7 +492,7 @@ class Sampler(ABC):
     def sample(self) -> SampleResult:
         """The current sample as a :class:`SampleResult`."""
 
-    def message_stats(self):
+    def message_stats(self) -> MessageStats:
         """THE message-cost counters (canonical, via the runtime topology).
 
         Composite facades override this with an aggregate over their
@@ -574,7 +589,7 @@ class Sampler(ABC):
 
     # -- deprecated shims (one release) ------------------------------------
 
-    def process_slot(self, slot: int, arrivals: list) -> None:
+    def process_slot(self, slot: int, arrivals: list[tuple[int, Any]]) -> None:
         """Deprecated: use ``advance(slot)`` + ``observe_batch(arrivals)``."""
         deprecated_call(
             f"{type(self).__name__}.process_slot()",
@@ -584,16 +599,16 @@ class Sampler(ABC):
         for site_id, item in arrivals:
             self._deliver(site_id, item)
 
-    def query(self):
+    def query(self) -> Any:
         """Deprecated: use ``sample()`` (returns a :class:`SampleResult`)."""
         deprecated_call(f"{type(self).__name__}.query()", "sample()")
         return self._legacy_sample_shape()
 
-    def sample_legacy(self):
+    def sample_legacy(self) -> Any:
         """Deprecated: the pre-protocol shape of ``sample()``."""
         deprecated_call(f"{type(self).__name__}.sample_legacy()", "sample()")
         return self._legacy_sample_shape()
 
-    def _legacy_sample_shape(self):
+    def _legacy_sample_shape(self) -> Any:
         """The old per-class return shape (list of items by default)."""
         return list(self.sample().items)

@@ -1,0 +1,53 @@
+"""``repro lint``: the project-invariant AST rule engine.
+
+Importing this package registers the built-in rule set:
+
+========  ==========================  =========================================
+code      name                        guards
+========  ==========================  =========================================
+RPR001    no-tuple-materialization    columnar fast paths stay columnar
+RPR002    pickle-boundary-safety      executor-crossing state pickles cleanly
+RPR003    registry-completeness       every facade registered + conformance-covered
+RPR004    snapshot-symmetry           state keys written == keys consumed
+RPR005    determinism                 no wall-clock / unseeded RNG / set order
+RPR006    executor-shared-state       workers return results, never mutate parent
+========  ==========================  =========================================
+
+Entry points: :func:`run_lint` (library), ``repro lint`` (CLI), and the
+``lint-static`` CI job.  See :mod:`repro.devtools.lint.engine` for the
+suppression syntax and how to add a rule.
+"""
+
+from .engine import (
+    JSON_SCHEMA_VERSION,
+    LintReport,
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    all_rules,
+    get_rules,
+    register_rule,
+    run_lint,
+)
+
+# Importing the rule modules registers the built-in rule set.
+from . import rules_columnar  # noqa: F401  (registration side effect)
+from . import rules_determinism  # noqa: F401
+from . import rules_executor  # noqa: F401
+from . import rules_pickle  # noqa: F401
+from . import rules_registry  # noqa: F401
+from . import rules_snapshot  # noqa: F401
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rules",
+    "register_rule",
+    "run_lint",
+]

@@ -1,0 +1,429 @@
+"""The ``repro lint`` rule engine: AST rules over the project tree.
+
+General-purpose linters check Python; this engine checks *this project*.
+A :class:`Rule` inspects parsed modules (or the whole project at once)
+and reports :class:`Violation` records tied to a stable rule code
+(``RPR001``...).  The engine owns everything rule authors should not
+re-implement:
+
+* **Discovery and parsing** — :func:`run_lint` walks the given paths,
+  parses every ``.py`` file once, and hands rules a
+  :class:`ModuleContext` (path, source, AST) or the aggregate
+  :class:`ProjectContext` (cross-file rules like registry completeness).
+* **Suppressions** — a ``# repro-lint: disable=RPR001`` comment on (or
+  directly above) the offending line silences that rule there;
+  ``# repro-lint: disable-file=RPR001`` silences it for the whole file.
+  ``disable=all`` works in both forms.  Suppressions are parsed from the
+  raw source, so they work on lines the AST does not attribute exactly.
+* **Output** — :meth:`LintReport.render` for humans,
+  :meth:`LintReport.to_json` (schema-versioned) for CI artifacts.
+* **Severity and exit code** — every rule declares ``error`` or
+  ``warning``; only errors make :attr:`LintReport.ok` false (the CLI
+  exit code).
+
+Adding a rule is: subclass :class:`Rule` in a ``rules_*`` module,
+implement :meth:`Rule.check_module` (per-file) and/or
+:meth:`Rule.check_project` (cross-file), decorate with
+:func:`register_rule`, and import the module from
+:mod:`repro.devtools.lint` so registration runs.  Fixture-based tests in
+``tests/test_devtools_lint.py`` must prove the rule fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ...errors import ConfigurationError
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "SEVERITIES",
+    "Violation",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "LintReport",
+    "register_rule",
+    "all_rules",
+    "get_rules",
+    "run_lint",
+]
+
+#: Version stamp written into every JSON report.
+JSON_SCHEMA_VERSION = 1
+
+#: Allowed rule severities; only ``"error"`` violations fail the build.
+SEVERITIES = ("error", "warning")
+
+#: ``# repro-lint: disable=RPR001,RPR002`` / ``disable-file=RPR003``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Stable rule code (``"RPR001"``).
+        severity: ``"error"`` or ``"warning"``.
+        path: Path of the offending file, as given to :func:`run_lint`.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready record (the ``violations[]`` schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human form, ``path:line:col: CODE message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+class ModuleContext:
+    """One parsed source file, as handed to :meth:`Rule.check_module`.
+
+    Attributes:
+        path: Filesystem path of the module.
+        display_path: The path string used in violation records.
+        source: Raw source text.
+        tree: The parsed :class:`ast.Module`.
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display_path = str(path)
+        self.source = source
+        self.tree = tree
+        self._line_disables: dict[int, set[str]] = {}
+        self._file_disables: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+            }
+            if match.group("scope"):
+                self._file_disables |= codes
+            else:
+                self._line_disables.setdefault(lineno, set()).update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True when ``code`` is disabled at ``line``.
+
+        A same-line comment or one on the directly preceding line
+        suppresses; ``disable-file`` suppresses everywhere.  ``ALL``
+        is the wildcard.
+        """
+        if self._file_disables & {code, "ALL"}:
+            return True
+        for candidate in (line, line - 1):
+            if self._line_disables.get(candidate, set()) & {code, "ALL"}:
+                return True
+        return False
+
+
+class ProjectContext:
+    """The whole lint run, as handed to :meth:`Rule.check_project`.
+
+    Attributes:
+        modules: Every parsed module in the scanned paths.
+        root: The project root (directory holding ``pyproject.toml``),
+            or None when no root was found above the scanned paths.
+    """
+
+    #: Project-relative path of the conformance-test registry RPR003
+    #: checks sampler classes against.
+    CONFORMANCE_PATH = ("tests", "test_protocol_conformance.py")
+
+    def __init__(
+        self, modules: Sequence[ModuleContext], root: Optional[Path] = None
+    ) -> None:
+        self.modules = list(modules)
+        self.root = root
+
+    def conformance_module(self) -> Optional[ModuleContext]:
+        """The parsed conformance-test module, or None if unavailable."""
+        if self.root is None:
+            return None
+        path = self.root.joinpath(*self.CONFORMANCE_PATH)
+        if not path.is_file():
+            return None
+        return _parse_module(path)
+
+
+class Rule(ABC):
+    """One project-invariant check.
+
+    Class attributes:
+        code: Stable identifier (``"RPR001"``); uppercase, unique.
+        name: Short kebab-case name for listings.
+        severity: ``"error"`` (build-failing) or ``"warning"``.
+        summary: One-line description shown by ``repro lint --list-rules``.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: str = "error"
+    summary: str = ""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Violation]:
+        """Per-file check; yield violations found in ``module``."""
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        """Cross-file check; runs once per lint invocation."""
+        return ()
+
+    def violation(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule=self.code,
+            severity=self.severity,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: type) -> type:
+    """Class decorator adding a :class:`Rule` subclass to the registry.
+
+    Raises:
+        ConfigurationError: For a missing/duplicate code or bad severity.
+    """
+    rule = rule_cls()
+    if not rule.code:
+        raise ConfigurationError(
+            f"lint rule {rule_cls.__name__} declares no code"
+        )
+    if rule.code in _RULES:
+        raise ConfigurationError(f"duplicate lint rule code {rule.code!r}")
+    if rule.severity not in SEVERITIES:
+        raise ConfigurationError(
+            f"lint rule {rule.code} severity must be one of {SEVERITIES}, "
+            f"got {rule.severity!r}"
+        )
+    _RULES[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by code."""
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def get_rules(codes: Optional[Sequence[str]] = None) -> tuple[Rule, ...]:
+    """The rules selected by ``codes`` (None/empty selects all).
+
+    Raises:
+        ConfigurationError: For an unknown rule code.
+    """
+    if not codes:
+        return all_rules()
+    selected = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if normalized not in _RULES:
+            raise ConfigurationError(
+                f"unknown lint rule {code!r}; expected one of "
+                f"{tuple(sorted(_RULES))}"
+            )
+        selected.append(_RULES[normalized])
+    return tuple(dict.fromkeys(selected))
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one :func:`run_lint` invocation.
+
+    Attributes:
+        violations: Unsuppressed violations, sorted by (path, line, col,
+            rule).
+        files_checked: Number of files parsed and checked.
+        rules: Codes of the rules that ran.
+    """
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+    rules: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity violations remain."""
+        return not any(v.severity == "error" for v in self.violations)
+
+    def to_json(self) -> str:
+        """The schema-versioned JSON report (CI artifact format)."""
+        return json.dumps(
+            {
+                "schema_version": JSON_SCHEMA_VERSION,
+                "ok": self.ok,
+                "files_checked": self.files_checked,
+                "rules": list(self.rules),
+                "violations": [v.to_dict() for v in self.violations],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [v.render() for v in self.violations]
+        noun = "file" if self.files_checked == 1 else "files"
+        lines.append(
+            f"checked {self.files_checked} {noun} against "
+            f"{len(self.rules)} rules: "
+            + ("clean" if not self.violations else
+               f"{len(self.violations)} violation(s)")
+        )
+        return "\n".join(lines)
+
+
+def _parse_module(path: Path) -> Optional[ModuleContext]:
+    """Parse one file into a :class:`ModuleContext` (None on IO failure)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    tree = ast.parse(source, filename=str(path))
+    return ModuleContext(path, source, tree)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def find_project_root(start: Path) -> Optional[Path]:
+    """The nearest ancestor of ``start`` holding a ``pyproject.toml``."""
+    current = start if start.is_dir() else start.parent
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[str | Path] = None,
+) -> LintReport:
+    """Run the selected rules over ``paths`` and collect violations.
+
+    Args:
+        paths: Files and/or directories to scan (directories recurse).
+        rules: Rule codes to run (None = all registered rules).
+        root: Project root for cross-file rules; inferred from the first
+            path (nearest ``pyproject.toml``) when omitted.
+
+    Returns:
+        A :class:`LintReport`; syntax errors surface as ``PARSE``
+        violations rather than exceptions, so one broken file cannot
+        hide the rest of the run.
+
+    Raises:
+        ConfigurationError: For an unknown rule code or no paths.
+    """
+    if not paths:
+        raise ConfigurationError("repro lint needs at least one path")
+    selected = get_rules(rules)
+    resolved = [Path(p) for p in paths]
+    for path in resolved:
+        if not path.exists():
+            raise ConfigurationError(f"no such file or directory: {path}")
+    project_root = (
+        Path(root) if root is not None else find_project_root(resolved[0])
+    )
+
+    modules: list[ModuleContext] = []
+    violations: list[Violation] = []
+    files_checked = 0
+    for path in _iter_python_files(resolved):
+        files_checked += 1
+        try:
+            module = _parse_module(path)
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    rule="PARSE",
+                    severity="error",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        if module is not None:
+            modules.append(module)
+
+    project = ProjectContext(modules, project_root)
+    for rule in selected:
+        for module in modules:
+            for violation in rule.check_module(module):
+                if not module.is_suppressed(violation.rule, violation.line):
+                    violations.append(violation)
+        by_path = {module.display_path: module for module in modules}
+        for violation in rule.check_project(project):
+            module = by_path.get(violation.path)
+            if module is None or not module.is_suppressed(
+                violation.rule, violation.line
+            ):
+                violations.append(violation)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return LintReport(
+        violations=tuple(violations),
+        files_checked=files_checked,
+        rules=tuple(rule.code for rule in selected),
+    )

@@ -1,0 +1,182 @@
+"""RPR003 — registry completeness for concrete Sampler facades.
+
+Everything downstream of the front door — CLI, snapshots, the perf
+suite, the sharded wrappers — discovers samplers through the variant
+registry, and the conformance suite (``tests/test_protocol_conformance.py``)
+is the contract that keeps every facade honest.  A new concrete
+``Sampler`` subclass that is *not* wired into both is a silent gap: it
+imports fine, its own unit tests pass, and it quietly misses snapshot
+round-trips, batch-equivalence pinning, and the CLI.
+
+This project rule rebuilds the class hierarchy statically:
+
+* every class transitively subclassing ``Sampler`` is collected;
+* helper bases are exempt by convention (a leading underscore or a
+  ``Base`` suffix) along with classes that declare ``@abstractmethod``
+  members;
+* each remaining *concrete* facade must be **named** (a) somewhere in a
+  module that calls ``register_variant``/``register_sharded_variant``
+  — i.e. it is reachable from the registry — and (b) somewhere in the
+  conformance-test module, so the shared lifecycle suite covers it.
+
+The conformance half is skipped when the project root (or the test
+file) cannot be found — e.g. when linting a lone file outside the
+repository.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .engine import ModuleContext, ProjectContext, Rule, Violation, register_rule
+
+__all__ = ["RegistryCompletenessRule"]
+
+#: The protocol root every facade descends from.
+_ROOT_CLASS = "Sampler"
+
+#: Calls that mark a module as part of the registry wiring.
+_REGISTER_CALLS = frozenset({"register_variant", "register_sharded_variant"})
+
+
+@dataclass(frozen=True)
+class _ClassInfo:
+    name: str
+    bases: tuple[str, ...]
+    is_abstract: bool
+    module: ModuleContext
+    node: ast.ClassDef
+
+
+def _base_names(cls: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _declares_abstract_members(cls: ast.ClassDef) -> bool:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                last = (
+                    decorator.attr
+                    if isinstance(decorator, ast.Attribute)
+                    else decorator.id
+                    if isinstance(decorator, ast.Name)
+                    else None
+                )
+                if last in {"abstractmethod", "abstractproperty"}:
+                    return True
+    return False
+
+
+def _identifiers(tree: ast.Module) -> frozenset[str]:
+    """Every name that appears in a module: loads, attributes, imports."""
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            found.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            found.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                found.add(alias.asname or alias.name.split(".")[-1])
+    return frozenset(found)
+
+
+def _calls_registry(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name in _REGISTER_CALLS:
+                return True
+    return False
+
+
+@register_rule
+class RegistryCompletenessRule(Rule):
+    code = "RPR003"
+    name = "registry-completeness"
+    summary = (
+        "every concrete Sampler subclass must be reachable from the "
+        "variant registry and named in the conformance-test suite"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        classes: list[_ClassInfo] = []
+        registry_names: set[str] = set()
+        for module in project.modules:
+            if _calls_registry(module.tree):
+                registry_names |= _identifiers(module.tree)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes.append(
+                        _ClassInfo(
+                            name=node.name,
+                            bases=_base_names(node),
+                            is_abstract=_declares_abstract_members(node),
+                            module=module,
+                            node=node,
+                        )
+                    )
+
+        sampler_family = {_ROOT_CLASS}
+        changed = True
+        while changed:
+            changed = False
+            for info in classes:
+                if info.name not in sampler_family and any(
+                    base in sampler_family for base in info.bases
+                ):
+                    sampler_family.add(info.name)
+                    changed = True
+
+        conformance = self._conformance_names(project)
+        for info in classes:
+            if info.name == _ROOT_CLASS or info.name not in sampler_family:
+                continue
+            if (
+                info.name.startswith("_")
+                or info.name.endswith("Base")
+                or info.is_abstract
+            ):
+                continue  # helper/abstract bases are not facades
+            if registry_names and info.name not in registry_names:
+                yield self.violation(
+                    info.module,
+                    info.node,
+                    f"concrete Sampler subclass {info.name} is not "
+                    "referenced by any module that registers variants; "
+                    "wire it into the registry (register_variant) or "
+                    "mark it as a base/helper",
+                )
+            if conformance is not None and info.name not in conformance:
+                yield self.violation(
+                    info.module,
+                    info.node,
+                    f"concrete Sampler subclass {info.name} is not named "
+                    "in tests/test_protocol_conformance.py; add it to the "
+                    "conformance registry so the shared lifecycle suite "
+                    "covers it",
+                )
+
+    def _conformance_names(
+        self, project: ProjectContext
+    ) -> Optional[frozenset[str]]:
+        module = project.conformance_module()
+        if module is None:
+            return None
+        return _identifiers(module.tree)

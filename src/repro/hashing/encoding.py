@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Union
 
-Element = Union[int, str, bytes, tuple]
-"""Type alias for the element types accepted by the samplers."""
+Element = Union[int, str, bytes, tuple["Element", ...]]
+"""Type alias for the element types accepted by the samplers
+(recursively: tuples of elements are elements)."""
 
 _TAG_INT = b"\x01"
 _TAG_STR = b"\x02"

@@ -25,6 +25,7 @@ it to pre-hash large element batches.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "murmur2_32",
@@ -204,7 +205,7 @@ def fmix64(k: int) -> int:
     return k
 
 
-def fmix64_array(keys: np.ndarray) -> np.ndarray:
+def fmix64_array(keys: npt.ArrayLike) -> npt.NDArray[np.uint64]:
     """Vectorized :func:`fmix64` over a ``uint64`` NumPy array.
 
     Args:

@@ -13,10 +13,11 @@ uses one family member per parallel copy.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from .encoding import Element, encode_element
 from .murmur import fmix64, fmix64_array, murmur2_64a, murmur3_128_x64, murmur3_32
@@ -61,6 +62,8 @@ class UnitHasher:
     """
 
     __slots__ = ("seed", "algorithm", "_fn")
+
+    _fn: Callable[[Element], int]
 
     def __init__(self, seed: int = 0, algorithm: str = "murmur2") -> None:
         if algorithm not in HASH_ALGORITHMS:
@@ -136,7 +139,7 @@ class UnitHasher:
         return hash((self.seed, self.algorithm))
 
 
-def unit_hash_array(ids: np.ndarray, seed: int = 0) -> np.ndarray:
+def unit_hash_array(ids: npt.ArrayLike, seed: int = 0) -> npt.NDArray[np.float64]:
     """Vectorized unit-interval hashes for integer element ids.
 
     Matches ``UnitHasher(seed, "mix64").unit(id)`` exactly, element-wise —
@@ -158,7 +161,9 @@ def unit_hash_array(ids: np.ndarray, seed: int = 0) -> np.ndarray:
     return (mixed >> np.uint64(11)).astype(np.float64) / _TWO_53
 
 
-def unit_hash_vector(hasher: UnitHasher, items) -> Optional[np.ndarray]:
+def unit_hash_vector(
+    hasher: UnitHasher, items: Sequence[Element]
+) -> Optional[npt.NDArray[np.float64]]:
     """Vectorized unit hashes for a batch, or None when ineligible.
 
     THE single definition of the mix64 vectorization gate: a batch is
@@ -192,7 +197,7 @@ def unit_hash_vector(hasher: UnitHasher, items) -> Optional[np.ndarray]:
     return unit_hash_array(ids, hasher.seed)
 
 
-def unit_hash_batch(hasher: UnitHasher, items) -> list[float]:
+def unit_hash_batch(hasher: UnitHasher, items: Sequence[Element]) -> list[float]:
     """Unit hashes for a whole batch, vectorized when the hasher allows.
 
     Element-for-element equal to ``[hasher.unit(e) for e in items]``,

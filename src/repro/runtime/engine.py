@@ -23,7 +23,7 @@ computes exactly the site ids the one-at-a-time path would.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Union
 
 import numpy as np
 
@@ -69,6 +69,9 @@ class Engine:
         self.sampler = sampler
         self.policy = policy
         self._position = 0
+        self._distributor: Optional[
+            Union[HashDistributor, RoundRobinDistributor]
+        ] = None
         if policy == "hash":
             if algorithm is None:
                 algorithm = sampler.config.algorithm
@@ -77,13 +80,20 @@ class Engine:
             )
         elif policy == "round-robin":
             self._distributor = RoundRobinDistributor(sampler.num_sites)
-        else:
-            self._distributor = None
 
     @property
     def num_sites(self) -> int:
         """Number of sites the engine routes across."""
         return self.sampler.num_sites
+
+    def _hash_distributor(self) -> HashDistributor:
+        """The routing distributor, narrowed (``"hash"`` policy only)."""
+        distributor = self._distributor
+        if not isinstance(distributor, HashDistributor):  # pragma: no cover
+            raise ConfigurationError(
+                f"no hash distributor under policy {self.policy!r}"
+            )
+        return distributor
 
     def site_for(self, item: Any) -> int:
         """The site the *next* observation of ``item`` would be routed to.
@@ -95,7 +105,7 @@ class Engine:
             ConfigurationError: Under the ``"explicit"`` policy.
         """
         if self.policy == "hash":
-            return self._distributor.assign_one(item)
+            return self._hash_distributor().assign_one(item)
         if self.policy == "round-robin":
             return self._position % self.num_sites
         raise ConfigurationError(
@@ -148,7 +158,7 @@ class Engine:
         if not items:
             return 0
         if self.policy == "hash":
-            sites = self._distributor.assignments_for(items).tolist()
+            sites = self._hash_distributor().assignments_for(items).tolist()
         else:
             k = self.num_sites
             start = self._position
@@ -176,7 +186,7 @@ class Engine:
         if not n:
             return 0
         if self.policy == "hash":
-            sites = self._distributor.assignments_for_batch(batch)
+            sites = self._hash_distributor().assignments_for_batch(batch)
         else:
             k = self.num_sites
             sites = (self._position + np.arange(n, dtype=np.int64)) % k

@@ -43,13 +43,18 @@ Two documented differences, neither visible on a valid stream:
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import time
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
+from ..core.events import EventBatch
 from ..core.protocol import EXECUTORS, SamplerConfig
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # sharded imports this module; annotate without a cycle
+    from .sharded import ShardedSampler
 
 __all__ = [
     "ExecutionBackend",
@@ -58,8 +63,15 @@ __all__ = [
     "make_executor",
 ]
 
+#: One group's replay plan: ``(slot, None)`` advances, ``(None, batch)``
+#: delivers (a tuple sub-batch or a columnar sub-run).
+GroupPlan = list[tuple[Optional[int], Any]]
 
-def _ingest_group(payload: tuple) -> tuple:
+#: What ships to a worker: ``(config_dict, state_dict, plan)``.
+WorkerPayload = tuple[dict[str, Any], dict[str, Any], GroupPlan]
+
+
+def _ingest_group(payload: WorkerPayload) -> tuple[dict[str, Any], float]:
     """Worker entry point: rebuild one group, replay its plan.
 
     ``payload`` is ``(config_dict, state, tasks)`` where ``tasks`` is the
@@ -101,11 +113,11 @@ class ExecutionBackend(ABC):
     name: str
 
     @abstractmethod
-    def ingest_events(self, sharded, events: list) -> int:
+    def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
         """Deliver a tuple-event batch to the groups; returns the count."""
 
     @abstractmethod
-    def ingest_columns(self, sharded, batch) -> int:
+    def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
         """Deliver a columnar :class:`~repro.core.events.EventBatch`."""
 
     def close(self) -> None:
@@ -124,7 +136,7 @@ class SerialExecutor(ExecutionBackend):
 
     name = "serial"
 
-    def ingest_events(self, sharded, events: list) -> int:
+    def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
         from ..core.protocol import iter_event_runs
 
         for slot, run in iter_event_runs(events):
@@ -133,7 +145,7 @@ class SerialExecutor(ExecutionBackend):
             sharded._deliver_batch(run)
         return len(events)
 
-    def ingest_columns(self, sharded, batch) -> int:
+    def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
         for slot, run in batch.slot_runs():
             if slot is not None:
                 sharded.advance(slot)
@@ -170,7 +182,7 @@ class ProcessExecutor(ExecutionBackend):
 
     # -- pool lifecycle ------------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
             self._pool = multiprocessing.get_context().Pool(
                 processes=self.workers
@@ -189,25 +201,44 @@ class ProcessExecutor(ExecutionBackend):
             self._pool.join()
             self._pool = None
 
-    def __del__(self):  # pragma: no cover - GC safety net
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
             self.close()
         except Exception:
             pass
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, int]:
+        # The pool is an OS resource owned by this process; a pickled
+        # executor (snapshot tooling, deepcopy of a ShardedSampler
+        # facade) carries only its configuration and re-creates a pool
+        # lazily on first ingest.
+        return {"workers": self.workers}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self.workers = state["workers"]
+        self._pool = None
+
     # -- ingest --------------------------------------------------------------
 
-    def ingest_events(self, sharded, events: list) -> int:
+    def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
         plans, last_slot, advances = sharded._plan_events(events)
         self._run(sharded, plans, last_slot, advances)
         return len(events)
 
-    def ingest_columns(self, sharded, batch) -> int:
+    def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
         plans, last_slot, advances = sharded._plan_columns(batch)
         self._run(sharded, plans, last_slot, advances)
         return len(batch)
 
-    def _run(self, sharded, plans, last_slot, advances) -> None:
+    def _run(
+        self,
+        sharded: "ShardedSampler",
+        plans: list[GroupPlan],
+        last_slot: Optional[int],
+        advances: int,
+    ) -> None:
         payloads = [
             (g, (group.config.to_dict(), group.state_dict(), tasks))
             for g, (group, tasks) in enumerate(zip(sharded.groups, plans))

@@ -52,12 +52,13 @@ the other way around if needed (``s`` parallel sharded ``s=1`` groups).
 from __future__ import annotations
 
 import time
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 import numpy as np
 
 from ..core.events import EventBatch
 from ..core.protocol import (
+    Event,
     Sampler,
     SampleResult,
     SamplerConfig,
@@ -65,8 +66,9 @@ from ..core.protocol import (
     iter_event_runs,
 )
 from ..errors import ConfigurationError, ProtocolError
+from ..netsim.network import MessageStats
 from ..streams.partition import HashDistributor
-from .executor import make_executor
+from .executor import GroupPlan, make_executor
 from .topology import aggregate_sampler_stats, merge_message_stats
 
 __all__ = ["ShardedSampler"]
@@ -99,7 +101,7 @@ class ShardedSampler(Sampler):
             match ``config.shards``.
     """
 
-    def __init__(self, groups: list, config: SamplerConfig) -> None:
+    def __init__(self, groups: list[Sampler], config: SamplerConfig) -> None:
         groups = list(groups)
         if not groups:
             raise ConfigurationError("shards must be >= 1, got 0")
@@ -156,7 +158,7 @@ class ShardedSampler(Sampler):
         for group in self.groups:
             group.advance(slot)
 
-    def observe_batch(self, events) -> int:
+    def observe_batch(self, events: Iterable[Event]) -> int:
         """Partitioned batch ingestion (semantics of the generic loop).
 
         Each same-slot run is split by owning group in one vectorized
@@ -192,7 +194,9 @@ class ShardedSampler(Sampler):
 
     # -- per-group plans (the process backend's unit of shipment) ------------
 
-    def _plan_advance(self, plans: list, slot: int, state: list) -> None:
+    def _plan_advance(
+        self, plans: list[GroupPlan], slot: int, state: list[Any]
+    ) -> None:
         """Append an ``advance`` task to every group's plan, replicating
         :meth:`~repro.core.protocol.Sampler.advance` semantics (monotone,
         idempotent) against ``state = [pending_last_slot, advances]``."""
@@ -211,15 +215,17 @@ class ShardedSampler(Sampler):
         state[0] = slot
         state[1] += 1
 
-    def _plan_events(self, events: list) -> tuple:
+    def _plan_events(
+        self, events: list[Any]
+    ) -> tuple[list[GroupPlan], Optional[int], int]:
         """Per-group ``(slot, None) | (None, batch)`` plans for a whole
         tuple-event call, plus the facade's pending slot bookkeeping.
 
         Slot stamps are validated up front (a non-monotone stamp raises
         *before* any delivery), so a plan that builds is safe to ship.
         """
-        plans: list = [[] for _ in self.groups]
-        state = [self._last_slot, 0]
+        plans: list[GroupPlan] = [[] for _ in self.groups]
+        state: list[Any] = [self._last_slot, 0]
         for slot, run in iter_event_runs(events):
             if slot is not None:
                 self._plan_advance(plans, slot, state)
@@ -238,7 +244,9 @@ class ShardedSampler(Sampler):
                     )
         return plans, state[0], state[1]
 
-    def _plan_columns(self, batch: EventBatch) -> tuple:
+    def _plan_columns(
+        self, batch: EventBatch
+    ) -> tuple[list[GroupPlan], Optional[int], int]:
         """Columnar twin of :meth:`_plan_events`: per-group column slices.
 
         The shared sampling-hash column is deliberately *not* warmed
@@ -246,8 +254,8 @@ class ShardedSampler(Sampler):
         :class:`~repro.core.events.EventBatch` drops derived hash caches
         when pickled, so nothing is shipped twice).
         """
-        plans: list = [[] for _ in self.groups]
-        state = [self._last_slot, 0]
+        plans: list[GroupPlan] = [[] for _ in self.groups]
+        state: list[Any] = [self._last_slot, 0]
         for slot, run in batch.slot_runs():
             if slot is not None:
                 self._plan_advance(plans, slot, state)
@@ -293,7 +301,7 @@ class ShardedSampler(Sampler):
             groups[shard].observe_columns(sub_run)
             timings[shard] += time.perf_counter() - started
 
-    def _deliver_batch(self, batch: list) -> None:
+    def _deliver_batch(self, batch: list[tuple[int, Any]]) -> None:
         if not batch:
             return
         timings = self.group_ingest_seconds
@@ -317,7 +325,7 @@ class ShardedSampler(Sampler):
 
     def sample(self) -> SampleResult:
         """Query-time merge: bottom-s over the union of group samples."""
-        pairs: list = []
+        pairs: list[tuple[float, Any]] = []
         for group in self.groups:
             pairs.extend(group.sample().pairs)
         pairs.sort(key=lambda pair: pair[0])
@@ -340,7 +348,7 @@ class ShardedSampler(Sampler):
 
     # -- cost accounting -----------------------------------------------------
 
-    def message_stats(self):
+    def message_stats(self) -> MessageStats:
         """Aggregate message counters across all S group transports."""
         return merge_message_stats(
             group.message_stats() for group in self.groups

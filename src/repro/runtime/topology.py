@@ -28,7 +28,10 @@ copies drift.  :class:`Topology` owns it once:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # the runtime import happens lazily at call time
+    from ..core.protocol import SamplerStats
 
 from ..errors import ConfigurationError
 from ..netsim.message import COORDINATOR
@@ -149,7 +152,7 @@ def merge_message_stats(parts: Iterable[MessageStats]) -> MessageStats:
         field-wise sums (``by_kind`` merged per kind).
     """
     merged = MessageStats()
-    by_kind: Counter = merged.by_kind
+    by_kind: Counter[Any] = merged.by_kind
     for stats in parts:
         merged.total_messages += stats.total_messages
         merged.total_bytes += stats.total_bytes
@@ -159,7 +162,9 @@ def merge_message_stats(parts: Iterable[MessageStats]) -> MessageStats:
     return merged
 
 
-def aggregate_sampler_stats(parts: Iterable[Any], slots_processed: int):
+def aggregate_sampler_stats(
+    parts: Iterable[Any], slots_processed: int
+) -> "SamplerStats":
     """Uniform cost counters for a sampler composed of independent parts.
 
     ``parts`` are samplers sharing one physical site roster (each runs

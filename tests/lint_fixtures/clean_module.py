@@ -1,0 +1,18 @@
+"""A module every rule should pass untouched."""
+
+import random
+
+
+class TidySampler:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.slot = 0
+
+    def observe_columns(self, batch):
+        return len(batch)
+
+    def state_dict(self):
+        return {"slot": self.slot}
+
+    def load_state(self, state):
+        self.slot = state["slot"]

@@ -1,0 +1,22 @@
+"""RPR001 fixture: tuple materialization inside columnar fast paths."""
+
+from repro.core.events import EventBatch
+
+
+class BadColumnarSampler:
+    def observe_columns(self, batch):
+        events = batch.to_events()  # line 8: .to_events() in a fast path
+        return len(events)
+
+    def _deliver_columns(self, run):
+        sites, items = zip(*run)  # line 12: zip(*...) transpose
+        return sites, items
+
+    def ingest_columns(self, batch):
+        rebuilt = EventBatch.from_events(batch.to_events())  # line 16: both
+        return rebuilt
+
+    def observe_batch(self, events):
+        # Tuple paths may transpose freely; this must NOT fire.
+        sites, items = zip(*events)
+        return sites, items

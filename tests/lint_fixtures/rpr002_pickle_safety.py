@@ -1,0 +1,49 @@
+"""RPR002 fixture: unpicklable resources and shipped caches."""
+
+import threading
+from multiprocessing.pool import Pool
+
+
+class LeakyExecutor:
+    """Binds a lock and a pool with no pickle-protocol override."""
+
+    def __init__(self, workers):
+        self._lock = threading.Lock()  # line 11: unpicklable, no override
+        self._pool = Pool(processes=workers)  # line 12: unpicklable
+        self.workers = workers
+
+
+class SafeExecutor:
+    """Same resources, but opts out of shipping them — must NOT fire."""
+
+    def __init__(self, workers):
+        self._lock = threading.Lock()
+        self.workers = workers
+
+    def __getstate__(self):
+        return {"workers": self.workers}
+
+    def __setstate__(self, state):
+        self.workers = state["workers"]
+        self._lock = threading.Lock()
+
+
+class CacheShipper:
+    """A __getstate__ that ships derived caches across the boundary."""
+
+    def __init__(self, items):
+        self.items = tuple(items)
+        self._hash_columns = None
+        self._items_list = None
+
+    def __getstate__(self):
+        return {
+            "items": self.items,
+            "hash_columns": self._hash_columns,  # line 40: derived cache
+            "views": self._items_list,  # line 41: derived cache
+        }
+
+    def __setstate__(self, state):
+        self.items = state["items"]
+        self._hash_columns = state["hash_columns"]
+        self._items_list = state["views"]

@@ -1,0 +1,12 @@
+"""Fixture registry wiring: only CoveredSampler is reachable."""
+
+from samplers import CoveredSampler
+
+_VARIANTS = {}
+
+
+def register_variant(name, cls):
+    _VARIANTS[name] = cls
+
+
+register_variant("covered", CoveredSampler)

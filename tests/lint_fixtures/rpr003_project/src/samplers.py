@@ -1,0 +1,31 @@
+"""Fixture hierarchy: one wired facade, one orphan, exempt helpers."""
+
+from abc import abstractmethod
+
+
+class Sampler:
+    """The protocol root."""
+
+
+class CoveredSampler(Sampler):
+    """Registered and conformance-covered — must NOT fire."""
+
+
+class OrphanSampler(Sampler):
+    """Concrete, but neither registered nor conformance-covered."""
+
+
+class _HelperSampler(Sampler):
+    """Underscore prefix marks a helper — exempt."""
+
+
+class SamplerFacadeBase(Sampler):
+    """`Base` suffix marks a shared base — exempt."""
+
+
+class AbstractSampler(Sampler):
+    """Declares abstract members — exempt."""
+
+    @abstractmethod
+    def sample(self):
+        raise NotImplementedError

@@ -1,0 +1,5 @@
+"""Fixture conformance suite: names CoveredSampler, not OrphanSampler."""
+
+from samplers import CoveredSampler
+
+COVERED = {CoveredSampler}

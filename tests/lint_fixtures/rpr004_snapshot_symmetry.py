@@ -1,0 +1,37 @@
+"""RPR004 fixture: asymmetric state writer/reader pairs."""
+
+
+class DriftingSampler:
+    """Writes a key the loader drops, reads a key the writer never emits."""
+
+    def __init__(self):
+        self.slot = 0
+        self.items = []
+        self.seed = 0
+
+    def _state(self):
+        return {
+            "slot": self.slot,
+            "items": list(self.items),
+            "orphan": self.seed,  # line 15: written, never consumed
+        }
+
+    def _load(self, state):
+        self.slot = state["slot"]
+        self.items = list(state["items"])
+        self.seed = state.get("phantom", 0)  # line 21: consumed, never written
+
+
+class SymmetricSampler:
+    """Matched keys — must NOT fire."""
+
+    def __init__(self):
+        self.slot = 0
+        self.items = []
+
+    def state_dict(self):
+        return {"slot": self.slot, "items": list(self.items)}
+
+    def load_state(self, state):
+        self.slot = state["slot"]
+        self.items = list(state["items"])

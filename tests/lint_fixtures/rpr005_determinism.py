@@ -1,0 +1,31 @@
+"""RPR005 fixture: wall clocks, global RNGs, and set-order iteration."""
+
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def decide_eviction(items):
+    stamp = time.time()  # line 11: wall-clock read
+    pick = random.choice(items)  # line 12: global RNG
+    np.random.shuffle(items)  # line 13: legacy numpy global RNG
+    rng = default_rng()  # line 14: unseeded generator
+    return stamp, pick, rng
+
+
+def order_dependent(keys):
+    ordered = list({k for k in keys})  # line 19: list(set comprehension)
+    for key in {1, 2, 3}:  # line 20: set-literal iteration
+        ordered.append(key)
+    return ordered
+
+
+def deterministic_ok(seed, keys):
+    # Seeded instances and sorted sets — must NOT fire.
+    rng = random.Random(seed)
+    gen = default_rng(seed)
+    started = time.perf_counter()
+    ordered = sorted(set(keys))
+    return rng, gen, started, ordered

@@ -1,0 +1,27 @@
+"""RPR006 fixture: pool workers mutating parent-owned state."""
+
+from multiprocessing import Pool
+
+COUNTER = {"ingested": 0}
+
+
+def bad_worker(group):
+    group.slot = 99  # line 9: writes through a parameter
+    COUNTER["ingested"] += 1  # line 10: mutates a module global
+    global COUNTER_TOTAL  # line 11: global declaration
+    COUNTER_TOTAL = 1
+    return group
+
+
+def good_worker(payload):
+    # Rebuild locally, mutate locals, return the result — must NOT fire.
+    state = dict(payload)
+    state["replayed"] = True
+    return state
+
+
+def fan_out(groups):
+    with Pool(2) as pool:
+        bad = pool.map(bad_worker, groups)
+        good = pool.map(good_worker, groups)
+    return bad, good

@@ -1,0 +1,8 @@
+"""Suppression fixture: file-level disable silences the whole module."""
+# repro-lint: disable-file=RPR005
+
+import time
+
+
+def clocked(a, b):
+    return time.time() if a else time.time_ns() + b

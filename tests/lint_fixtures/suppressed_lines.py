@@ -1,0 +1,14 @@
+"""Suppression fixture: same-line, previous-line, and wildcard forms."""
+
+import random
+import time
+
+
+def measured_decisions(items):
+    stamp = time.time()  # repro-lint: disable=RPR005
+    # repro-lint: disable=RPR005
+    pick = random.choice(items)
+    extra = random.random()  # repro-lint: disable=all
+    total = stamp + extra
+    loud = time.time()  # line 13: this one stays unsuppressed
+    return total, pick, loud

@@ -16,11 +16,14 @@ import json
 import pytest
 
 from repro import (
+    BroadcastSamplerSystem,
+    CachingSamplerSystem,
     DistinctSamplerSystem,
     Sampler,
     SampleResult,
     SamplerConfig,
     SamplerStats,
+    ShardedSampler,
     SlidingWindowBottomS,
     SlidingWindowBottomSFeedback,
     SlidingWindowSystem,
@@ -118,7 +121,9 @@ class TestRegistryCoverage:
     def test_every_variant_has_a_config(self):
         assert set(sampler_variants()) == {c.variant for c in CONFIGS.values()}
 
-    def test_all_five_system_classes_covered(self):
+    def test_every_concrete_facade_class_covered(self):
+        # The full concrete-facade zoo; `repro lint` (RPR003) statically
+        # checks that every concrete Sampler subclass is named here.
         built = {type(make_sampler(c)) for c in CONFIGS.values()}
         assert {
             DistinctSamplerSystem,
@@ -127,6 +132,9 @@ class TestRegistryCoverage:
             SlidingWindowBottomSFeedback,
             WithReplacementSampler,
             SlidingWindowWithReplacement,
+            BroadcastSamplerSystem,
+            CachingSamplerSystem,
+            ShardedSampler,
         } <= built
 
 
