@@ -1,0 +1,70 @@
+"""Accuracy subsystem: estimator quality tracking with a CI gate.
+
+The statistical twin of :mod:`repro.perf` — where the perf suite tracks
+*cost* (time, messages, bytes) over the scenario x variant grid, this
+suite tracks *answer quality* over the same workloads:
+
+* :mod:`repro.accuracy.truth` — exact ground truth recomputed from the
+  raw stream (full-history and sliding-window distinct populations).
+* :mod:`repro.accuracy.estimators` — a registry of named statistical
+  queries (KMV distinct count, exponential-histogram cross-check, heavy
+  hitters, predicate fractions, quantiles), each owning the error
+  tolerance the gate enforces.
+* :mod:`repro.accuracy.suite` — replays the registered perf scenarios
+  through the registered sampler variants (centralized and ``sharded:*``,
+  serial and process-executed) and runs every applicable estimator
+  against each cell.
+* :mod:`repro.accuracy.report` / :mod:`repro.accuracy.regress` — the
+  schema-versioned JSON artifact and the tolerance + drift diff that CI
+  runs against ``benchmarks/accuracy_baseline.json``.
+
+CLI: ``repro accuracy run | compare | baseline`` (see README
+"Accuracy tracking").
+"""
+
+from .estimators import (
+    AccuracyEstimator,
+    EstimatorContext,
+    EstimatorOutcome,
+    accuracy_estimators,
+    get_estimator,
+    register_estimator,
+)
+from .regress import (
+    AccuracyComparison,
+    AccuracyDelta,
+    AccuracyTolerances,
+    compare_accuracy_reports,
+)
+from .report import (
+    ACCURACY_SCHEMA_VERSION,
+    AccuracyRecord,
+    AccuracyReport,
+    accuracy_report_from_dict,
+    load_accuracy_report,
+    save_accuracy_report,
+)
+from .suite import AccuracyConfig, run_accuracy_suite
+from .truth import TruthContext
+
+__all__ = [
+    "ACCURACY_SCHEMA_VERSION",
+    "TruthContext",
+    "AccuracyEstimator",
+    "EstimatorContext",
+    "EstimatorOutcome",
+    "register_estimator",
+    "accuracy_estimators",
+    "get_estimator",
+    "AccuracyConfig",
+    "run_accuracy_suite",
+    "AccuracyRecord",
+    "AccuracyReport",
+    "accuracy_report_from_dict",
+    "load_accuracy_report",
+    "save_accuracy_report",
+    "AccuracyTolerances",
+    "AccuracyDelta",
+    "AccuracyComparison",
+    "compare_accuracy_reports",
+]

@@ -1,0 +1,333 @@
+"""The accuracy-estimator registry: named queries with error budgets.
+
+An *accuracy estimator* is one statistical query run against a live
+sampler (plus the exact ground truth of the stream it ingested) inside
+the accuracy suite.  Each registered estimator owns:
+
+* a ``run`` function mapping an :class:`EstimatorContext` to an
+  :class:`EstimatorOutcome` (point estimate, truth, error, interval);
+* a ``tolerance`` — the absolute error ceiling the CI gate enforces on
+  every record this estimator produces.  Tolerances live here, next to
+  the math that justifies them, not in the comparison code: the KMV
+  estimator at s = 64 has RSE ≈ ``1/sqrt(62)`` ≈ 0.127, so a 0.40
+  relative ceiling is ~3 standard errors; the exponential-histogram
+  counter is a power-of-two sketch whose band is structurally wider; the
+  share/fraction/rank queries are binomial at s = 64 (SE ≈ 0.06) so a
+  0.15 absolute ceiling is ~2.5 standard errors.
+
+The registry mirrors :func:`repro.perf.scenarios.register_scenario`: the
+suite crosses registered estimators against the (scenario, variant) grid
+and third parties can register their own queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.protocol import Sampler
+from ..errors import AccuracyError
+from ..estimators.eh_distinct import SlidingDistinctCounterEH
+from ..estimators.windowed import (
+    windowed_distinct,
+    windowed_fraction,
+    windowed_heavy_hitters,
+    windowed_quantile,
+)
+from .truth import TruthContext
+
+__all__ = [
+    "EstimatorContext",
+    "EstimatorOutcome",
+    "AccuracyEstimator",
+    "register_estimator",
+    "accuracy_estimators",
+    "get_estimator",
+]
+
+#: Group modulus for the heavy-hitter query (8 roughly equal groups).
+HH_MODULUS = 8
+#: Predicate for the fraction query: ``item % 3 == 0`` (~1/3 match rate).
+PREDICATE_MODULUS = 3
+
+
+@dataclass(frozen=True)
+class EstimatorContext:
+    """Everything one estimator run may consume.
+
+    Attributes:
+        sampler: The cell's sampler, already fed the whole workload (for
+            ``sharded:*`` variants ``sample()`` is the provably-global
+            merged bottom-s sample).
+        truth: Exact ground truth recomputed from the raw stream.
+        windowed: Whether this cell targets the sliding-window
+            population (decides which truth population applies).
+        seed: The suite seed (deterministic auxiliary sketches hash
+            under it).
+    """
+
+    sampler: Sampler
+    truth: TruthContext
+    windowed: bool
+    seed: int
+
+
+@dataclass(frozen=True)
+class EstimatorOutcome:
+    """What one estimator run produced, ready to become a record.
+
+    Attributes:
+        estimate: Point estimate.
+        truth: The exact answer.
+        error: Error under this estimator's metric (``error_kind``).
+        error_kind: ``"relative"``, ``"abs"``, or ``"rank"``.
+        ci_low: ~95 % interval lower bound.
+        ci_high: ~95 % interval upper bound.
+        within_ci: Whether the truth fell inside the interval.
+    """
+
+    estimate: float
+    truth: float
+    error: float
+    error_kind: str
+    ci_low: float
+    ci_high: float
+    within_ci: bool
+
+
+@dataclass(frozen=True)
+class AccuracyEstimator:
+    """A registered accuracy estimator.
+
+    Attributes:
+        name: Registry key (and the record's ``estimator`` field).
+        summary: One-line description (CLI listing, README).
+        tolerance: Absolute ceiling on ``EstimatorOutcome.error`` the
+            regression gate enforces.
+        run: The query implementation.
+        variant_filter: Optional predicate over the variant name; when
+            given, the estimator only runs on variants it accepts (e.g.
+            the stream-replay EH counter skips the sharded twins, whose
+            replay would be bit-identical to the centralized cell's).
+    """
+
+    name: str
+    summary: str
+    tolerance: float
+    run: Callable[[EstimatorContext], EstimatorOutcome]
+    variant_filter: Optional[Callable[[str], bool]] = None
+
+    def applies_to(self, variant_name: str) -> bool:
+        """Whether this estimator runs on the given variant."""
+        return self.variant_filter is None or self.variant_filter(variant_name)
+
+
+_REGISTRY: dict[str, AccuracyEstimator] = {}
+
+
+def register_estimator(estimator: AccuracyEstimator) -> AccuracyEstimator:
+    """Add an estimator to the registry (last registration wins)."""
+    _REGISTRY[estimator.name] = estimator
+    return estimator
+
+
+def accuracy_estimators() -> tuple[str, ...]:
+    """All registered estimator names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_estimator(name: str) -> AccuracyEstimator:
+    """Look up a registered estimator.
+
+    Raises:
+        AccuracyError: For an unknown name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AccuracyError(
+            f"unknown accuracy estimator {name!r}; "
+            f"expected one of {accuracy_estimators()}"
+        ) from None
+
+
+def _relative_error(estimate: float, truth: float) -> float:
+    """|estimate − truth| / truth (truth floored at 1 to stay finite)."""
+    return abs(estimate - truth) / max(truth, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Built-in estimators
+# ---------------------------------------------------------------------------
+
+
+def _run_distinct_kmv(ctx: EstimatorContext) -> EstimatorOutcome:
+    """KMV distinct count over the (merged) bottom-s sample."""
+    est = windowed_distinct(ctx.sampler)
+    truth = float(ctx.truth.distinct_count(ctx.windowed))
+    return EstimatorOutcome(
+        estimate=est.estimate,
+        truth=truth,
+        error=_relative_error(est.estimate, truth),
+        error_kind="relative",
+        ci_low=est.low,
+        ci_high=est.high,
+        within_ci=bool(est.low <= truth <= est.high),
+    )
+
+
+def _run_distinct_eh(ctx: EstimatorContext) -> EstimatorOutcome:
+    """Exponential-histogram distinct count, replaying the raw stream.
+
+    An independent cross-check from a different estimator family: the
+    stream is replayed through
+    :class:`~repro.estimators.eh_distinct.SlidingDistinctCounterEH`
+    (window-restricted when the cell is windowed), so a sampler bug that
+    skews the bottom-s sample shows up as KMV and EH drifting apart in
+    the same report.
+    """
+    counter = SlidingDistinctCounterEH(
+        seed=ctx.seed, window=ctx.truth.window if ctx.windowed else 0
+    )
+    counter.add_batch(ctx.truth.items, slots=ctx.truth.slots)
+    estimate = counter.distinct()
+    truth = float(ctx.truth.distinct_count(ctx.windowed))
+    band = counter.relative_band()
+    low = estimate * 2.0**-band
+    high = estimate * 2.0**band
+    return EstimatorOutcome(
+        estimate=estimate,
+        truth=truth,
+        error=_relative_error(estimate, truth),
+        error_kind="relative",
+        ci_low=low,
+        ci_high=high,
+        within_ci=bool(low <= truth <= high),
+    )
+
+
+def _run_heavy_hitters(ctx: EstimatorContext) -> EstimatorOutcome:
+    """Per-group distinct-population shares under ``item % 8``.
+
+    The record's error is the *worst* absolute share deviation across
+    all groups (groups absent from the sample count as estimate 0); its
+    estimate/truth pair is the top estimated group's share vs that same
+    group's exact share.
+    """
+    hitters = windowed_heavy_hitters(
+        ctx.sampler, key_fn=lambda element: int(element) % HH_MODULUS
+    )
+    true_shares = ctx.truth.group_shares(ctx.windowed, HH_MODULUS)
+    estimated = np.zeros(HH_MODULUS)
+    for hitter in hitters:
+        estimated[int(hitter.key)] = hitter.share
+    error = float(np.abs(estimated - true_shares).max())
+    top = hitters[0]
+    top_truth = float(true_shares[int(top.key)])
+    covered = all(
+        hitter.low <= float(true_shares[int(hitter.key)]) <= hitter.high
+        for hitter in hitters
+    )
+    return EstimatorOutcome(
+        estimate=top.share,
+        truth=top_truth,
+        error=error,
+        error_kind="abs",
+        ci_low=top.low,
+        ci_high=top.high,
+        within_ci=bool(covered),
+    )
+
+
+def _run_predicate_fraction(ctx: EstimatorContext) -> EstimatorOutcome:
+    """Fraction of the distinct population with ``item % 3 == 0``."""
+    est = windowed_fraction(
+        ctx.sampler, lambda element: int(element) % PREDICATE_MODULUS == 0
+    )
+    truth = ctx.truth.fraction_where_mod(ctx.windowed, PREDICATE_MODULUS, 0)
+    return EstimatorOutcome(
+        estimate=est.value,
+        truth=truth,
+        error=abs(est.value - truth),
+        error_kind="abs",
+        ci_low=est.low,
+        ci_high=est.high,
+        within_ci=bool(est.low <= truth <= est.high),
+    )
+
+
+def _run_quantile_median(ctx: EstimatorContext) -> EstimatorOutcome:
+    """Median element id of the distinct population, scored by rank.
+
+    Value-space error is meaningless across workloads (universes
+    differ), so the error is the *rank* deviation: where the estimated
+    median actually sits in the population CDF, versus 0.5.  The DKW
+    value band still provides the coverage bit.
+    """
+    est = windowed_quantile(ctx.sampler, 0.5)
+    truth = ctx.truth.quantile_value(ctx.windowed, 0.5)
+    rank = ctx.truth.rank_of(ctx.windowed, est.value)
+    return EstimatorOutcome(
+        estimate=est.value,
+        truth=truth,
+        error=abs(rank - 0.5),
+        error_kind="rank",
+        ci_low=est.low,
+        ci_high=est.high,
+        within_ci=bool(est.low <= truth <= est.high),
+    )
+
+
+def _centralized_only(variant_name: str) -> bool:
+    """Skip sharded twins for stream-replay estimators (identical input)."""
+    return not variant_name.startswith("sharded:")
+
+
+register_estimator(
+    AccuracyEstimator(
+        name="distinct-kmv",
+        summary="KMV distinct count from the merged bottom-s sample "
+        "((s-1)/u, normal-approximation interval)",
+        tolerance=0.40,
+        run=_run_distinct_kmv,
+    )
+)
+register_estimator(
+    AccuracyEstimator(
+        name="distinct-eh",
+        summary="exponential-histogram distinct count replaying the raw "
+        "stream (independent FM-family cross-check)",
+        tolerance=0.60,
+        run=_run_distinct_eh,
+        variant_filter=_centralized_only,
+    )
+)
+register_estimator(
+    AccuracyEstimator(
+        name="heavy-hitters",
+        summary="per-group distinct-population shares (item % 8) with "
+        "binomial frequency bounds; worst-group deviation",
+        tolerance=0.15,
+        run=_run_heavy_hitters,
+    )
+)
+register_estimator(
+    AccuracyEstimator(
+        name="predicate-fraction",
+        summary="fraction of distinct elements with item % 3 == 0 "
+        "(binomial interval, rule-of-three edges)",
+        tolerance=0.15,
+        run=_run_predicate_fraction,
+    )
+)
+register_estimator(
+    AccuracyEstimator(
+        name="quantile-median",
+        summary="median distinct element id, scored by CDF rank "
+        "deviation with a DKW value band",
+        tolerance=0.20,
+        run=_run_quantile_median,
+    )
+)

@@ -1,0 +1,258 @@
+"""Schema-versioned, machine-readable accuracy reports.
+
+One :class:`AccuracyReport` is the JSON artifact of an accuracy-suite run
+— the statistical twin of :class:`~repro.perf.report.PerfReport`.  Where
+the perf report tracks *cost* (time, messages, bytes), this one tracks
+*answer quality*: every record pins one estimator's output on one
+(scenario, variant) cell against the exact ground truth recomputed from
+the raw workload, and the CI accuracy gate diffs the whole grid against
+the committed ``benchmarks/accuracy_baseline.json``.
+
+The schema is versioned so readers can reject files they do not
+understand instead of mis-parsing them; bump
+:data:`ACCURACY_SCHEMA_VERSION` on any incompatible change and teach
+:func:`accuracy_report_from_dict` the migration.
+
+Record identity is ``(scenario, estimator, variant)``; within one schema
+version a record always carries the same keys, so diffs are plain
+per-record comparisons (see :mod:`repro.accuracy.regress`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..errors import AccuracyError
+
+__all__ = [
+    "ACCURACY_SCHEMA_VERSION",
+    "AccuracyRecord",
+    "AccuracyReport",
+    "accuracy_report_from_dict",
+    "load_accuracy_report",
+    "save_accuracy_report",
+]
+
+#: Current accuracy-report schema version.  Readers must reject others.
+ACCURACY_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """One (scenario, estimator, variant) accuracy measurement.
+
+    Every field is exactly reproducible given the workload seed — the
+    samplers, the hash salts, and the ground-truth recomputation are all
+    deterministic, so the regression gate can hold records to equality
+    plus a small drift allowance rather than a wide noise band.
+
+    Attributes:
+        scenario: Workload the cell replayed.
+        estimator: Registered accuracy-estimator name.
+        variant: Sampler variant the estimator consumed.
+        n_events: Number of ingestion events in the workload.
+        window: Window (slots) the windowed truths/estimates used.
+        windowed: Whether the cell targeted the sliding-window
+            population (False = full-history distinct population).
+        sample_len: Members in the sampler's (merged) sample at query
+            time.
+        estimate: The estimator's point estimate.
+        truth: The exact answer recomputed from the raw stream.
+        error: The estimator's error metric (see ``error_kind``).
+        error_kind: How ``error`` is measured — ``"relative"``,
+            ``"abs"``, or ``"rank"``.
+        ci_low: Lower bound of the estimator's ~95 % interval.
+        ci_high: Upper bound of the estimator's ~95 % interval.
+        within_ci: Whether the truth fell inside the interval (the
+            coverage bit the baseline trajectory tracks).
+        tolerance: The registry's error ceiling for this estimator at
+            report time (recorded so a baseline is self-describing).
+    """
+
+    scenario: str
+    estimator: str
+    variant: str
+    n_events: int
+    window: int
+    windowed: bool
+    sample_len: int
+    estimate: float
+    truth: float
+    error: float
+    error_kind: str
+    ci_low: float
+    ci_high: float
+    within_ci: bool
+    tolerance: float
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Identity within a report: ``(scenario, estimator, variant)``."""
+        return (self.scenario, self.estimator, self.variant)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """A full accuracy-suite run: environment + parameters + records."""
+
+    records: tuple[AccuracyRecord, ...]
+    params: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = ACCURACY_SCHEMA_VERSION
+    generated_at: str = ""
+    python: str = ""
+    platform: str = ""
+    numpy: str = ""
+
+    @classmethod
+    def build(
+        cls, records: list[AccuracyRecord], params: dict[str, Any]
+    ) -> "AccuracyReport":
+        """Assemble a report, stamping the current environment.
+
+        ``params`` is JSON-normalized (tuples become lists) so a report
+        compares equal to its own serialized round trip.
+        """
+        import numpy
+
+        return cls(
+            records=tuple(records),
+            params=json.loads(json.dumps(dict(params))),
+            generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            numpy=numpy.__version__,
+        )
+
+    def record_for(
+        self, scenario: str, estimator: str, variant: str
+    ) -> Optional[AccuracyRecord]:
+        """The record with the given identity, or None."""
+        for record in self.records:
+            if record.key == (scenario, estimator, variant):
+                return record
+        return None
+
+    def by_key(self) -> dict[tuple[str, str, str], AccuracyRecord]:
+        """Records indexed by ``(scenario, estimator, variant)``."""
+        return {record.key: record for record in self.records}
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-serializable) form."""
+        return {
+            "schema_version": self.schema_version,
+            "generated_at": self.generated_at,
+            "environment": {
+                "python": self.python,
+                "platform": self.platform,
+                "numpy": self.numpy,
+            },
+            "params": dict(self.params),
+            "records": [asdict(record) for record in self.records],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Stable JSON text (sorted keys; trailing newline)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+
+_RECORD_FIELDS = {
+    "scenario": str,
+    "estimator": str,
+    "variant": str,
+    "n_events": int,
+    "window": int,
+    "windowed": bool,
+    "sample_len": int,
+    "estimate": float,
+    "truth": float,
+    "error": float,
+    "error_kind": str,
+    "ci_low": float,
+    "ci_high": float,
+    "within_ci": bool,
+    "tolerance": float,
+}
+
+
+def accuracy_report_from_dict(data: Any) -> AccuracyReport:
+    """Parse and validate a report dict (inverse of ``to_dict``).
+
+    Raises:
+        AccuracyError: On a non-dict payload, missing/unsupported schema
+            version, or malformed records.
+    """
+    if not isinstance(data, dict):
+        raise AccuracyError(
+            f"accuracy report must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("schema_version")
+    if version != ACCURACY_SCHEMA_VERSION:
+        raise AccuracyError(
+            f"unsupported accuracy report schema_version {version!r} "
+            f"(this reader understands {ACCURACY_SCHEMA_VERSION})"
+        )
+    environment = data.get("environment") or {}
+    raw_records = data.get("records")
+    if not isinstance(raw_records, list):
+        raise AccuracyError("accuracy report is missing its 'records' list")
+    records = []
+    for i, raw in enumerate(raw_records):
+        if not isinstance(raw, dict):
+            raise AccuracyError(f"record #{i} is not an object")
+        try:
+            records.append(
+                AccuracyRecord(
+                    **{
+                        name: kind(raw[name])
+                        for name, kind in _RECORD_FIELDS.items()
+                    }
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AccuracyError(f"record #{i} is malformed: {exc!r}") from exc
+    return AccuracyReport(
+        records=tuple(records),
+        params=dict(data.get("params") or {}),
+        schema_version=ACCURACY_SCHEMA_VERSION,
+        generated_at=str(data.get("generated_at", "")),
+        python=str(environment.get("python", "")),
+        platform=str(environment.get("platform", "")),
+        numpy=str(environment.get("numpy", "")),
+    )
+
+
+def load_accuracy_report(path) -> AccuracyReport:
+    """Read and validate an accuracy report JSON file.
+
+    Raises:
+        AccuracyError: If the file is unreadable, not JSON, or fails
+            validation.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise AccuracyError(
+            f"cannot read accuracy report {path}: {exc}"
+        ) from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AccuracyError(
+            f"accuracy report {path} is not valid JSON: {exc}"
+        ) from exc
+    return accuracy_report_from_dict(data)
+
+
+def save_accuracy_report(report: AccuracyReport, path) -> Path:
+    """Write a report as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report.to_json())
+    return path

@@ -1,0 +1,176 @@
+"""Ground truth for accuracy cells, computed from the raw workload.
+
+Every accuracy record compares an estimate against the *exact* answer
+over the stream the sampler actually ingested.  :class:`TruthContext`
+normalizes the three workload shapes the perf scenarios emit — tuple
+events (``(site, item)`` / ``(site, item, slot)``), raw integer keys, and
+columnar :class:`~repro.core.events.EventBatch` — into item/slot columns
+and precomputes the two distinct populations estimators target:
+
+* ``distinct_all`` — every distinct element of the stream (the
+  population an infinite-window sampler maintains);
+* ``distinct_window`` — the elements whose **last** arrival lies in the
+  final ``window`` slots (the population a sliding sampler maintains at
+  the end of ingestion).  Unslotted streams have no expiry, so the two
+  populations coincide.
+
+All derived truths (predicate fractions, group shares, quantile ranks)
+are plain vectorized reductions over these columns — no sampling, no
+estimation, bit-reproducible given the workload seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+import numpy.typing as npt
+
+from ..core.events import EventBatch
+from ..errors import AccuracyError
+
+__all__ = ["TruthContext"]
+
+IntColumn = npt.NDArray[np.int64]
+
+
+def _columns_from_events(
+    events: Any,
+) -> tuple[IntColumn, Optional[IntColumn]]:
+    """Normalize a scenario workload into ``(items, slots-or-None)``."""
+    if isinstance(events, EventBatch):
+        return np.asarray(events.items, dtype=np.int64), events.slots
+    if isinstance(events, np.ndarray):
+        return np.asarray(events, dtype=np.int64), None
+    events = list(events)
+    if not events:
+        raise AccuracyError("cannot compute ground truth of an empty workload")
+    first = events[0]
+    if isinstance(first, (int, np.integer)):
+        return np.asarray(events, dtype=np.int64), None
+    if len(first) == 2:
+        items = np.fromiter(
+            (event[1] for event in events), dtype=np.int64, count=len(events)
+        )
+        return items, None
+    items = np.fromiter(
+        (event[1] for event in events), dtype=np.int64, count=len(events)
+    )
+    slots = np.fromiter(
+        (event[2] for event in events), dtype=np.int64, count=len(events)
+    )
+    return items, slots
+
+
+@dataclass(frozen=True)
+class TruthContext:
+    """Exact per-window ground truth for one scenario workload.
+
+    Attributes:
+        items: Element ids in arrival order.
+        slots: Per-event slot stamps, or None for unslotted streams.
+        window: Window size in slots the windowed truths use.
+        final_slot: The last slot of the stream (None when unslotted).
+        distinct_all: Sorted distinct elements of the whole stream.
+        distinct_window: Sorted distinct elements live in the final
+            window (equals ``distinct_all`` for unslotted streams).
+    """
+
+    items: IntColumn
+    slots: Optional[IntColumn]
+    window: int
+    final_slot: Optional[int]
+    distinct_all: IntColumn
+    distinct_window: IntColumn
+
+    @classmethod
+    def from_events(cls, events: Any, window: int) -> "TruthContext":
+        """Build the context from any perf-scenario workload shape.
+
+        Args:
+            events: Tuple events, raw integer keys, or an ``EventBatch``.
+            window: Window size in slots for the windowed truths.
+
+        Raises:
+            AccuracyError: On an empty workload or a non-positive window.
+        """
+        if window < 1:
+            raise AccuracyError(f"window must be >= 1, got {window}")
+        items, slots = _columns_from_events(events)
+        if not items.size:
+            raise AccuracyError("cannot compute ground truth of an empty workload")
+        distinct_all = np.unique(items)
+        if slots is None:
+            return cls(
+                items=items,
+                slots=None,
+                window=window,
+                final_slot=None,
+                distinct_all=distinct_all,
+                distinct_window=distinct_all,
+            )
+        final_slot = int(slots.max())
+        # An element is live iff its *last* arrival falls in the final
+        # `window` slots — the expiry rule of the sliding cores.
+        uniques, inverse = np.unique(items, return_inverse=True)
+        last_slot = np.full(uniques.size, np.iinfo(np.int64).min, dtype=np.int64)
+        np.maximum.at(last_slot, inverse, slots)
+        live = uniques[last_slot > final_slot - window]
+        return cls(
+            items=items,
+            slots=slots,
+            window=window,
+            final_slot=final_slot,
+            distinct_all=distinct_all,
+            distinct_window=live,
+        )
+
+    # -- population selection ---------------------------------------------
+
+    @property
+    def slotted(self) -> bool:
+        """Whether the stream carried slot stamps."""
+        return self.slots is not None
+
+    def distinct_for(self, windowed: bool) -> IntColumn:
+        """The distinct population a (windowed or infinite) sampler holds."""
+        return self.distinct_window if windowed else self.distinct_all
+
+    # -- derived exact answers --------------------------------------------
+
+    def distinct_count(self, windowed: bool) -> int:
+        """Exact distinct count of the selected population."""
+        return int(self.distinct_for(windowed).size)
+
+    def fraction_where_mod(self, windowed: bool, modulus: int, residue: int) -> float:
+        """Exact fraction of the population with ``item % modulus == residue``."""
+        population = self.distinct_for(windowed)
+        if not population.size:
+            raise AccuracyError("the selected population is empty")
+        return float(np.count_nonzero(population % modulus == residue) / population.size)
+
+    def group_shares(self, windowed: bool, modulus: int) -> npt.NDArray[np.float64]:
+        """Exact per-group shares under the ``item % modulus`` grouping."""
+        population = self.distinct_for(windowed)
+        if not population.size:
+            raise AccuracyError("the selected population is empty")
+        counts = np.bincount(
+            (population % modulus).astype(np.int64), minlength=modulus
+        )
+        return counts / float(population.size)
+
+    def quantile_value(self, windowed: bool, q: float) -> float:
+        """Exact q-quantile of the population's element values."""
+        population = self.distinct_for(windowed)
+        if not population.size:
+            raise AccuracyError("the selected population is empty")
+        return float(np.quantile(population.astype(np.float64), q))
+
+    def rank_of(self, windowed: bool, value: float) -> float:
+        """The population CDF at ``value`` (for quantile rank error)."""
+        population = self.distinct_for(windowed)
+        if not population.size:
+            raise AccuracyError("the selected population is empty")
+        rank = np.searchsorted(population, value, side="right")
+        return float(rank / population.size)

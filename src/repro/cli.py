@@ -16,6 +16,12 @@ Commands:
 * ``repro perf profile <scenario>`` — cProfile one (scenario, variant)
   cell and print the top cumulative hot spots, so perf work starts from
   data instead of guesses.
+* ``repro accuracy run|compare|baseline`` — the statistical twin of the
+  perf suite: replay the scenario workloads through the sampler
+  variants, score every registered estimator against exact ground
+  truth, and gate the error trajectory against
+  ``benchmarks/accuracy_baseline.json`` (``compare --format markdown``
+  emits the CI job-summary table).
 * ``repro lint [paths ...]`` — the project-invariant static analyzer
   (AST rules RPR001-RPR006 over ``src/`` by default); ``--format json``
   emits the schema-versioned report CI archives, ``--list-rules`` prints
@@ -264,6 +270,112 @@ def build_parser() -> argparse.ArgumentParser:
         default="benchmarks/baseline.json",
         metavar="FILE",
         help="baseline path (default benchmarks/baseline.json)",
+    )
+    perf_base.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing committed baseline",
+    )
+
+    acc_p = sub.add_parser(
+        "accuracy",
+        help="estimator accuracy suite: run / compare / baseline",
+    )
+    acc_sub = acc_p.add_subparsers(dest="accuracy_command", required=True)
+
+    def _add_accuracy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=8_000, help="events per scenario")
+        p.add_argument("--sites", type=int, default=8, help="number of sites")
+        p.add_argument("--sample-size", type=int, default=64)
+        p.add_argument(
+            "--window", type=int, default=64, help="window for slotted cells"
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=4,
+            help="coordinator groups for the sharded:* variants",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=2,
+            help="worker processes for the parallel-executor scenarios",
+        )
+        p.add_argument("--seed", type=int, default=20150525)
+        p.add_argument(
+            "--scenario",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to a scenario (repeatable; default: the "
+            "acceptance grid)",
+        )
+        p.add_argument(
+            "--variant",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to a variant (repeatable; default: the "
+            "acceptance grid)",
+        )
+        p.add_argument(
+            "--estimator",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict to an estimator (repeatable; default all)",
+        )
+
+    acc_run = acc_sub.add_parser(
+        "run", help="run the suite and write a JSON report"
+    )
+    _add_accuracy_args(acc_run)
+    acc_run.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report here"
+    )
+
+    acc_cmp = acc_sub.add_parser(
+        "compare",
+        help="diff a report against a baseline; exit 1 on regression",
+    )
+    acc_cmp.add_argument(
+        "current", help="report JSON produced by 'accuracy run'"
+    )
+    acc_cmp.add_argument("baseline", help="baseline JSON to diff against")
+    acc_cmp.add_argument(
+        "--drift-factor",
+        type=float,
+        default=1.5,
+        help="max error growth factor over the baseline (default 1.5)",
+    )
+    acc_cmp.add_argument(
+        "--slack",
+        type=float,
+        default=0.02,
+        help="additive drift slack over the scaled baseline (default 0.02)",
+    )
+    acc_cmp.add_argument(
+        "--format",
+        choices=("human", "markdown"),
+        default="human",
+        help="output format (markdown renders the CI job-summary table)",
+    )
+
+    acc_base = acc_sub.add_parser(
+        "baseline", help="run the suite and (re)write the committed baseline"
+    )
+    _add_accuracy_args(acc_base)
+    acc_base.add_argument(
+        "--out",
+        default="benchmarks/accuracy_baseline.json",
+        metavar="FILE",
+        help="baseline path (default benchmarks/accuracy_baseline.json)",
+    )
+    acc_base.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing committed baseline",
     )
     return parser
 
@@ -524,6 +636,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _guard_baseline_overwrite(out, force: bool) -> None:
+    """Refuse to clobber a committed baseline unless ``--force`` is given.
+
+    Raises:
+        ReproError: When the target exists and ``force`` is False —
+            an accidental bare ``baseline`` run must not silently move
+            the goalposts the CI gates measure against.
+    """
+    path = pathlib.Path(out)
+    if path.exists() and not force:
+        raise ReproError(
+            f"refusing to overwrite existing baseline {path} "
+            "(pass --force to regenerate it deliberately)"
+        )
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from .perf import (
         Tolerances,
@@ -550,10 +678,65 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(comparison.render())
         return 0 if comparison.ok else 1
 
+    if args.perf_command == "baseline":
+        _guard_baseline_overwrite(args.out, args.force)
     report = run_suite(_perf_suite_config(args), progress=print)
     out = args.out
     if args.perf_command == "baseline" or out is not None:
         path = save_report(report, out)
+        print(f"wrote {path} ({len(report.records)} records)")
+    return 0
+
+
+def _accuracy_config(args: argparse.Namespace):
+    from .accuracy import AccuracyConfig
+    from .accuracy.suite import DEFAULT_SCENARIOS, DEFAULT_VARIANTS
+
+    return AccuracyConfig(
+        n_events=args.n,
+        num_sites=args.sites,
+        sample_size=args.sample_size,
+        window=args.window,
+        seed=args.seed,
+        scenarios=tuple(args.scenario or DEFAULT_SCENARIOS),
+        variants=tuple(args.variant or DEFAULT_VARIANTS),
+        estimators=tuple(args.estimator or ()),
+        shards=args.shards,
+        workers=args.workers,
+    )
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from .accuracy import (
+        AccuracyTolerances,
+        compare_accuracy_reports,
+        load_accuracy_report,
+        run_accuracy_suite,
+        save_accuracy_report,
+    )
+
+    if args.accuracy_command == "compare":
+        current = load_accuracy_report(args.current)
+        baseline = load_accuracy_report(args.baseline)
+        comparison = compare_accuracy_reports(
+            current,
+            baseline,
+            AccuracyTolerances(
+                drift_factor=args.drift_factor, slack=args.slack
+            ),
+        )
+        if args.format == "markdown":
+            print(comparison.render_markdown(), end="")
+        else:
+            print(comparison.render())
+        return 0 if comparison.ok else 1
+
+    if args.accuracy_command == "baseline":
+        _guard_baseline_overwrite(args.out, args.force)
+    report = run_accuracy_suite(_accuracy_config(args), progress=print)
+    out = args.out
+    if args.accuracy_command == "baseline" or out is not None:
+        path = save_accuracy_report(report, out)
         print(f"wrote {path} ({len(report.records)} records)")
     return 0
 
@@ -577,6 +760,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_demo(args)
         if args.command == "perf":
             return _cmd_perf(args)
+        if args.command == "accuracy":
+            return _cmd_accuracy(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except ReproError as exc:

@@ -42,6 +42,16 @@ class PerfError(ReproError):
     """
 
 
+class AccuracyError(ReproError):
+    """An accuracy report could not be produced, parsed, or compared.
+
+    The accuracy-harness twin of :class:`PerfError`: an unknown estimator
+    name, a report JSON with a missing or unsupported schema version, or
+    a baseline whose workload parameters do not match the report it is
+    compared against.
+    """
+
+
 class EstimationError(ReproError):
     """An estimator was queried in a state where no estimate is defined.
 

@@ -1,0 +1,146 @@
+"""Heavy-hitter groups over the *distinct* population, from a bottom-s sample.
+
+A uniform distinct sample supports a flavour of heavy-hitter query the
+frequency sketches cannot: "which groups contain the largest share of the
+**distinct** elements?" — e.g. which country contributes the most distinct
+visitors, regardless of how often each visitor returns.  Group membership
+is decided by a ``key_fn`` supplied only at query time.
+
+Given a uniform without-replacement distinct sample ``S`` of size ``s``:
+
+* a group's share of the distinct population is estimated by its sample
+  share ``p̂ = matched / s`` with binomial (≈ hypergeometric) error bounds
+  — the *frequency bounds* attached to each reported hitter;
+* its absolute distinct count is ``p̂ · d̂`` with the KMV estimator's d̂,
+  both factors read off the same merged sketch (sharded samplers included:
+  the query-time bottom-s merge is exactly the global sample, so the
+  bounds hold unchanged over ``sharded:*`` variants).
+
+Because the sample is distinct-uniform, stream repetition skew cannot
+promote a group: only its distinct membership counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import EstimationError
+from .distinct_count import DistinctCountEstimate
+
+__all__ = ["HeavyHitterEstimate", "estimate_heavy_hitters"]
+
+
+@dataclass(frozen=True, slots=True)
+class HeavyHitterEstimate:
+    """One reported group with its estimated distinct-population share.
+
+    Attributes:
+        key: The group key (``key_fn(element)``).
+        share: Estimated fraction of the distinct population in the group.
+        low: ~95 % lower frequency bound on the share.
+        high: ~95 % upper frequency bound on the share.
+        matched: Sample members in the group.
+        sample_size: Sample size used.
+        count: Estimated number of distinct elements in the group
+            (``share * d̂``), or None when no distinct-count estimate was
+            supplied.
+        count_low: Lower bound of the count estimate (None without d̂).
+        count_high: Upper bound of the count estimate (None without d̂).
+    """
+
+    key: Any
+    share: float
+    low: float
+    high: float
+    matched: int
+    sample_size: int
+    count: Optional[float] = None
+    count_low: Optional[float] = None
+    count_high: Optional[float] = None
+
+
+def _share_bounds(matched: int, n: int) -> tuple[float, float]:
+    """Normal-approximation binomial bounds with rule-of-three edges."""
+    p = matched / n
+    std_error = math.sqrt(max(p * (1.0 - p) / n, 0.0))
+    low = max(0.0, p - 1.96 * std_error)
+    high = min(1.0, p + 1.96 * std_error)
+    if matched == 0:
+        high = min(1.0, 3.0 / n)
+    elif matched == n:
+        low = max(0.0, 1.0 - 3.0 / n)
+    return low, high
+
+
+def estimate_heavy_hitters(
+    sample: Sequence[Any],
+    key_fn: Callable[[Any], Any],
+    threshold: float = 0.0,
+    distinct_count: Optional[DistinctCountEstimate] = None,
+) -> list[HeavyHitterEstimate]:
+    """Groups whose estimated share of the distinct population ≥ threshold.
+
+    Args:
+        sample: A uniform distinct sample (e.g. ``sampler.sample()``; for
+            ``sharded:*`` samplers this is the provably-global merged
+            bottom-s sample).
+        key_fn: Maps an element to its group key.
+        threshold: Minimum estimated share for a group to be reported
+            (0.0 reports every group present in the sample).
+        distinct_count: Optional KMV estimate over the same sketch; when
+            given, each hitter also carries absolute distinct-count
+            bounds (error propagation assumes independent factors).
+
+    Returns:
+        Reported groups, descending by estimated share (ties broken by
+        key representation for determinism).
+
+    Raises:
+        EstimationError: If the sample is empty or the threshold is
+            outside ``[0, 1)``.
+    """
+    n = len(sample)
+    if n == 0:
+        raise EstimationError("cannot find heavy hitters in an empty sample")
+    if not 0.0 <= threshold < 1.0:
+        raise EstimationError(
+            f"threshold must be in [0, 1), got {threshold}"
+        )
+    counts: dict[Any, int] = {}
+    for element in sample:
+        key = key_fn(element)
+        counts[key] = counts.get(key, 0) + 1
+    hitters = []
+    for key, matched in counts.items():
+        share = matched / n
+        if share < threshold:
+            continue
+        low, high = _share_bounds(matched, n)
+        count = count_low = count_high = None
+        if distinct_count is not None:
+            d_hat = distinct_count.estimate
+            count = share * d_hat
+            # Var(p̂·d̂) ≈ d̂²·Var(p̂) + p̂²·Var(d̂) for independent factors.
+            share_se = math.sqrt(max(share * (1.0 - share) / n, 0.0))
+            var = (d_hat * share_se) ** 2
+            var += (share * distinct_count.std_error) ** 2
+            count_se = math.sqrt(var)
+            count_low = max(0.0, count - 1.96 * count_se)
+            count_high = count + 1.96 * count_se
+        hitters.append(
+            HeavyHitterEstimate(
+                key=key,
+                share=share,
+                low=low,
+                high=high,
+                matched=matched,
+                sample_size=n,
+                count=count,
+                count_low=count_low,
+                count_high=count_high,
+            )
+        )
+    hitters.sort(key=lambda hitter: (-hitter.share, repr(hitter.key)))
+    return hitters

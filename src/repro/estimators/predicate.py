@@ -59,7 +59,10 @@ def estimate_fraction(
         predicate: Boolean test applied to each sample member.
 
     Returns:
-        A :class:`PredicateEstimate` of the population fraction.
+        A :class:`PredicateEstimate` of the population fraction.  When no
+        sample member matches, the point estimate is 0.0 and the interval
+        is the rule-of-three band ``[0, 3/s]`` (symmetrically ``[1-3/s, 1]``
+        when every member matches).
 
     Raises:
         EstimationError: If the sample is empty.
@@ -70,11 +73,20 @@ def estimate_fraction(
     matched = sum(1 for element in sample if predicate(element))
     p = matched / n
     std_error = math.sqrt(max(p * (1.0 - p) / n, 0.0))
+    low = max(0.0, p - 1.96 * std_error)
+    high = min(1.0, p + 1.96 * std_error)
+    if matched == 0:
+        # Documented degenerate estimate: with zero matches the normal
+        # interval collapses to [0, 0]; the rule of three restores the
+        # standard 95 % upper bound for an all-failure Bernoulli sample.
+        high = min(1.0, 3.0 / n)
+    elif matched == n:
+        low = max(0.0, 1.0 - 3.0 / n)
     return PredicateEstimate(
         value=p,
         std_error=std_error,
-        low=max(0.0, p - 1.96 * std_error),
-        high=min(1.0, p + 1.96 * std_error),
+        low=low,
+        high=high,
         matched=matched,
         sample_size=n,
     )

@@ -1,4 +1,5 @@
-"""Tests for the distinct-count (KMV) and predicate estimators."""
+"""Tests for the estimator stack: KMV, predicates, heavy hitters, the
+exponential-histogram counter, and the windowed query surface."""
 
 from __future__ import annotations
 
@@ -6,13 +7,20 @@ import numpy as np
 import pytest
 
 from repro import CentralizedDistinctSampler, DistinctSamplerSystem
-from repro.errors import EstimationError
+from repro.core.api import make_sampler
+from repro.errors import ConfigurationError, EstimationError
 from repro.estimators import (
+    SlidingDistinctCounterEH,
     estimate_count,
     estimate_fraction,
     estimate_from_sampler,
+    estimate_heavy_hitters,
     estimate_mean,
     kmv_estimate,
+    windowed_distinct,
+    windowed_fraction,
+    windowed_heavy_hitters,
+    windowed_quantile,
 )
 from repro.hashing import UnitHasher
 
@@ -139,3 +147,200 @@ class TestPredicate:
         assert est.value == 5.0
         assert est.low == -float("inf")
         assert est.high == float("inf")
+
+    def test_zero_match_rule_of_three(self):
+        # Documented degenerate estimate: no matches still yields the
+        # standard 95 % upper bound 3/n, not a collapsed [0, 0] band.
+        sample = list(range(100))
+        est = estimate_fraction(sample, lambda x: False)
+        assert est.value == 0.0
+        assert est.low == 0.0
+        assert est.high == pytest.approx(3.0 / 100)
+        full = estimate_fraction(sample, lambda x: True)
+        assert full.value == 1.0
+        assert full.low == pytest.approx(1.0 - 3.0 / 100)
+        assert full.high == 1.0
+
+
+class TestHeavyHitters:
+    def test_exact_shares_and_order(self):
+        sample = [0, 2, 4, 6, 1, 3, 5, 9]  # 6 even, 2 odd-of-which...
+        hitters = estimate_heavy_hitters(sample, lambda x: x % 2)
+        assert [hitter.key for hitter in hitters] == [0, 1]
+        assert hitters[0].share == 0.5 and hitters[1].share == 0.5
+        skewed = estimate_heavy_hitters([0, 2, 4, 1], lambda x: x % 2)
+        assert skewed[0].key == 0 and skewed[0].share == 0.75
+        assert skewed[0].matched == 3
+
+    def test_threshold_filters(self):
+        sample = [0] * 9 + [1]
+        hitters = estimate_heavy_hitters(sample, lambda x: x, threshold=0.5)
+        assert [hitter.key for hitter in hitters] == [0]
+
+    def test_bounds_cover_truth_statistically(self):
+        # 30 % of a known population lands in group 0; sketch-sampled
+        # shares should carry bounds that usually cover it.
+        d, s = 4000, 200
+        sampler = CentralizedDistinctSampler(s, UnitHasher(13))
+        for element in range(d):
+            sampler.observe(element)
+        hitters = estimate_heavy_hitters(
+            sampler.sample(), lambda e: 0 if e < 0.3 * d else 1
+        )
+        group0 = next(h for h in hitters if h.key == 0)
+        assert abs(group0.share - 0.3) < 0.12
+        assert group0.low <= 0.3 <= group0.high
+
+    def test_counts_need_distinct_estimate(self):
+        sample = [0, 1, 2, 3]
+        bare = estimate_heavy_hitters(sample, lambda x: x % 2)
+        assert bare[0].count is None
+        dc = kmv_estimate(sample_size=4, threshold=0.001, retained=4)
+        counted = estimate_heavy_hitters(sample, lambda x: x % 2, distinct_count=dc)
+        assert counted[0].count == pytest.approx(0.5 * dc.estimate)
+        assert counted[0].count_low <= counted[0].count <= counted[0].count_high
+
+    def test_errors(self):
+        with pytest.raises(EstimationError):
+            estimate_heavy_hitters([], lambda x: x)
+        with pytest.raises(EstimationError):
+            estimate_heavy_hitters([1], lambda x: x, threshold=1.0)
+
+
+class TestSlidingDistinctCounterEH:
+    def test_infinite_window_accuracy(self):
+        counter = SlidingDistinctCounterEH(seed=3)
+        counter.add_batch(np.arange(5000, dtype=np.int64))
+        estimate = counter.distinct()
+        assert abs(estimate - 5000) / 5000 < counter.relative_band()
+
+    def test_windowed_counts_only_live_elements(self):
+        # 1000 old ids at slot 1, then 200 fresh ids at slot 100: with a
+        # window of 8, only the fresh ids are live.
+        counter = SlidingDistinctCounterEH(seed=3, window=8)
+        counter.add_batch(np.arange(1000, dtype=np.int64), slot=1)
+        counter.add_batch(np.arange(10_000, 10_200, dtype=np.int64), slot=100)
+        estimate = counter.distinct()
+        assert 50 < estimate < 800  # far below the 1200 lifetime ids
+        assert counter.distinct(since=0) > 800  # lifetime view still works
+
+    def test_duplicates_do_not_inflate(self):
+        counter = SlidingDistinctCounterEH(seed=7)
+        ones = np.zeros(10_000, dtype=np.int64)
+        counter.add_batch(ones)
+        assert counter.distinct() < 16
+
+    def test_deterministic_given_seed(self):
+        a = SlidingDistinctCounterEH(seed=5)
+        b = SlidingDistinctCounterEH(seed=5)
+        items = np.arange(2000, dtype=np.int64)
+        a.add_batch(items)
+        b.add_batch(items)
+        assert a.distinct() == b.distinct()
+
+    def test_empty_is_zero(self):
+        counter = SlidingDistinctCounterEH(seed=1)
+        assert counter.distinct() == 0.0
+
+    def test_add_scalar_and_slot_tracking(self):
+        counter = SlidingDistinctCounterEH(seed=1)
+        counter.add(42, slot=7)
+        assert counter.last_slot == 7
+        assert counter.distinct() > 0
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            SlidingDistinctCounterEH(n_hashes=0)
+        with pytest.raises(ConfigurationError):
+            SlidingDistinctCounterEH(window=-1)
+        counter = SlidingDistinctCounterEH(seed=1)
+        with pytest.raises(ConfigurationError):
+            counter.add_batch(np.asarray([1, 2]), slots=np.asarray([1]))
+        with pytest.raises(EstimationError):
+            counter.distinct(since=99)
+
+    def test_state_size(self):
+        counter = SlidingDistinctCounterEH(n_hashes=4, n_buckets=8)
+        assert counter.state_size() == 32
+
+
+def _sliding_sampler(window: int = 8, sample_size: int = 8):
+    return make_sampler(
+        "sliding",
+        num_sites=2,
+        sample_size=sample_size,
+        window=window,
+        seed=3,
+        algorithm="mix64",
+    )
+
+
+class TestWindowedEdgeCases:
+    """The four degenerate windows the accuracy contract documents."""
+
+    def test_empty_window(self):
+        # Everything expired: distinct is *exactly* 0; sample-consuming
+        # queries have no population and must refuse loudly.
+        sampler = _sliding_sampler(window=4)
+        sampler.advance(1)
+        sampler.observe_batch([(0, 1), (1, 2), (0, 3)])
+        sampler.advance(100)
+        est = windowed_distinct(sampler)
+        assert est.exact and est.estimate == 0.0
+        with pytest.raises(EstimationError):
+            windowed_fraction(sampler, lambda e: True)
+        with pytest.raises(EstimationError):
+            windowed_quantile(sampler, 0.5)
+        with pytest.raises(EstimationError):
+            windowed_heavy_hitters(sampler, lambda e: e % 2)
+
+    def test_window_smaller_than_s(self):
+        # Fewer distinct elements than s: the sample IS the population,
+        # so the distinct count is exact and fractions are census values.
+        sampler = _sliding_sampler(window=8, sample_size=32)
+        sampler.advance(1)
+        sampler.observe_batch([(0, element) for element in range(5)])
+        est = windowed_distinct(sampler)
+        assert est.exact and est.estimate == 5.0
+        frac = windowed_fraction(sampler, lambda e: e < 2)
+        assert frac.value == pytest.approx(0.4)
+
+    def test_all_duplicate_stream(self):
+        sampler = _sliding_sampler(window=8)
+        sampler.advance(1)
+        sampler.observe_batch([(0, 7)] * 50 + [(1, 7)] * 50)
+        est = windowed_distinct(sampler)
+        assert est.exact and est.estimate == 1.0
+        frac = windowed_fraction(sampler, lambda e: e == 7)
+        assert frac.value == 1.0
+        assert frac.low == pytest.approx(0.0)  # rule-of-three at n=1
+
+    def test_zero_match_predicate(self):
+        sampler = _sliding_sampler(window=8, sample_size=4)
+        sampler.advance(1)
+        sampler.observe_batch([(0, element) for element in range(100)])
+        frac = windowed_fraction(sampler, lambda e: e > 10_000)
+        assert frac.value == 0.0
+        assert frac.high == pytest.approx(3.0 / frac.sample_size)
+
+    def test_windowed_distinct_rejects_with_replacement(self):
+        sampler = make_sampler(
+            "with-replacement", num_sites=2, sample_size=4, seed=3
+        )
+        sampler.observe_batch([(0, element) for element in range(50)])
+        with pytest.raises(EstimationError):
+            windowed_distinct(sampler)
+
+    def test_windowed_tracks_expiry(self):
+        # A window that slides over fresh ids keeps the estimate near
+        # the live population, not the lifetime population.
+        sampler = _sliding_sampler(window=4, sample_size=16)
+        for slot in range(1, 41):
+            sampler.advance(slot)
+            base = slot * 100
+            sampler.observe_batch(
+                [(slot % 2, base + offset) for offset in range(30)]
+            )
+        est = windowed_distinct(sampler)
+        live = 4 * 30
+        assert abs(est.estimate - live) / live < 1.0
