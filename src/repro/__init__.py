@@ -55,6 +55,7 @@ from .errors import (
     ConfigurationError,
     DatasetError,
     EstimationError,
+    ExecutorError,
     ProtocolError,
     ReproError,
 )
@@ -63,7 +64,9 @@ from .runtime import (
     Engine,
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     ShardedSampler,
+    ThreadExecutor,
     Topology,
 )
 
@@ -97,13 +100,16 @@ __all__ = [
     "Engine",
     "ProcessExecutor",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "ShardedSampler",
+    "ThreadExecutor",
     "Topology",
     "UnitHasher",
     "SeededHashFamily",
     "ReproError",
     "ConfigurationError",
     "ProtocolError",
+    "ExecutorError",
     "DatasetError",
     "EstimationError",
 ]

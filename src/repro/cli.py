@@ -23,7 +23,7 @@ Commands:
   ``benchmarks/accuracy_baseline.json`` (``compare --format markdown``
   emits the CI job-summary table).
 * ``repro lint [paths ...]`` — the project-invariant static analyzer
-  (AST rules RPR001-RPR006 over ``src/`` by default); ``--format json``
+  (AST rules RPR001-RPR007 over ``src/`` by default); ``--format json``
   emits the schema-versioned report CI archives, ``--list-rules`` prints
   the rule catalog.
 """
@@ -122,8 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="worker processes W; > 0 ingests the shard groups through "
-        "the multiprocessing ProcessExecutor (0 = in-process serial)",
+        help="worker count W for the non-serial executors; > 0 with no "
+        "--executor selects the multiprocessing ProcessExecutor "
+        "(0 = auto for an explicit --executor, else in-process serial)",
+    )
+    demo_p.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "thread", "process", "shm"),
+        help="execution backend for the shard groups (default: process "
+        "when --workers > 0, serial otherwise)",
     )
 
     perf_p = sub.add_parser(
@@ -220,7 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     perf_prof.add_argument("--sample-size", type=int, default=16)
     perf_prof.add_argument("--window", type=int, default=64)
     perf_prof.add_argument("--shards", type=int, default=4)
-    perf_prof.add_argument("--workers", type=int, default=4)
+    perf_prof.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count W for the non-serial executors",
+    )
+    perf_prof.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "thread", "process", "shm"),
+        help="execution backend override (default: what the scenario "
+        "forces, else serial)",
+    )
     perf_prof.add_argument("--seed", type=int, default=20150525)
     perf_prof.add_argument(
         "--top",
@@ -231,7 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser(
         "lint",
-        help="project-invariant static analysis (AST rules RPR001-RPR006)",
+        help="project-invariant static analysis (AST rules RPR001-RPR007)",
     )
     lint_p.add_argument(
         "paths",
@@ -465,9 +485,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     ids = spec.generate(rng)
     variant = args.variant
-    if (args.shards > 1 or args.workers > 0) and not variant.startswith(
-        "sharded:"
-    ):
+    executor = args.executor or (
+        "process" if args.workers > 0 else "serial"
+    )
+    if (
+        args.shards > 1 or args.workers > 0 or executor != "serial"
+    ) and not variant.startswith("sharded:"):
         variant = f"sharded:{variant}"
     system = make_sampler(
         variant,
@@ -477,7 +500,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
         algorithm="mix64",
         shards=args.shards,
-        executor="process" if args.workers > 0 else "serial",
+        executor=executor,
         workers=args.workers,
     )
     started = time.perf_counter()
@@ -510,11 +533,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     if variant.startswith("sharded:"):
         critical = max(system.critical_path_seconds, 1e-9)
-        path_kind = (
-            f"measured over {args.workers} worker processes"
-            if args.workers > 0
-            else "simulated (serial in-process)"
-        )
+        if executor == "serial":
+            path_kind = "simulated (serial in-process)"
+        else:
+            unit = "threads" if executor == "thread" else "worker processes"
+            width = args.workers if args.workers > 0 else "auto"
+            path_kind = f"measured over {width} {unit}"
         print(
             f"shards: {system.shards} coordinator groups "
             f"[{system.executor.name} executor], critical-path "
@@ -564,6 +588,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     from .perf.suite import build_sampler_for, close_sampler, warmup_sampler
 
     scenario = get_scenario(args.scenario)
+    executor = args.executor or scenario.executor
     config = SuiteConfig(
         n_events=args.n,
         num_sites=args.sites,
@@ -577,7 +602,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     if variant_name is None:
         for name in sampler_variants():
             probe = build_sampler_for(
-                config, name, scenario.slotted, scenario.executor
+                config, name, scenario.slotted, executor
             )
             if scenario.applies_to(name, probe):
                 variant_name = name
@@ -588,7 +613,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
             )
     else:
         probe = build_sampler_for(
-            config, variant_name, scenario.slotted, scenario.executor
+            config, variant_name, scenario.slotted, executor
         )
         if not scenario.applies_to(variant_name, probe):
             raise PerfError(
@@ -598,7 +623,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     params = config.scenario_params()
     events = scenario.build(params)
     sampler = build_sampler_for(
-        config, variant_name, scenario.slotted, scenario.executor
+        config, variant_name, scenario.slotted, executor
     )
     warmup_sampler(sampler)  # keep pool start-up out of the profile
     profiler = cProfile.Profile()
@@ -608,7 +633,8 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
     close_sampler(sampler)
     print(
         f"profiled scenario={args.scenario} variant={variant_name} "
-        f"n={len(events)} sites={args.sites} shards={args.shards}"
+        f"n={len(events)} sites={args.sites} shards={args.shards} "
+        f"executor={executor or 'serial'}"
     )
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)

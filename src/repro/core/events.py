@@ -257,6 +257,28 @@ class EventBatch:
             self._hash_columns[hasher] = column
         return column
 
+    def adopt_hash_column(self, hasher: UnitHasher, column: HashColumn) -> None:
+        """Install a precomputed unit-hash column for ``hasher``.
+
+        The zero-copy ingest path: a shared-memory worker reconstructs a
+        batch over views into the parent's shm blocks and adopts the
+        parent-warmed sampling-hash slice instead of rehashing.  The
+        column must be element-for-element what :meth:`hash_column`
+        would compute — callers ship slices of a column that *was*
+        computed by :meth:`hash_column`, so this holds by construction.
+        The adopted column may be a view into externally managed memory
+        (it is only read during delivery, never retained by the cores).
+
+        Raises:
+            ConfigurationError: On a length mismatch with ``items``.
+        """
+        if column.shape != self.items.shape:
+            raise ConfigurationError(
+                f"hash column has shape {column.shape}, items has "
+                f"{self.items.shape}"
+            )
+        self._hash_columns[hasher] = column
+
     def first_occurrence_indices(self) -> IntColumn:
         """Indices of the first occurrence of each ``(site, item)`` pair,
         ascending — the vectorized form of the same-slot dedup loop the

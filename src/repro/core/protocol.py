@@ -68,7 +68,7 @@ _INF = float("inf")
 
 #: Execution backend names accepted by ``SamplerConfig.executor`` (see
 #: :mod:`repro.runtime.executor` for the implementations).
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "thread", "process", "shm")
 
 
 def deprecated_call(old: str, new: str) -> None:
@@ -215,10 +215,13 @@ class SamplerConfig:
             :mod:`repro.runtime.sharded`).
         executor: Execution backend for the sharded batch-ingest path
             (see :data:`EXECUTORS` and :mod:`repro.runtime.executor`):
-            ``"serial"`` (in-process, the default) or ``"process"`` (a
-            multiprocessing pool; ``sharded:*`` variants only).
-        workers: Worker-process count W for the ``"process"`` executor
-            (0 = auto); ignored by the serial executor.
+            ``"serial"`` (in-process, the default), ``"thread"`` (a
+            thread pool over the NumPy kernels), ``"process"`` (a
+            multiprocessing pool, per-batch pickling), or ``"shm"``
+            (persistent workers over zero-copy shared-memory columns).
+            Non-serial backends apply to ``sharded:*`` variants only.
+        workers: Worker count W for the non-serial executors (0 = auto);
+            ignored by the serial executor.
     """
 
     variant: str = "infinite"

@@ -11,6 +11,7 @@ RPR003    registry-completeness       every facade registered + conformance-cove
 RPR004    snapshot-symmetry           state keys written == keys consumed
 RPR005    determinism                 no wall-clock / unseeded RNG / set order
 RPR006    executor-shared-state       workers return results, never mutate parent
+RPR007    shm-unlink-pairing          SharedMemory creation paired with error-path unlink
 ========  ==========================  =========================================
 
 Entry points: :func:`run_lint` (library), ``repro lint`` (CLI), and the
@@ -37,6 +38,7 @@ from . import rules_determinism  # noqa: F401
 from . import rules_executor  # noqa: F401
 from . import rules_pickle  # noqa: F401
 from . import rules_registry  # noqa: F401
+from . import rules_shm  # noqa: F401
 from . import rules_snapshot  # noqa: F401
 
 __all__ = [

@@ -6,9 +6,12 @@ same ``__reduce__``/``__getstate__`` machinery.  Two classes of bug get
 in by default and only explode at runtime, in a worker:
 
 * **Unpicklable resources.**  A class that binds a lock, a process
-  pool, an open file handle, or a socket to an attribute will raise
-  ``TypeError: cannot pickle`` the first time an instance is dragged
-  across the boundary — unless it opts out of shipping the resource via
+  pool, an open file handle, a socket, or a shared-memory handle
+  (``SharedMemory`` maps a process-local ``mmap``; a pickled copy in
+  another process would dangle) to an attribute will raise
+  ``TypeError: cannot pickle`` — or silently misbehave — the first time
+  an instance is dragged across the boundary, unless it opts out of
+  shipping the resource via
   ``__reduce__``/``__getstate__``/``__reduce_ex__``.
 * **Shipped derived caches.**  Memoized columns and row-view lists
   (``_hash_columns``, ``*_cache``, ``*_list``, ``*_memo``) are cheap to
@@ -51,6 +54,7 @@ _UNPICKLABLE_FACTORIES = frozenset(
         "Popen",
         "socket",
         "open",
+        "SharedMemory",
     }
 )
 

@@ -1,0 +1,141 @@
+"""RPR007 — shared-memory segments must be unlinkable on error paths.
+
+A ``SharedMemory(create=True)`` call allocates a named segment in
+``/dev/shm`` that outlives the creating process: ``close()`` only drops
+the local mapping, and nothing else ever reclaims the segment until
+someone calls ``unlink()``.  A creation site whose error paths skip the
+unlink therefore leaks kernel memory every time anything between
+creation and cleanup raises — precisely the paths tests rarely cover.
+
+The rule is static and function-scoped: every function that creates a
+segment must also contain a ``try`` statement with an ``.unlink()``
+call inside an ``except`` handler or ``finally`` block — the shapes
+that run on error paths (the :func:`repro.runtime.executor._create_block`
+pattern: create, then ``try``/``except BaseException`` → unlink +
+re-raise).  An unconditional unlink later in the straight-line body
+does not count, because the straight-line body is exactly what an
+exception skips.  Module-level creation is always flagged: there is no
+frame to attach cleanup to.
+
+Functions that merely *attach* (``SharedMemory(name=...)`` without
+``create=True``) do not own the segment and are not creation sites.
+Transferring ownership out of a helper is fine as long as the helper
+itself guards the window between creation and the hand-off — which is
+the window this rule proves is covered.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from .engine import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["ShmUnlinkPairingRule"]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree without descending into nested functions.
+
+    A creation inside a nested function belongs to that function's own
+    scope (it gets its own shallow walk); an ``unlink`` inside a nested
+    function does not run on the enclosing frame's error paths.
+    """
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _is_creation(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``SharedMemory(...)`` call that creates.
+
+    Conservative on non-literal ``create=`` values: anything that is not
+    a literal falsy constant may create at runtime, so it counts.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            if isinstance(keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+            return True
+    return False
+
+
+def _calls_unlink(statements: list) -> bool:
+    for statement in statements:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unlink"
+            ):
+                return True
+    return False
+
+
+def _has_error_path_unlink(function: _FunctionNode) -> bool:
+    """Whether the function unlinks inside an except handler or finally."""
+    for node in _shallow_walk(function):
+        if not isinstance(node, ast.Try):
+            continue
+        if node.finalbody and _calls_unlink(node.finalbody):
+            return True
+        if any(_calls_unlink(handler.body) for handler in node.handlers):
+            return True
+    return False
+
+
+@register_rule
+class ShmUnlinkPairingRule(Rule):
+    code = "RPR007"
+    name = "shm-unlink-pairing"
+    summary = (
+        "every SharedMemory(create=True) site needs an .unlink() on an "
+        "error path (except handler or finally) in the same function"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterator[Violation]:
+        functions = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for function in functions:
+            creations = [
+                node
+                for node in _shallow_walk(function)
+                if _is_creation(node)
+            ]
+            if creations and not _has_error_path_unlink(function):
+                for creation in creations:
+                    yield self.violation(
+                        module,
+                        creation,
+                        f"{function.name} creates a SharedMemory segment "
+                        "but has no .unlink() in an except handler or "
+                        "finally block; any exception before cleanup "
+                        "leaks the /dev/shm segment until reboot",
+                    )
+        for node in _shallow_walk(module.tree):
+            if _is_creation(node):
+                yield self.violation(
+                    module,
+                    node,
+                    "module-level SharedMemory creation has no frame to "
+                    "attach error-path cleanup to; create segments inside "
+                    "a function that unlinks in except/finally",
+                )

@@ -33,6 +33,19 @@ class DatasetError(ReproError):
     """A dataset specification could not be resolved or generated."""
 
 
+class ExecutorError(ReproError):
+    """An execution backend's worker pool failed mid-operation.
+
+    Raised by the shared-memory backend when a persistent worker dies or
+    reports a replay failure.  The executor tears its workers down and
+    falls back to the parent's last-synchronized group state, so the
+    sampler remains usable — state ingested since the last
+    synchronization point (``sample()``/``stats()``/``state_dict()``) is
+    lost, exactly like a distributed node crash losing work since its
+    last checkpoint.
+    """
+
+
 class PerfError(ReproError):
     """A benchmark report could not be produced, parsed, or compared.
 

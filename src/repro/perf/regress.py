@@ -10,9 +10,12 @@ characteristics:
   that only absorbs cross-version RNG/platform drift.
 
 A comparison *fails* (``ok`` is False) when any shared record exceeds a
-tolerance, or when the current report lost coverage (a baseline record
+tolerance, when the current report lost coverage (a baseline record
 with no counterpart — a silently skipped variant is itself a
-regression).  Records new in the current report are reported but never
+regression), or when a record from a zero-copy backend (see
+:data:`ZERO_PICKLE_EXECUTORS`) reports a nonzero
+``pickle_bytes_per_event`` — an absolute invariant, not a baseline
+diff.  Records new in the current report are reported but never
 fail the gate, so adding scenarios/variants does not require touching
 the baseline in the same change.
 """
@@ -25,7 +28,13 @@ from typing import Optional
 from ..errors import PerfError
 from .report import PerfRecord, PerfReport
 
-__all__ = ["Tolerances", "MetricDelta", "Comparison", "compare_reports"]
+__all__ = [
+    "Tolerances",
+    "MetricDelta",
+    "Comparison",
+    "compare_reports",
+    "ZERO_PICKLE_EXECUTORS",
+]
 
 #: Suite parameters that shape the workload itself.  Two reports are only
 #: comparable when these agree — otherwise every counter ratio just
@@ -87,6 +96,13 @@ class Tolerances:
 #: Metrics the gate checks, in report order.  Higher-is-worse for all of
 #: them (throughput is implied by elapsed and not double-checked).
 GATED_METRICS = ("elapsed_s", "messages_total", "bytes_total", "memory_total")
+
+#: Execution backends whose columnar ingest must move zero pickled event
+#: payload bytes across process boundaries.  ``serial``/``thread`` run
+#: in-process; ``shm`` ships columns through shared memory — that is its
+#: whole contract, so any pickled event payload is a regression
+#: regardless of what the baseline recorded.
+ZERO_PICKLE_EXECUTORS = ("serial", "thread", "shm")
 
 
 @dataclass(frozen=True)
@@ -207,6 +223,25 @@ def compare_reports(
                     baseline=_metric(base_record, metric),
                     current=_metric(record, metric),
                     factor=tolerances.factor_for(metric),
+                )
+            )
+    for key, record in current_by_key.items():
+        # Absolute invariant, not a baseline diff: zero-copy backends
+        # must report zero pickled event-payload bytes.  baseline=0 with
+        # a nonzero current makes the ratio inf, so any violation
+        # regresses no matter the tolerance factor.
+        if (
+            record.executor in ZERO_PICKLE_EXECUTORS
+            and record.pickle_bytes_per_event > 0
+        ):
+            deltas.append(
+                MetricDelta(
+                    scenario=key[0],
+                    variant=key[1],
+                    metric="pickle_bytes_per_event",
+                    baseline=0.0,
+                    current=record.pickle_bytes_per_event,
+                    factor=1.0,
                 )
             )
     added = [key for key in current_by_key if key not in baseline_by_key]

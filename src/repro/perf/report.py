@@ -34,7 +34,9 @@ __all__ = [
 ]
 
 #: Current report schema version.  Readers must reject other majors.
-SCHEMA_VERSION = 1
+#: v2 added ``executor`` plus the per-event serialization counters
+#: (``pickle_bytes_per_event``, ``ipc_bytes_per_event``).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -47,6 +49,16 @@ class PerfRecord:
     ``sample_len``) are exactly reproducible given the workload seed, so
     the regression gate can hold them to a much tighter tolerance than
     wall-clock numbers.
+
+    Serialization metrics come from the execution backend of the *last*
+    repeat (every repeat drives a fresh sampler over the same events, so
+    one repeat's counters are the per-drive cost):
+    ``pickle_bytes_per_event`` is the pickled event-payload bytes that
+    crossed a process boundary per ingested event — the "pickle tax" the
+    shared-memory backend eliminates (exactly 0.0 on columnar workloads)
+    — and ``ipc_bytes_per_event`` is all request/reply framing bytes per
+    event (plans, timings, state exchanges).  Both are identically 0.0
+    for the in-process backends (serial, thread).
     """
 
     scenario: str
@@ -60,6 +72,9 @@ class PerfRecord:
     memory_total: int
     sample_len: int
     slots_processed: int
+    executor: str
+    pickle_bytes_per_event: float
+    ipc_bytes_per_event: float
 
     @property
     def key(self) -> tuple[str, str]:
@@ -137,6 +152,9 @@ _RECORD_FIELDS = {
     "memory_total": int,
     "sample_len": int,
     "slots_processed": int,
+    "executor": str,
+    "pickle_bytes_per_event": float,
+    "ipc_bytes_per_event": float,
 }
 
 

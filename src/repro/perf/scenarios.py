@@ -29,11 +29,15 @@ Built-in scenarios:
   :class:`~repro.core.events.EventBatch` so the whole pipeline stays
   columnar; the gap between twin cells is the tuple-churn tax the
   columnar ingest path removes.
-* ``sharded-uniform-parallel`` — the columnar sharded workload again,
-  but ingested through the
-  :class:`~repro.runtime.executor.ProcessExecutor` (``SuiteConfig.workers``
-  worker processes): deterministic counters identical to the serial
-  twins by construction, wall-clock measuring real multi-core ingest.
+* ``sharded-uniform-parallel`` / ``sharded-uniform-shm`` /
+  ``sharded-uniform-thread`` — the columnar sharded workload again, but
+  ingested through the :class:`~repro.runtime.executor.ProcessExecutor`,
+  :class:`~repro.runtime.executor.SharedMemoryExecutor`, or
+  :class:`~repro.runtime.executor.ThreadExecutor`
+  (``SuiteConfig.workers`` workers): deterministic counters identical to
+  the serial twins by construction, wall-clock measuring real multi-core
+  ingest.  The shm cell additionally pins ``pickle_bytes_per_event`` to
+  exactly 0 — the zero-copy contract the regression gate enforces.
 
 Scenarios are registered via :func:`register_scenario`, mirroring
 :func:`repro.core.api.register_variant`.
@@ -382,5 +386,29 @@ register_scenario(
         driver=_drive_engine_hash,
         variant_filter=lambda variant: variant.sharded and not variant.windowed,
         executor="process",
+    )
+)
+register_scenario(
+    Scenario(
+        name="sharded-uniform-shm",
+        summary="sharded-uniform-columnar's workload through the "
+        "SharedMemoryExecutor (persistent workers, zero-copy /dev/shm "
+        "columns, pickle_bytes_per_event == 0)",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_engine_hash,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+        executor="shm",
+    )
+)
+register_scenario(
+    Scenario(
+        name="sharded-uniform-thread",
+        summary="sharded-uniform-columnar's workload through the "
+        "ThreadExecutor (in-process thread pool over the GIL-dropping "
+        "NumPy kernels)",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_engine_hash,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+        executor="thread",
     )
 )

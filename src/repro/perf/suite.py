@@ -67,9 +67,10 @@ class SuiteConfig:
             ingestion fast paths over the integer workloads).
         shards: Coordinator groups S for the ``sharded:*`` variants
             (single-coordinator variants always run with 1).
-        workers: Worker-process count W for scenarios that force the
-            ``"process"`` execution backend (``sharded-uniform-parallel``);
-            serial cells ignore it.
+        workers: Worker count W for scenarios that force a non-serial
+            execution backend (``sharded-uniform-parallel``,
+            ``sharded-uniform-shm``, ``sharded-uniform-thread``); serial
+            cells ignore it.
     """
 
     n_events: int = 20_000
@@ -139,7 +140,7 @@ def build_sampler_for(
             algorithm=config.algorithm,
             shards=config.shards if variant.sharded else 1,
             executor=executor,
-            workers=config.workers if executor == "process" else 0,
+            workers=config.workers if executor != "serial" else 0,
         )
     )
 
@@ -188,6 +189,11 @@ def run_suite(
                 best = min(best, elapsed)
             stats = sampler.stats()
             result = sampler.sample()
+            backend = getattr(sampler, "executor", None)
+            executor_name = backend.name if backend is not None else "serial"
+            per_event = 1.0 / max(len(events), 1)
+            pickle_bytes = backend.pickle_bytes if backend is not None else 0
+            ipc_bytes = backend.ipc_bytes if backend is not None else 0
             close_sampler(sampler)
             record = PerfRecord(
                 scenario=scenario_name,
@@ -201,6 +207,9 @@ def run_suite(
                 memory_total=stats.memory_total,
                 sample_len=len(result.items),
                 slots_processed=stats.slots_processed,
+                executor=executor_name,
+                pickle_bytes_per_event=pickle_bytes * per_event,
+                ipc_bytes_per_event=ipc_bytes * per_event,
             )
             records.append(record)
             if progress is not None:

@@ -14,9 +14,13 @@ Everything the protocol facades used to duplicate lives here, once:
   bottom-s merge (registered as ``sharded:<variant>``).
 * :mod:`~repro.runtime.executor` — pluggable execution backends for the
   sharded ingest path: :class:`~repro.runtime.executor.SerialExecutor`
-  (in-process, simulated critical path) and
+  (in-process, simulated critical path),
+  :class:`~repro.runtime.executor.ThreadExecutor` (thread pool over the
+  GIL-dropping NumPy kernels),
   :class:`~repro.runtime.executor.ProcessExecutor` (a multiprocessing
-  pool; measured critical path, bit-identical results).
+  pool; measured critical path, per-batch pickling), and
+  :class:`~repro.runtime.executor.SharedMemoryExecutor` (persistent
+  workers over zero-copy ``/dev/shm`` columns) — all bit-identical.
 
 Layering: ``streams → runtime (engine) → protocol cores → runtime
 (topology) → netsim transports``.  The runtime depends only on
@@ -30,6 +34,8 @@ from .executor import (
     ExecutionBackend,
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
+    ThreadExecutor,
     make_executor,
 )
 from .sharded import ShardedSampler
@@ -41,7 +47,9 @@ __all__ = [
     "ProcessExecutor",
     "ROUTING_POLICIES",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "ShardedSampler",
+    "ThreadExecutor",
     "Topology",
     "make_executor",
     "merge_message_stats",

@@ -1,57 +1,117 @@
 """Pluggable execution backends for the sharded scale-out ingest path.
 
 :class:`~repro.runtime.sharded.ShardedSampler` runs S independent
-coordinator groups over disjoint key spaces.  Until this module existed,
-the facade always ingested those groups **sequentially** in-process and
-only *modeled* parallelism through per-group timers (the simulated
-critical path).  An :class:`ExecutionBackend` makes the ingest strategy a
-configuration choice:
+coordinator groups over disjoint key spaces.  An :class:`ExecutionBackend`
+makes the ingest strategy a configuration choice (``SamplerConfig.executor``):
 
-* :class:`SerialExecutor` — today's behavior and the default: every
-  group's sub-batch is delivered in-process, run-major, sharing one
-  warmed sampling-hash column.  ``critical_path_seconds`` stays a
-  *simulated* quantity (max of per-group serial timers).
+* :class:`SerialExecutor` — the default: every group's sub-batch is
+  delivered in-process, run-major, sharing one warmed sampling-hash
+  column.  ``critical_path_seconds`` stays a *simulated* quantity (max of
+  per-group serial timers).
+* :class:`ThreadExecutor` — a thread pool over the same per-group plans.
+  Groups are mutated in place (threads share the parent's heap, so there
+  is nothing to ship or copy), and the NumPy kernels release the GIL, so
+  the columnar hot loops overlap across cores at zero serialization
+  cost.  Python-level bookkeeping still serializes on the GIL — this is
+  the cheap middle ground, not the scale-out backend.
 * :class:`ProcessExecutor` — a ``multiprocessing`` pool of ``W`` worker
-  processes.  Each shard group's column slices (or tuple sub-batches)
-  are shipped to a worker via pickle together with the group's
-  construction recipe (:class:`~repro.core.protocol.SamplerConfig`) and
-  full logical state (``state_dict`` — the snapshot-v2 substrate, so the
-  cores need no new serialization code).  The worker rebuilds the group,
-  replays its ``advance``/``observe_batch`` plan, and returns the new
-  state plus its *measured* ingest wall-clock; the parent merges the
-  state back and accumulates the measurement, making
-  ``critical_path_seconds`` a measured quantity under real parallelism.
+  processes.  Each batch, every group's column slices (or tuple
+  sub-batches) are pickled across the pipe together with the group's
+  construction recipe and full ``state_dict``; the worker rebuilds the
+  group, replays the plan, and returns (pickles) the new state.  Simple
+  and stateless, but the per-batch pickle tax caps its speedup — the
+  backend's instrumented ``pickle_bytes``/``ipc_bytes`` counters make
+  that tax a measured quantity.
+* :class:`SharedMemoryExecutor` — persistent workers plus zero-copy
+  columns, the backend that kills the pickle tax.  See the protocol
+  below.
 
-Both backends produce **bit-identical** results: the per-group plans are
-built by the same routing pass, groups share no state, and the worker
-replays exactly the serial per-group delivery order (the property suite
-in ``tests/test_properties.py`` pins ``sample()``, ``stats()``, and the
-full ``state_dict`` across backends for every ``sharded:*`` variant).
+The persistent-worker protocol (``executor="shm"``)
+---------------------------------------------------
 
-Two documented differences, neither visible on a valid stream:
+``W`` long-lived worker processes each own ``groups[g] for g % W == w``
+of every participating sampler and talk to the parent over a duplex pipe
+with strict request/reply framing.  Per sampler, a *session* tracks
+where the canonical group state lives:
 
-* A non-monotone slot stamp raises *before* any delivery under
-  :class:`ProcessExecutor` (plans are validated up front), while the
-  serial generic loop has already delivered the earlier runs by the time
-  it raises.
-* Groups rewired onto a non-default transport (``DelayedNetwork``) are
-  rebuilt by the workers on the config's default synchronous network —
-  the same limitation snapshot/restore already has.  Keep the serial
-  backend for delayed-transport studies.
+* ``adopt`` — on a session's first batch (or after any parent-side
+  mutation), the parent ships each group's ``(config, state_dict)`` to
+  its worker once; the worker rebuilds the group and keeps it alive
+  across batches.  State crosses the pipe here and nowhere else.
+* ``ingest_columns`` — the steady-state hot path.  The parent routes the
+  batch (one vectorized pass), warms the shared sampling-hash column,
+  concatenates the per-group sub-runs into three ``/dev/shm`` blocks
+  (items, sites, hashes — written once), and sends only *plan metadata*:
+  block names plus per-group ``(slot, None) | (None, (offset, length))``
+  tasks.  Workers attach, build :class:`~repro.core.events.EventBatch`
+  views over the mapped columns (zero copies, the parent-warmed hash
+  slice adopted via ``adopt_hash_column``), replay, and reply with their
+  measured per-group ingest seconds.  The parent unlinks the blocks as
+  soon as every worker has replied — a batch's blocks never outlive the
+  call, even on error.
+* ``collect`` — on ``sample()``/``stats()``/``state_dict()``/``close()``
+  the parent pulls the groups' ``state_dict`` back and re-synchronizes
+  its own copies (queries always run against parent-side groups).
+  Parent-side mutation (``observe``, ``advance``, ``load_state``)
+  additionally *invalidates* the session so the next batch re-adopts.
+
+Results are **bit-identical** across all four backends: plans are built
+by the same routing pass, groups share no state, every backend replays
+the exact serial per-group delivery order, and the sampling hash is a
+pure function of (seed, algorithm, item) wherever it is computed.  The
+property suite in ``tests/test_properties.py`` pins ``sample()``,
+``stats()``, and the full ``state_dict`` across backends for every
+``sharded:*`` variant.
+
+Failure and lifecycle semantics of the shm backend:
+
+* A worker crash (or in-worker replay error) raises
+  :class:`~repro.errors.ExecutorError`; the executor tears down the
+  remaining workers, and every session falls back to the parent's
+  last-synchronized state — like a distributed node crash losing work
+  since its last checkpoint.  The next batch respawns workers and
+  re-adopts.
+* Shared-memory blocks are created/unlinked strictly per batch inside
+  ``try/finally``; worker terminations are additionally registered via
+  ``weakref.finalize`` (which hooks interpreter exit like ``atexit``)
+  and the workers are daemonic, so neither an un-``close()``d executor
+  nor a hard exit leaks ``/dev/shm`` segments or processes.
+* Executors are context managers: ``with SharedMemoryExecutor() as ex:``
+  guarantees ``close()`` (which first collects every live session's
+  state back into its sampler).
+
+Two documented backend differences, neither visible on a valid stream:
+a non-monotone slot stamp raises *before* any delivery under the
+plan-building backends (thread/process/shm), while the serial generic
+loop has already delivered the earlier runs by the time it raises; and
+groups rewired onto a non-default transport (``DelayedNetwork``) are
+rebuilt by process/shm workers on the config's default synchronous
+network — keep the serial or thread backend for delayed-transport
+studies.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import multiprocessing.pool
 import os
+import pickle
+import sys
 import time
+import weakref
 from abc import ABC, abstractmethod
+from multiprocessing import resource_tracker, shared_memory
+from multiprocessing.connection import Connection
 from typing import TYPE_CHECKING, Any, Optional
 
+import numpy as np
+import numpy.typing as npt
+
 from ..core.events import EventBatch
-from ..core.protocol import EXECUTORS, SamplerConfig
-from ..errors import ConfigurationError
+from ..core.protocol import EXECUTORS, Sampler, SamplerConfig
+from ..errors import ConfigurationError, ExecutorError, ProtocolError
+from ..hashing.unit import UnitHasher
 
 if TYPE_CHECKING:  # sharded imports this module; annotate without a cycle
     from .sharded import ShardedSampler
@@ -59,7 +119,9 @@ if TYPE_CHECKING:  # sharded imports this module; annotate without a cycle
 __all__ = [
     "ExecutionBackend",
     "SerialExecutor",
+    "ThreadExecutor",
     "ProcessExecutor",
+    "SharedMemoryExecutor",
     "make_executor",
 ]
 
@@ -67,12 +129,36 @@ __all__ = [
 #: delivers (a tuple sub-batch or a columnar sub-run).
 GroupPlan = list[tuple[Optional[int], Any]]
 
-#: What ships to a worker: ``(config_dict, state_dict, plan)``.
+#: What ships to a process-pool worker: ``(config_dict, state_dict, plan)``.
 WorkerPayload = tuple[dict[str, Any], dict[str, Any], GroupPlan]
+
+#: A shm worker's task: ``(slot, None)`` advances, ``(None, (offset,
+#: length))`` delivers that row range of the batch's shared columns.
+RangePlan = list[tuple[Optional[int], Optional[tuple[int, int]]]]
+
+#: ``(group, tasks)`` pairs addressed to one worker.
+WorkerPlans = list[tuple[int, Any]]
+
+
+def _replay_group(group: Sampler, tasks: GroupPlan) -> float:
+    """Replay one group's plan in place; returns the measured seconds.
+
+    Shared by every backend that executes plans against live group
+    objects (thread workers, shm workers after the rebuild) — the replay
+    order is exactly the serial per-group delivery order, which is what
+    makes the backends bit-identical.
+    """
+    started = time.perf_counter()
+    for slot, batch in tasks:
+        if slot is not None:
+            group.advance(slot)
+        else:
+            group.observe_batch(batch)
+    return time.perf_counter() - started
 
 
 def _ingest_group(payload: WorkerPayload) -> tuple[dict[str, Any], float]:
-    """Worker entry point: rebuild one group, replay its plan.
+    """Process-pool worker entry point: rebuild one group, replay its plan.
 
     ``payload`` is ``(config_dict, state, tasks)`` where ``tasks`` is the
     group's ``(slot, None) | (None, batch)`` plan.  Returns the group's
@@ -87,30 +173,290 @@ def _ingest_group(payload: WorkerPayload) -> tuple[dict[str, Any], float]:
     config_dict, state, tasks = payload
     group = make_sampler(SamplerConfig(**config_dict))
     group.load_state(state)
-    started = time.perf_counter()
-    for slot, batch in tasks:
-        if slot is not None:
-            group.advance(slot)
-        else:
-            group.observe_batch(batch)
-    elapsed = time.perf_counter() - started
+    elapsed = _replay_group(group, tasks)
     return group.state_dict(), elapsed
+
+
+def _ingest_group_pickled(blob: bytes) -> bytes:
+    """The instrumented pool entry point: explicit pickle framing.
+
+    The parent pickles the payload itself (so it can count the bytes)
+    and the worker pickles the reply for the same reason; the pool then
+    ships opaque ``bytes`` either way.  Cost-wise this only re-wraps a
+    bytes object — the payload is serialized exactly once per direction.
+    """
+    state, elapsed = _ingest_group(pickle.loads(blob))
+    return pickle.dumps((state, elapsed), protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def _noop(_: int) -> None:
     """Pool warm-up task (forces the worker processes to exist)."""
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory plumbing
+# ---------------------------------------------------------------------------
+
+
+def _shm_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without taking cleanup ownership.
+
+    The parent owns every block's lifecycle (create → unlink inside one
+    batch call); an attaching worker must not let *its* resource tracker
+    claim the segment, or the tracker unlinks it a second time at worker
+    exit and spews "leaked shared_memory" warnings for segments that
+    were cleaned up correctly.
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    # Pre-3.13 has no track=False and unconditionally registers every
+    # attach with the worker's resource tracker, which then "cleans up"
+    # (double-unlinks) the parent-owned segment at worker exit — the
+    # long-standing cpython#82300 behavior.  Suppressing the register
+    # for the duration of the attach is the standard workaround; the
+    # worker loop is single-threaded, so the swap cannot race.
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def _create_block(column: npt.NDArray[Any]) -> shared_memory.SharedMemory:
+    """Create one shm block holding ``column`` (written exactly once)."""
+    block = shared_memory.SharedMemory(create=True, size=max(1, column.nbytes))
+    try:
+        view: npt.NDArray[Any] = np.ndarray(
+            column.shape, dtype=column.dtype, buffer=block.buf
+        )
+        view[:] = column
+        del view
+    except BaseException:
+        try:
+            block.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        raise
+    return block
+
+
+def _release_blocks(blocks: list[shared_memory.SharedMemory]) -> None:
+    """Unlink + close every block (idempotent, exception-proof)."""
+    for block in blocks:
+        try:
+            block.unlink()
+        except OSError:
+            pass
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+
+
+def _shm_replay_ranges(
+    groups: dict[tuple[int, int], Sampler],
+    session: int,
+    columns: Optional[tuple[npt.NDArray[Any], ...]],
+    hasher: UnitHasher,
+    plans: WorkerPlans,
+) -> dict[int, float]:
+    """Replay range plans against zero-copy column views (worker side).
+
+    Every delivery builds an :class:`EventBatch` whose columns are
+    *slices of the mapped shm blocks* and adopts the parent-warmed
+    sampling-hash slice; the cores convert to Python lists before
+    retaining anything, so no view outlives this frame and the caller
+    can close the mappings immediately after.
+    """
+    timings: dict[int, float] = {}
+    for g, tasks in plans:
+        group = groups[(session, g)]
+        started = time.perf_counter()
+        for slot, span in tasks:
+            if slot is not None:
+                group.advance(slot)
+            elif columns is not None and span is not None:
+                offset, length = span
+                run = EventBatch(
+                    columns[0][offset : offset + length],
+                    columns[1][offset : offset + length],
+                )
+                run.adopt_hash_column(
+                    hasher, columns[2][offset : offset + length]
+                )
+                group.observe_columns(run)
+        timings[g] = time.perf_counter() - started
+    return timings
+
+
+def _shm_ingest_columns(
+    groups: dict[tuple[int, int], Sampler], args: tuple[Any, ...]
+) -> dict[int, float]:
+    """One ``ingest_columns`` request: attach, replay, detach."""
+    session, meta, hasher_key, plans = args
+    handles: list[shared_memory.SharedMemory] = []
+    columns: Optional[tuple[npt.NDArray[Any], ...]] = None
+    try:
+        if meta is not None:
+            items_name, sites_name, hash_name, rows = meta
+            handles = [
+                _shm_attach(items_name),
+                _shm_attach(sites_name),
+                _shm_attach(hash_name),
+            ]
+            columns = (
+                np.ndarray((rows,), dtype=np.int64, buffer=handles[0].buf),
+                np.ndarray((rows,), dtype=np.int64, buffer=handles[1].buf),
+                np.ndarray((rows,), dtype=np.float64, buffer=handles[2].buf),
+            )
+        hasher = UnitHasher(seed=hasher_key[0], algorithm=hasher_key[1])
+        return _shm_replay_ranges(groups, session, columns, hasher, plans)
+    finally:
+        columns = None  # drop the buffer views before closing the maps
+        for handle in handles:
+            try:
+                handle.close()
+            except BufferError:  # pragma: no cover - a core retained a view
+                pass
+
+
+def _shm_dispatch(
+    groups: dict[tuple[int, int], Sampler], command: str, args: Any
+) -> Any:
+    """Execute one worker command against the persistent group store."""
+    from ..core.api import make_sampler  # lazy: avoids an import cycle
+
+    if command == "adopt":
+        for session, g, config_dict, state in args:
+            group = make_sampler(SamplerConfig(**config_dict))
+            group.load_state(state)
+            groups[(session, g)] = group
+        return None
+    if command == "ingest_columns":
+        return _shm_ingest_columns(groups, args)
+    if command == "ingest_events":
+        session, plans = args
+        return {
+            g: _replay_group(groups[(session, g)], tasks) for g, tasks in plans
+        }
+    if command == "collect":
+        session, group_ids = args
+        return {g: groups[(session, g)].state_dict() for g in group_ids}
+    if command == "drop":
+        for key in [k for k in groups if k[0] in args]:
+            del groups[key]
+        return None
+    raise ProtocolError(f"unknown shm worker command {command!r}")
+
+
+def _shm_worker_main(conn: Connection) -> None:
+    """A persistent worker's request/reply loop.
+
+    Holds its share of every session's rebuilt groups across batches;
+    exits on the ``close`` command or when the parent's pipe end closes
+    (parent death — the workers are daemonic either way).  Errors are
+    reported as ``("error", message)`` replies, never silent death.
+    """
+    groups: dict[tuple[int, int], Sampler] = {}
+    while True:
+        try:
+            command, args = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            break
+        if command == "close":
+            try:
+                conn.send_bytes(pickle.dumps(("ok", None)))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        try:
+            reply: tuple[str, Any] = (
+                "ok",
+                _shm_dispatch(groups, command, args),
+            )
+        except BaseException as exc:  # reported to the parent, never silent
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send_bytes(
+                pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break
+    conn.close()
+
+
+class _ShmWorker:
+    """One persistent worker process plus its parent-side pipe end."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process: Any, conn: Connection) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class _ShmSession:
+    """Where one sampler's canonical group state currently lives."""
+
+    __slots__ = ("session_id", "workers_canonical", "in_sync")
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = session_id
+        #: True once the workers hold adopted (authoritative) groups.
+        self.workers_canonical = False
+        #: True while the parent's copies match the workers'.
+        self.in_sync = True
+
+
+def _terminate_workers(workers: list[_ShmWorker]) -> None:
+    """Tear worker processes down unconditionally (finalizer-safe)."""
+    for worker in workers:
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    for worker in workers:
+        if worker.process.is_alive():
+            worker.process.terminate()
+    for worker in workers:
+        worker.process.join(timeout=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
 class ExecutionBackend(ABC):
     """How a :class:`~repro.runtime.sharded.ShardedSampler` ingests.
 
-    One backend instance may be shared between samplers (it holds no
-    per-sampler state); tests reuse a single :class:`ProcessExecutor`
-    pool across many short-lived samplers this way.
+    One backend instance may be shared between samplers; tests reuse a
+    single worker pool across many short-lived samplers this way (the
+    shm backend keys its per-sampler sessions weakly, so sharing is safe
+    there too).
+
+    Serialization accounting: ``pickle_bytes`` counts bytes of pickled
+    *per-batch event payloads* (tuple sub-batches, column slices, and the
+    per-batch state round-trip of the process backend) and ``ipc_bytes``
+    counts every byte that crosses a process boundary for any reason
+    (payloads, plan metadata, session state exchanges).  The zero-copy
+    claim of the shm backend is therefore falsifiable:
+    ``pickle_bytes == 0`` for columnar ingest, enforced by the perf
+    regression gate.
     """
 
     #: Registry-style name (``config.executor``).
     name: str
+
+    #: Cumulative pickled event-payload bytes (see class docstring).
+    pickle_bytes: int = 0
+    #: Cumulative bytes crossing a process boundary, any encoding.
+    ipc_bytes: int = 0
 
     @abstractmethod
     def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
@@ -120,8 +466,30 @@ class ExecutionBackend(ABC):
     def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
         """Deliver a columnar :class:`~repro.core.events.EventBatch`."""
 
+    def sync(self, sharded: "ShardedSampler") -> None:
+        """Pull worker-held group state back into ``sharded.groups``.
+
+        No-op for backends whose parent-side groups are always
+        canonical (serial/thread/process).  The sharded facade calls
+        this before every query (``sample``/``stats``/``state_dict``).
+        """
+
+    def invalidate(self, sharded: "ShardedSampler") -> None:
+        """Declare the parent's groups canonical again (after syncing).
+
+        The sharded facade calls this before mutating groups in-process
+        (single ``observe``, ``advance``, ``load_state``); stateful
+        backends must re-adopt on the next batch.
+        """
+
     def close(self) -> None:
         """Release backend resources (idempotent; no-op by default)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
 
 class SerialExecutor(ExecutionBackend):
@@ -153,6 +521,90 @@ class SerialExecutor(ExecutionBackend):
         return len(batch)
 
 
+class ThreadExecutor(ExecutionBackend):
+    """Thread-pool ingest over the parent's own group objects.
+
+    Args:
+        workers: Thread count W; ``0`` picks ``min(8, cpu_count)``.
+
+    Plans are built exactly like the process backend's (slot validation
+    up front), but the threads replay them against the parent's groups
+    *in place* — same heap, zero serialization, zero copies, and nothing
+    to sync back.  The NumPy kernels (hash sweeps, routing, threshold
+    pre-filters) drop the GIL and genuinely overlap; the Python-level
+    delivery bookkeeping does not, so expect a modest win on columnar
+    workloads and none on tuple ones.  Per-group disjointness makes this
+    race-free: a group is touched by exactly one thread per batch.
+
+    Raises:
+        ConfigurationError: For a negative ``workers``.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 0) -> None:
+        workers = int(workers)
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def warmup(self) -> None:
+        """Create the pool outside any timed window (threads are cheap,
+        but benchmark hygiene is uniform across backends)."""
+        self._ensure_pool()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the next ingest re-creates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __getstate__(self) -> dict[str, int]:
+        return {"workers": self.workers}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self.workers = state["workers"]
+        self._pool = None
+
+    def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
+        plans, last_slot, advances = sharded._plan_events(events)
+        self._run(sharded, plans, last_slot, advances)
+        return len(events)
+
+    def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
+        plans, last_slot, advances = sharded._plan_columns(
+            batch, warm_hasher=sharded.sampling_hasher
+        )
+        self._run(sharded, plans, last_slot, advances)
+        return len(batch)
+
+    def _run(
+        self,
+        sharded: "ShardedSampler",
+        plans: list[GroupPlan],
+        last_slot: Optional[int],
+        advances: int,
+    ) -> None:
+        jobs = [(g, tasks) for g, tasks in enumerate(plans) if tasks]
+        if jobs:
+            pool = self._ensure_pool()
+            futures = [
+                (g, pool.submit(_replay_group, sharded.groups[g], tasks))
+                for g, tasks in jobs
+            ]
+            for g, future in futures:
+                sharded.group_ingest_seconds[g] += future.result()
+        sharded._commit_slots(last_slot, advances)
+
+
 class ProcessExecutor(ExecutionBackend):
     """Multi-core ingest over a lazily created ``multiprocessing`` pool.
 
@@ -162,10 +614,11 @@ class ProcessExecutor(ExecutionBackend):
     Each batch call builds the per-group plans up front (one vectorized
     routing pass, slot monotonicity validated before anything ships),
     fans the non-empty plans out to the pool, and merges the returned
-    group states.  Per-call cost is one state round-trip per group, so
-    the backend pays off for large batches — the intended shape of the
-    scale-out pipeline — and is pure overhead for event-at-a-time
-    ingest (single ``observe`` calls stay in-process).
+    group states.  Per-call cost is one pickled state + payload
+    round-trip per group — the "pickle tax" the instrumented
+    ``pickle_bytes`` counter makes visible and the shm backend removes —
+    so the backend pays off for large batches and is pure overhead for
+    event-at-a-time ingest (single ``observe`` calls stay in-process).
 
     Raises:
         ConfigurationError: For a negative ``workers``.
@@ -179,6 +632,8 @@ class ProcessExecutor(ExecutionBackend):
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.workers = workers or min(8, os.cpu_count() or 1)
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.pickle_bytes = 0
+        self.ipc_bytes = 0
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -219,6 +674,8 @@ class ProcessExecutor(ExecutionBackend):
     def __setstate__(self, state: dict[str, int]) -> None:
         self.workers = state["workers"]
         self._pool = None
+        self.pickle_bytes = 0
+        self.ipc_bytes = 0
 
     # -- ingest --------------------------------------------------------------
 
@@ -245,13 +702,420 @@ class ProcessExecutor(ExecutionBackend):
             if tasks
         ]
         if payloads:
-            results = self._ensure_pool().map(
-                _ingest_group, [payload for _, payload in payloads], chunksize=1
+            blobs = [
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+                for _, payload in payloads
+            ]
+            shipped = sum(len(blob) for blob in blobs)
+            self.pickle_bytes += shipped
+            self.ipc_bytes += shipped
+            replies = self._ensure_pool().map(
+                _ingest_group_pickled, blobs, chunksize=1
             )
-            for (g, _), (state, elapsed) in zip(payloads, results):
+            for (g, _), reply in zip(payloads, replies):
+                self.pickle_bytes += len(reply)
+                self.ipc_bytes += len(reply)
+                state, elapsed = pickle.loads(reply)
                 sharded.groups[g].load_state(state)
                 sharded.group_ingest_seconds[g] += elapsed
         sharded._commit_slots(last_slot, advances)
+
+
+class SharedMemoryExecutor(ExecutionBackend):
+    """Persistent workers over zero-copy shared-memory columns.
+
+    Args:
+        workers: Worker-process count ``W``; ``0`` picks
+            ``min(8, cpu_count)``.  Group ``g`` lives in worker
+            ``g % W`` for every adopted sampler.
+
+    See the module docstring for the full protocol.  The steady-state
+    per-batch traffic is plan metadata only — column bytes are written
+    once into ``/dev/shm`` and mapped by the workers, and group state
+    crosses the pipe only at session boundaries (adopt/collect), never
+    per batch.  ``pickle_bytes`` therefore stays 0 for columnar ingest
+    (the tuple-event fallback honestly counts its pickled sub-batches).
+
+    Raises:
+        ConfigurationError: For a negative ``workers``.
+    """
+
+    name = "shm"
+
+    def __init__(self, workers: int = 0) -> None:
+        workers = int(workers)
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self.pickle_bytes = 0
+        self.ipc_bytes = 0
+        self._workers: Optional[list[_ShmWorker]] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._sessions: "weakref.WeakKeyDictionary[Any, _ShmSession]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._session_counter = 0
+        self._dead_sessions: list[int] = []
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def _ensure_workers(self) -> list[_ShmWorker]:
+        if self._workers is None:
+            context = multiprocessing.get_context()
+            spawned: list[_ShmWorker] = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shm_worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                spawned.append(_ShmWorker(process, parent_conn))
+            self._workers = spawned
+            # Interpreter-exit / GC safety net: daemonic workers die with
+            # the parent anyway, but the finalizer also covers an
+            # executor that is dropped without close() mid-session.
+            self._finalizer = weakref.finalize(
+                self, _terminate_workers, spawned
+            )
+        return self._workers
+
+    def warmup(self) -> None:
+        """Spawn the persistent workers outside any timed window."""
+        self._ensure_workers()
+
+    def _drop_finalizer(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+
+    def _on_worker_failure(self) -> None:
+        """Tear everything down after a crash or in-worker error.
+
+        Every session falls back to the parent's last-synchronized
+        state; the next batch respawns workers and re-adopts.
+        """
+        workers, self._workers = self._workers, None
+        self._drop_finalizer()
+        self._dead_sessions.clear()
+        for session in list(self._sessions.values()):
+            session.workers_canonical = False
+            session.in_sync = True
+        if workers:
+            _terminate_workers(workers)
+
+    def close(self) -> None:
+        """Collect every live session's state, then stop the workers.
+
+        Idempotent; the executor remains usable — the next batch
+        respawns the workers and re-adopts from the (now synchronized)
+        parent-side groups.
+        """
+        if self._workers is None:
+            return
+        try:
+            for sampler, session in list(self._sessions.items()):
+                if session.workers_canonical:
+                    self.sync(sampler)
+                    session.workers_canonical = False
+        finally:
+            workers, self._workers = self._workers, None
+            self._drop_finalizer()
+            self._dead_sessions.clear()
+            if workers:
+                for worker in workers:
+                    try:
+                        worker.conn.send_bytes(pickle.dumps(("close", None)))
+                        if worker.conn.poll(1.0):
+                            worker.conn.recv_bytes()
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass
+                _terminate_workers(workers)
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, int]:
+        # Workers, pipes, and sessions are OS/process-local resources; a
+        # pickled executor carries only its configuration.  Callers must
+        # query (sync) before snapshotting a sampler — the facade's
+        # state_dict() does so automatically.
+        return {"workers": self.workers}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self.workers = state["workers"]
+        self.pickle_bytes = 0
+        self.ipc_bytes = 0
+        self._workers = None
+        self._finalizer = None
+        self._sessions = weakref.WeakKeyDictionary()
+        self._session_counter = 0
+        self._dead_sessions = []
+
+    # -- request/reply framing ----------------------------------------------
+
+    def _post(self, worker: _ShmWorker, command: str, args: Any) -> int:
+        """Send one request; returns the frame size in bytes."""
+        blob = pickle.dumps((command, args), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            worker.conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            self._on_worker_failure()
+            raise ExecutorError(
+                f"shared-memory worker died (send failed: {exc}); worker "
+                "state since the last sync is lost"
+            ) from exc
+        self.ipc_bytes += len(blob)
+        return len(blob)
+
+    def _reply(self, worker: _ShmWorker) -> Any:
+        """Await one reply; raises :class:`ExecutorError` on failure."""
+        try:
+            blob = worker.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._on_worker_failure()
+            raise ExecutorError(
+                "shared-memory worker died mid-batch; worker state since "
+                "the last sync is lost (the next batch re-adopts from the "
+                "parent's last-synchronized groups)"
+            ) from exc
+        self.ipc_bytes += len(blob)
+        status, value = pickle.loads(blob)
+        if status == "error":
+            # The worker survived, but its session groups may be
+            # partially replayed — reset to the parent's canonical copy.
+            self._on_worker_failure()
+            raise ExecutorError(f"shared-memory worker failed: {value}")
+        return value
+
+    # -- sessions ------------------------------------------------------------
+
+    def _session_for(self, sharded: "ShardedSampler") -> _ShmSession:
+        session = self._sessions.get(sharded)
+        if session is None:
+            self._session_counter += 1
+            session = _ShmSession(self._session_counter)
+            self._sessions[sharded] = session
+            # When the sampler is garbage collected its worker-held
+            # groups become unreachable garbage too; queue a drop that
+            # the next command flushes.
+            weakref.finalize(
+                sharded, self._dead_sessions.append, session.session_id
+            )
+        return session
+
+    def _flush_dead_sessions(self, workers: list[_ShmWorker]) -> None:
+        if not self._dead_sessions:
+            return
+        dead, self._dead_sessions = tuple(self._dead_sessions), []
+        for worker in workers:
+            self._post(worker, "drop", dead)
+        for worker in workers:
+            self._reply(worker)
+
+    def _adopt_if_needed(
+        self,
+        sharded: "ShardedSampler",
+        session: _ShmSession,
+        workers: list[_ShmWorker],
+    ) -> None:
+        """Ship group state to the workers once per session epoch."""
+        if session.workers_canonical:
+            return
+        per_worker: list[list[tuple[int, int, dict[str, Any], dict[str, Any]]]]
+        per_worker = [[] for _ in workers]
+        for g, group in enumerate(sharded.groups):
+            per_worker[g % len(workers)].append(
+                (
+                    session.session_id,
+                    g,
+                    group.config.to_dict(),
+                    group.state_dict(),
+                )
+            )
+        posted = []
+        for w, payload in enumerate(per_worker):
+            if payload:
+                self._post(workers[w], "adopt", payload)
+                posted.append(w)
+        for w in posted:
+            self._reply(workers[w])
+        session.workers_canonical = True
+        session.in_sync = True
+
+    def sync(self, sharded: "ShardedSampler") -> None:
+        """Collect worker-held group states back into the parent copies."""
+        session = self._sessions.get(sharded)
+        if session is None or not session.workers_canonical or session.in_sync:
+            return
+        workers = self._workers
+        if workers is None:
+            # Workers were closed/crashed since the last ingest; the
+            # parent's last-synchronized copies are all that remains.
+            session.workers_canonical = False
+            return
+        per_worker: dict[int, list[int]] = {}
+        for g in range(len(sharded.groups)):
+            per_worker.setdefault(g % len(workers), []).append(g)
+        posted = []
+        for w, group_ids in sorted(per_worker.items()):
+            self._post(workers[w], "collect", (session.session_id, group_ids))
+            posted.append(w)
+        for w in posted:
+            for g, state in self._reply(workers[w]).items():
+                sharded.groups[g].load_state(state)
+        session.in_sync = True
+
+    def invalidate(self, sharded: "ShardedSampler") -> None:
+        """Sync, then make the parent's groups canonical again."""
+        session = self._sessions.get(sharded)
+        if session is None:
+            return
+        self.sync(sharded)
+        session.workers_canonical = False
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
+        plans, last_slot, advances = sharded._plan_events(events)
+        workers = self._ensure_workers()
+        self._flush_dead_sessions(workers)
+        session = self._session_for(sharded)
+        self._adopt_if_needed(sharded, session, workers)
+        per_worker = self._plans_by_worker(plans, len(workers))
+        posted = []
+        for w, worker_plans in per_worker:
+            # The tuple fallback really does pickle event payloads
+            # across the pipe — count it honestly.
+            self.pickle_bytes += self._post(
+                workers[w],
+                "ingest_events",
+                (session.session_id, worker_plans),
+            )
+            posted.append(w)
+        self._collect_timings(sharded, session, workers, posted)
+        sharded._commit_slots(last_slot, advances)
+        return len(events)
+
+    def ingest_columns(self, sharded: "ShardedSampler", batch: EventBatch) -> int:
+        hasher = sharded.sampling_hasher
+        plans, last_slot, advances = sharded._plan_columns(
+            batch, warm_hasher=hasher
+        )
+        workers = self._ensure_workers()
+        self._flush_dead_sessions(workers)
+        session = self._session_for(sharded)
+        self._adopt_if_needed(sharded, session, workers)
+        blocks, meta, range_plans = self._build_blocks(plans, hasher)
+        try:
+            per_worker = self._plans_by_worker_ranged(
+                range_plans, len(workers)
+            )
+            posted = []
+            for w, worker_plans in per_worker:
+                self._post(
+                    workers[w],
+                    "ingest_columns",
+                    (
+                        session.session_id,
+                        meta,
+                        (hasher.seed, hasher.algorithm),
+                        worker_plans,
+                    ),
+                )
+                posted.append(w)
+            self._collect_timings(sharded, session, workers, posted)
+        finally:
+            # The blocks never outlive the batch call: every worker has
+            # replied (or the executor is already torn down), so the
+            # segments can be unlinked unconditionally.
+            _release_blocks(blocks)
+        sharded._commit_slots(last_slot, advances)
+        return len(batch)
+
+    def _collect_timings(
+        self,
+        sharded: "ShardedSampler",
+        session: _ShmSession,
+        workers: list[_ShmWorker],
+        posted: list[int],
+    ) -> None:
+        for w in posted:
+            for g, elapsed in self._reply(workers[w]).items():
+                sharded.group_ingest_seconds[g] += elapsed
+        if posted:
+            session.in_sync = False
+
+    @staticmethod
+    def _plans_by_worker(
+        plans: list[GroupPlan], worker_count: int
+    ) -> list[tuple[int, WorkerPlans]]:
+        per_worker: dict[int, WorkerPlans] = {}
+        for g, tasks in enumerate(plans):
+            if tasks:
+                per_worker.setdefault(g % worker_count, []).append((g, tasks))
+        return sorted(per_worker.items())
+
+    @staticmethod
+    def _plans_by_worker_ranged(
+        range_plans: list[tuple[int, RangePlan]], worker_count: int
+    ) -> list[tuple[int, WorkerPlans]]:
+        per_worker: dict[int, WorkerPlans] = {}
+        for g, tasks in range_plans:
+            per_worker.setdefault(g % worker_count, []).append((g, tasks))
+        return sorted(per_worker.items())
+
+    @staticmethod
+    def _build_blocks(
+        plans: list[GroupPlan], hasher: UnitHasher
+    ) -> tuple[
+        list[shared_memory.SharedMemory],
+        Optional[tuple[str, str, str, int]],
+        list[tuple[int, RangePlan]],
+    ]:
+        """Lay the batch's columns out once and index them by ranges.
+
+        Concatenates every group's sub-run columns (items, sites, and
+        the parent-warmed sampling-hash slice — a cache hit, computed
+        once for the whole batch) into three contiguous shm blocks and
+        rewrites the plans as ``(offset, length)`` ranges into them.
+        Returns ``(blocks, meta, range_plans)``; ``meta`` is ``None``
+        for an advance-only batch (no blocks created).
+        """
+        chunks_items: list[npt.NDArray[Any]] = []
+        chunks_sites: list[npt.NDArray[Any]] = []
+        chunks_hash: list[npt.NDArray[Any]] = []
+        range_plans: list[tuple[int, RangePlan]] = []
+        offset = 0
+        for g, tasks in enumerate(plans):
+            if not tasks:
+                continue
+            ranged: RangePlan = []
+            for slot, run in tasks:
+                if slot is not None:
+                    ranged.append((slot, None))
+                    continue
+                rows = len(run)
+                chunks_items.append(run.items)
+                chunks_sites.append(run.require_sites())
+                chunks_hash.append(run.hash_column(hasher))
+                ranged.append((None, (offset, rows)))
+                offset += rows
+            range_plans.append((g, ranged))
+        if offset == 0:
+            return [], None, range_plans
+        blocks: list[shared_memory.SharedMemory] = []
+        try:
+            for column in (
+                np.concatenate(chunks_items),
+                np.concatenate(chunks_sites),
+                np.concatenate(chunks_hash),
+            ):
+                blocks.append(_create_block(column))
+        except BaseException:
+            _release_blocks(blocks)
+            raise
+        meta = (blocks[0].name, blocks[1].name, blocks[2].name, offset)
+        return blocks, meta, range_plans
 
 
 def make_executor(config: SamplerConfig) -> ExecutionBackend:
@@ -262,8 +1126,12 @@ def make_executor(config: SamplerConfig) -> ExecutionBackend:
     """
     if config.executor == "serial":
         return SerialExecutor()
+    if config.executor == "thread":
+        return ThreadExecutor(config.workers)
     if config.executor == "process":
         return ProcessExecutor(config.workers)
+    if config.executor == "shm":
+        return SharedMemoryExecutor(config.workers)
     raise ConfigurationError(
         f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
     )

@@ -31,13 +31,18 @@ sequentially in-process and per-group wall-clock is accumulated in
 :attr:`ShardedSampler.group_ingest_seconds`, so the scale-out metric —
 the **critical path**, i.e. the slowest group
 (:attr:`ShardedSampler.critical_path_seconds`) — is a *simulated*
-quantity.  Under the :class:`~repro.runtime.executor.ProcessExecutor`
-(``executor="process"``, ``workers=W``) each group's batch plan really
-runs in its own worker process and the per-group timers hold the
-workers' own measurements, making the critical path a *measured*
-quantity — with results bit-identical to the serial backend, because
-every group replays the same per-group delivery order under the same
-shared sampling hash.  Message counts, by contrast, are a real total
+quantity.  Under the parallel backends each group's batch plan really
+runs concurrently and the per-group timers hold measured wall-clock:
+``executor="thread"`` replays plans against the parent's groups from a
+thread pool (zero-copy, GIL-bound outside the NumPy kernels),
+``executor="process"`` ships each plan plus group state to a
+``multiprocessing`` pool per batch (the pickle tax), and
+``executor="shm"`` keeps persistent workers that own their groups
+across batches and map the batch's columns from shared memory
+(zero-copy *and* multi-core; queries transparently re-synchronize the
+parent's copies).  All backends are bit-identical, because every group
+replays the same per-group delivery order under the same shared
+sampling hash.  Message counts, by contrast, are a real total
 either way: sharding does not reduce (and with ``S`` full-size samples
 slightly increases) the paper's message metric; what it buys is
 per-coordinator load ~``1/S`` and, under the process backend, real
@@ -66,6 +71,7 @@ from ..core.protocol import (
     iter_event_runs,
 )
 from ..errors import ConfigurationError, ProtocolError
+from ..hashing.unit import UnitHasher
 from ..netsim.network import MessageStats
 from ..streams.partition import HashDistributor
 from .executor import GroupPlan, make_executor
@@ -119,8 +125,8 @@ class ShardedSampler(Sampler):
             salt=_SHARD_SALT,
         )
         #: Cumulative batch-ingest wall-clock per group, in seconds —
-        #: in-process timers under the serial executor, the workers' own
-        #: measurements under the process executor.
+        #: in-process timers under the serial/thread executors, the
+        #: workers' own measurements under the process/shm executors.
         self.group_ingest_seconds = [0.0] * len(groups)
         #: The execution backend (swappable; e.g. tests share one
         #: :class:`~repro.runtime.executor.ProcessExecutor` pool across
@@ -133,8 +139,17 @@ class ShardedSampler(Sampler):
 
         Idempotent, and a no-op for the serial backend; the sampler
         remains usable — a process pool is re-created on the next batch.
+        A stateful backend (``"shm"``) first collects every live
+        session's worker-held group state back into its sampler, so no
+        ingested data is lost by closing.
         """
         self.executor.close()
+
+    def __enter__(self) -> "ShardedSampler":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     # -- routing -------------------------------------------------------------
 
@@ -142,6 +157,14 @@ class ShardedSampler(Sampler):
     def shards(self) -> int:
         """Number of coordinator groups S."""
         return len(self.groups)
+
+    @property
+    def sampling_hasher(self) -> UnitHasher:
+        """The shared sampling hash ``h`` (every group owns an equal
+        hasher — same seed, same algorithm — so a hash column warmed
+        under this instance is a cache hit for all of them)."""
+        hasher: UnitHasher = self.groups[0].hasher
+        return hasher
 
     def shard_of(self, item: Any) -> int:
         """The group that owns ``item``'s key (deterministic)."""
@@ -151,10 +174,12 @@ class ShardedSampler(Sampler):
 
     def _deliver(self, site_id: int, item: Any) -> None:
         """Deliver one item to its owning group's site (protocol hook)."""
+        self.executor.invalidate(self)
         self.groups[self.shard_of(item)]._deliver(site_id, item)
 
     def _advance_to(self, slot: int) -> None:
         """Slot boundary: every group advances (independent maintenance)."""
+        self.executor.invalidate(self)
         for group in self.groups:
             group.advance(slot)
 
@@ -245,14 +270,21 @@ class ShardedSampler(Sampler):
         return plans, state[0], state[1]
 
     def _plan_columns(
-        self, batch: EventBatch
+        self,
+        batch: EventBatch,
+        warm_hasher: Optional[UnitHasher] = None,
     ) -> tuple[list[GroupPlan], Optional[int], int]:
         """Columnar twin of :meth:`_plan_events`: per-group column slices.
 
-        The shared sampling-hash column is deliberately *not* warmed
-        here — each worker hashes its own slice, in parallel (and
+        With ``warm_hasher=None`` (the process backend) the shared
+        sampling-hash column is deliberately *not* warmed — each worker
+        hashes its own slice, in parallel (and
         :class:`~repro.core.events.EventBatch` drops derived hash caches
-        when pickled, so nothing is shipped twice).
+        when pickled, so nothing is shipped twice).  The thread and
+        shared-memory backends pass the sampling hasher instead: the
+        column is computed once per run in the parent — exactly like the
+        serial path — and the per-group ``select`` *slices* it, so shm
+        workers adopt views of one warmed column rather than rehashing.
         """
         plans: list[GroupPlan] = [[] for _ in self.groups]
         state: list[Any] = [self._last_slot, 0]
@@ -261,6 +293,8 @@ class ShardedSampler(Sampler):
                 self._plan_advance(plans, slot, state)
             if not len(run):
                 continue
+            if warm_hasher is not None:
+                run.hash_column(warm_hasher)
             if len(self.groups) == 1:
                 plans[0].append((None, run))
                 continue
@@ -325,6 +359,7 @@ class ShardedSampler(Sampler):
 
     def sample(self) -> SampleResult:
         """Query-time merge: bottom-s over the union of group samples."""
+        self.executor.sync(self)
         pairs: list[tuple[float, Any]] = []
         for group in self.groups:
             pairs.extend(group.sample().pairs)
@@ -350,6 +385,7 @@ class ShardedSampler(Sampler):
 
     def message_stats(self) -> MessageStats:
         """Aggregate message counters across all S group transports."""
+        self.executor.sync(self)
         return merge_message_stats(
             group.message_stats() for group in self.groups
         )
@@ -360,6 +396,7 @@ class ShardedSampler(Sampler):
         ``per_site_memory[i]`` sums physical site ``i``'s footprint over
         its S shard-local sites (one per group).
         """
+        self.executor.sync(self)
         return aggregate_sampler_stats(self.groups, self._slots_processed)
 
     @property
@@ -397,6 +434,7 @@ class ShardedSampler(Sampler):
     # -- persistence ---------------------------------------------------------
 
     def state_dict(self) -> dict[str, Any]:
+        self.executor.sync(self)
         return {
             "protocol": {
                 "last_slot": self._last_slot,
@@ -406,6 +444,7 @@ class ShardedSampler(Sampler):
         }
 
     def load_state(self, state: dict[str, Any]) -> None:
+        self.executor.invalidate(self)
         try:
             protocol = state["protocol"]
             groups = state["groups"]

@@ -47,3 +47,25 @@ class CacheShipper:
         self.items = state["items"]
         self._hash_columns = state["hash_columns"]
         self._items_list = state["views"]
+
+
+class ShmHolder:
+    """Binds a shared-memory handle with no override."""
+
+    def __init__(self, size):
+        from multiprocessing.shared_memory import SharedMemory
+
+        self._block = SharedMemory(create=True, size=size)  # unpicklable
+
+
+class SafeShmHolder:
+    """Same handle, but never shipped — must NOT fire."""
+
+    def __init__(self, size):
+        from multiprocessing.shared_memory import SharedMemory
+
+        self._block = SharedMemory(create=True, size=size)
+        self.size = size
+
+    def __getstate__(self):
+        return {"size": self.size}

@@ -1,0 +1,56 @@
+"""RPR007 fixture: SharedMemory creation with/without error-path unlink."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_create(nbytes):
+    block = shared_memory.SharedMemory(create=True, size=nbytes)  # line 8
+    block.buf[: len(b"x")] = b"x"
+    block.unlink()  # straight-line unlink: skipped by any raise above
+    block.close()
+
+
+def guarded_create(nbytes):
+    # The _create_block pattern — must NOT fire.
+    block = SharedMemory(create=True, size=nbytes)
+    try:
+        block.buf[: len(b"x")] = b"x"
+    except BaseException:
+        block.unlink()
+        block.close()
+        raise
+    return block
+
+
+def finally_create(nbytes):
+    # unlink in a finally covers every path — must NOT fire.
+    block = SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(block.buf[:nbytes])
+    finally:
+        block.unlink()
+        block.close()
+
+
+def attach_only(name):
+    # Attaching does not own the segment — must NOT fire.
+    block = SharedMemory(name=name)
+    value = bytes(block.buf[:1])
+    block.close()
+    return value
+
+
+def nested_unlink_does_not_protect(nbytes):
+    block = SharedMemory(create=True, size=nbytes)  # line 45
+
+    def cleanup():
+        try:
+            pass
+        finally:
+            block.unlink()  # never runs unless someone calls cleanup()
+
+    return block, cleanup
+
+
+MODULE_BLOCK = SharedMemory(create=True, size=16)  # line 56: no frame

@@ -1,6 +1,6 @@
 """Fixture-based tests for the ``repro lint`` rule engine.
 
-Every rule (RPR001–RPR006) has a fixture under ``tests/lint_fixtures/``
+Every rule (RPR001–RPR007) has a fixture under ``tests/lint_fixtures/``
 with known violations on known lines, plus must-NOT-fire counterparts in
 the same file, so these tests pin both halves of each rule's contract.
 The suite also covers the suppression syntax, the JSON report schema,
@@ -37,7 +37,7 @@ def codes(report) -> list[str]:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert [r.code for r in all_rules()] == [
             "RPR001",
             "RPR002",
@@ -45,6 +45,7 @@ class TestRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         ]
 
     def test_every_rule_is_documented(self):
@@ -88,16 +89,20 @@ class TestRPR001TupleMaterialization:
 class TestRPR002PickleSafety:
     def test_fires_on_resources_and_shipped_caches(self):
         report = lint_fixture("rpr002_pickle_safety.py", "RPR002")
-        assert codes(report) == ["RPR002"] * 4
+        assert codes(report) == ["RPR002"] * 5
         messages = [v.message for v in report.violations]
         assert any("LeakyExecutor._lock" in m for m in messages)
         assert any("LeakyExecutor._pool" in m for m in messages)
+        assert any("ShmHolder._block" in m for m in messages)
         assert any("'_hash_columns'" in m for m in messages)
         assert any("'_items_list'" in m for m in messages)
 
     def test_override_exempts_the_class(self):
         report = lint_fixture("rpr002_pickle_safety.py", "RPR002")
         assert not any("SafeExecutor" in v.message for v in report.violations)
+        assert not any(
+            "SafeShmHolder" in v.message for v in report.violations
+        )
 
 
 class TestRPR003RegistryCompleteness:
@@ -180,6 +185,24 @@ class TestRPR006ExecutorSharedState:
         assert not any(
             "good_worker" in v.message for v in report.violations
         )
+
+
+class TestRPR007ShmUnlinkPairing:
+    def test_fires_on_unguarded_and_module_level_creation(self):
+        report = lint_fixture("rpr007_shm_lifecycle.py", "RPR007")
+        assert codes(report) == ["RPR007"] * 3
+        assert [v.line for v in report.violations] == [8, 45, 56]
+        messages = " ".join(v.message for v in report.violations)
+        assert "leaky_create" in messages
+        assert "nested_unlink_does_not_protect" in messages
+        assert "module-level" in messages
+
+    def test_guarded_finally_and_attach_shapes_are_clean(self):
+        report = lint_fixture("rpr007_shm_lifecycle.py", "RPR007")
+        messages = " ".join(v.message for v in report.violations)
+        assert "guarded_create" not in messages
+        assert "finally_create" not in messages
+        assert "attach_only" not in messages
 
 
 class TestSuppressions:
@@ -275,7 +298,7 @@ class TestCLI:
         assert rc == 0
         out = capsys.readouterr().out
         for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                     "RPR006"):
+                     "RPR006", "RPR007"):
             assert code in out
 
     def test_unknown_rule_is_a_usage_error(self, capsys):

@@ -45,6 +45,8 @@ class TestScenarioRegistry:
             "sharded-uniform",
             "sharded-uniform-columnar",
             "sharded-uniform-parallel",
+            "sharded-uniform-shm",
+            "sharded-uniform-thread",
             "sliding-churn",
             "uniform",
             "uniform-columnar",
@@ -148,6 +150,8 @@ class TestSuite:
             "sharded-uniform",
             "sharded-uniform-columnar",
             "sharded-uniform-parallel",
+            "sharded-uniform-shm",
+            "sharded-uniform-thread",
         ],
     )
     def test_sharded_uniform_runs_only_sharded_variants(
@@ -184,13 +188,21 @@ class TestSuite:
                 assert cell.memory_total == twin.memory_total
                 assert cell.sample_len == twin.sample_len
 
-    def test_parallel_cells_match_serial_counters(self, small_report):
-        """The ProcessExecutor scenario is an execution change only: its
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            "sharded-uniform-parallel",
+            "sharded-uniform-shm",
+            "sharded-uniform-thread",
+        ],
+    )
+    def test_parallel_cells_match_serial_counters(self, small_report, scenario):
+        """The executor scenarios are execution changes only: their
         deterministic counters must equal the serial columnar twin's —
         the suite-level face of the bit-identical acceptance criterion."""
         parallel = {
             r.variant: r for r in small_report.records
-            if r.scenario == "sharded-uniform-parallel"
+            if r.scenario == scenario
         }
         serial = {
             r.variant: r for r in small_report.records
@@ -203,6 +215,31 @@ class TestSuite:
             assert cell.bytes_total == twin.bytes_total
             assert cell.memory_total == twin.memory_total
             assert cell.sample_len == twin.sample_len
+
+    def test_serialization_counters_by_backend(self, small_report):
+        """Executor identity and the pickle/ipc split: serial and thread
+        cells move no bytes at all, shm cells move framing but zero
+        pickled event payload, and process cells pay the pickle tax the
+        shm backend exists to kill."""
+        by_scenario: dict = {}
+        for record in small_report.records:
+            by_scenario.setdefault(record.scenario, []).append(record)
+        for record in by_scenario["sharded-uniform-columnar"]:
+            assert record.executor == "serial"
+            assert record.pickle_bytes_per_event == 0.0
+            assert record.ipc_bytes_per_event == 0.0
+        for record in by_scenario["sharded-uniform-thread"]:
+            assert record.executor == "thread"
+            assert record.pickle_bytes_per_event == 0.0
+            assert record.ipc_bytes_per_event == 0.0
+        for record in by_scenario["sharded-uniform-shm"]:
+            assert record.executor == "shm"
+            assert record.pickle_bytes_per_event == 0.0
+            assert record.ipc_bytes_per_event > 0.0
+        for record in by_scenario["sharded-uniform-parallel"]:
+            assert record.executor == "process"
+            assert record.pickle_bytes_per_event > 0.0
+            assert record.ipc_bytes_per_event > 0.0
 
     def test_record_metrics_are_sane(self, small_report):
         for record in small_report.records:
@@ -366,6 +403,31 @@ class TestRegressionGate:
             params={**small_report.params, "repeats": 5},
         )
         assert compare_reports(other, small_report).ok
+
+    def test_zero_pickle_invariant_fails_shm_leak(self, small_report):
+        """A zero-copy backend reporting pickled event payload regresses
+        no matter what the baseline recorded."""
+        index = next(
+            i for i, r in enumerate(small_report.records)
+            if r.scenario == "sharded-uniform-shm"
+        )
+        leaky = _tweak(small_report, index, pickle_bytes_per_event=4.2)
+        comparison = compare_reports(leaky, small_report)
+        assert not comparison.ok
+        offenders = [
+            d for d in comparison.regressions
+            if d.metric == "pickle_bytes_per_event"
+        ]
+        assert len(offenders) == 1
+        assert offenders[0].scenario == "sharded-uniform-shm"
+        assert "pickle_bytes_per_event" in comparison.render()
+        # The process backend is allowed its pickle tax.
+        index = next(
+            i for i, r in enumerate(small_report.records)
+            if r.scenario == "sharded-uniform-parallel"
+        )
+        assert small_report.records[index].pickle_bytes_per_event > 0
+        assert compare_reports(small_report, small_report).ok
 
     def test_custom_tolerances(self, small_report):
         slow = _tweak(
@@ -657,6 +719,78 @@ class TestBatchSpeedup:
             )
         finally:
             parallel.close()
+
+
+    @pytest.mark.speedup
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="measured multi-core speedup needs >= 4 cores",
+    )
+    def test_shm_executor_is_2x_at_w4_on_sharded_uniform_shm(self):
+        """The zero-copy acceptance floor: persistent workers over
+        shared-memory columns (W=4) must beat the serial backend by
+        >= 2.0x wall-clock at n=500k — a higher bar than the process
+        backend's 1.5x, because the per-batch pickle tax is gone.  The
+        columnar batch is rebuilt per run (hash-column caches must not
+        carry over) and the workers are spawned before timing so
+        start-up cost stays out of the measured window."""
+        import gc
+        import time
+
+        from repro import make_sampler
+        from repro.perf import ScenarioParams, get_scenario
+        from repro.runtime.engine import Engine
+
+        params = ScenarioParams(n_events=500_000, num_sites=8, seed=7)
+        scenario = get_scenario("sharded-uniform-shm")
+
+        def build(executor):
+            sampler = make_sampler(
+                "sharded:infinite",
+                num_sites=8,
+                sample_size=16,
+                shards=4,
+                seed=5,
+                algorithm="mix64",
+                executor=executor,
+                workers=4,
+            )
+            return sampler, Engine(sampler, policy="hash", seed=params.seed)
+
+        def timed(executor):
+            sampler, engine = build(executor)
+            if executor == "shm":
+                sampler.executor.warmup()
+            batch = scenario.build(params)
+            started = time.perf_counter()
+            engine.observe_batch(batch)
+            elapsed = time.perf_counter() - started
+            return elapsed, sampler
+
+        gc.collect()
+        gc.disable()
+        try:
+            serial_s, serial = min(
+                (timed("serial") for _ in range(3)), key=lambda pair: pair[0]
+            )
+            shm_s, shm = min(
+                (timed("shm") for _ in range(3)), key=lambda pair: pair[0]
+            )
+        finally:
+            gc.enable()
+        try:
+            assert shm.sample() == serial.sample()
+            assert shm.stats() == serial.stats()
+            # The zero-copy contract held for the whole timed drive.
+            assert shm.executor.pickle_bytes == 0
+            assert shm.critical_path_seconds <= shm_s
+            speedup = serial_s / shm_s
+            assert speedup >= 2.0, (
+                f"SharedMemoryExecutor only {speedup:.2f}x over serial "
+                f"({serial_s * 1e3:.1f} ms vs {shm_s * 1e3:.1f} ms at W=4)"
+            )
+        finally:
+            shm.close()
 
 
 class TestCommittedBaseline:

@@ -13,11 +13,14 @@ configurations:
 * **Columnar == tuple-batch == single-observe.**  The three ingest
   representations are one semantics; random streams (slot stamps
   included) must leave identical full ``state_dict``\\ s.
-* **ProcessExecutor == SerialExecutor, bit-identically.**  The parallel
-  backend ships state through snapshot-v2 dicts and replays per-group
-  plans in worker processes; sample, message stats, and state must be
-  indistinguishable from the in-process run for every ``sharded:*``
-  variant.
+* **Every parallel executor == SerialExecutor, bit-identically.**  The
+  process backend ships state through snapshot-v2 dicts and replays
+  per-group plans in worker processes; the shm backend ships columns
+  through zero-copy shared memory to persistent workers; the thread
+  backend replays in-process.  Sample, message stats, and state must be
+  indistinguishable from the serial run for every ``sharded:*``
+  variant, and a worker crash mid-batch must leak no ``/dev/shm``
+  segment while falling back to the last synchronized state.
 * **Snapshot round-trip == continued run.**  A stateful
   :class:`~hypothesis.stateful.RuleBasedStateMachine` interleaves
   observe/advance/query/snapshot/restore and checks, after every step,
@@ -45,7 +48,10 @@ from repro import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
     EventBatch,
+    ExecutorError,
     ProcessExecutor,
+    SharedMemoryExecutor,
+    ThreadExecutor,
     UnitHasher,
     make_sampler,
     restore,
@@ -212,23 +218,34 @@ class TestIngestEquivalence:
 
 
 @pytest.fixture(scope="module")
-def shared_pool():
-    """One ProcessExecutor shared by every example (pool start-up would
-    otherwise dominate the property run)."""
-    executor = ProcessExecutor(workers=2)
-    yield executor
-    executor.close()
+def shared_executors():
+    """One executor of each parallel backend, shared by every example
+    (pool/worker start-up would otherwise dominate the property run)."""
+    executors = {
+        "process": ProcessExecutor(workers=2),
+        "shm": SharedMemoryExecutor(workers=2),
+        "thread": ThreadExecutor(workers=2),
+    }
+    yield executors
+    for executor in executors.values():
+        executor.close()
+
+
+PARALLEL_EXECUTORS = ("process", "shm", "thread")
 
 
 class TestExecutorEquivalence:
-    """The acceptance pin: ProcessExecutor is byte-identical to
-    SerialExecutor for every ``sharded:*`` variant."""
+    """The acceptance pin: every parallel backend (process, shm, thread)
+    is byte-identical to SerialExecutor for every ``sharded:*`` variant."""
 
     @given(data=st.data())
-    @settings(max_examples=12)
-    def test_process_executor_is_bit_identical_to_serial(
-        self, shared_pool, data
+    @settings(max_examples=24, deadline=None)
+    def test_parallel_executor_is_bit_identical_to_serial(
+        self, shared_executors, data
     ):
+        backend = data.draw(
+            st.sampled_from(PARALLEL_EXECUTORS), label="executor"
+        )
         variant = data.draw(st.sampled_from(SHARDED_ALL), label="variant")
         windowed = variant in SHARDED_WINDOWED
         shards = data.draw(st.integers(1, 3), label="shards")
@@ -253,19 +270,25 @@ class TestExecutorEquivalence:
             )
 
         serial = build("serial", 0)
-        parallel = build("process", 2)
-        parallel.executor = shared_pool  # reuse one pool across examples
+        parallel = build(backend, 2)
+        # Reuse one long-lived executor per backend across examples.
+        parallel.executor = shared_executors[backend]
         cut = len(events) // 2
         for chunk in (events[:cut], events[cut:]):
             serial.observe_batch(list(chunk))
             parallel.observe_batch(list(chunk))
         assert_indistinguishable(parallel, serial)
+        assert parallel.message_stats() == serial.message_stats()
         assert parallel.current_slot == serial.current_slot
 
-    @given(stream=flat_streams(), seed=st.integers(0, 3))
-    @settings(max_examples=10)
-    def test_process_executor_columnar_matches_serial(
-        self, shared_pool, stream, seed
+    @given(
+        backend=st.sampled_from(PARALLEL_EXECUTORS),
+        stream=flat_streams(),
+        seed=st.integers(0, 3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_executor_columnar_matches_serial(
+        self, shared_executors, backend, stream, seed
     ):
         k, events = stream
         batch = EventBatch.from_events(events)
@@ -282,11 +305,71 @@ class TestExecutorEquivalence:
                 workers=2,
             )
 
-        serial, parallel = build("serial"), build("process")
-        parallel.executor = shared_pool
+        serial, parallel = build("serial"), build(backend)
+        parallel.executor = shared_executors[backend]
         serial.observe_batch(batch)
         parallel.observe_batch(EventBatch.from_events(events))
         assert_indistinguishable(parallel, serial)
+
+
+class TestShmCrashRecovery:
+    """A worker crash mid-batch must leak no /dev/shm segment, fall the
+    sampler back to its last synchronized state, and heal on the next
+    batch (fresh workers re-adopt the parent's state)."""
+
+    @staticmethod
+    def _segments():
+        import os
+
+        try:
+            return {
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith("psm_")
+            }
+        except FileNotFoundError:  # non-Linux: nothing to leak-check
+            return set()
+
+    def test_worker_crash_mid_batch(self):
+        events = [(i % 3, (i * 17) % 211) for i in range(300)]
+        batch1 = EventBatch.from_events(events[:150])
+        batch2 = EventBatch.from_events(events[150:])
+
+        def build(executor):
+            return make_sampler(
+                "sharded:infinite",
+                num_sites=3,
+                sample_size=8,
+                shards=3,
+                seed=5,
+                algorithm="mix64",
+                executor=executor,
+                workers=2,
+            )
+
+        before = self._segments()
+        serial, crashy = build("serial"), build("shm")
+        try:
+            serial.observe_batch(batch1)
+            crashy.observe_batch(EventBatch.from_events(events[:150]))
+            # Querying synchronizes the parent's copy of the state.
+            assert crashy.sample() == serial.sample()
+            for worker in crashy.executor._workers:
+                worker.process.kill()
+                worker.process.join()
+            with pytest.raises(ExecutorError):
+                crashy.observe_batch(EventBatch.from_events(events[150:]))
+            # The failed batch was lost wholesale; the parent fell back
+            # to the last synchronized state...
+            assert crashy.sample() == serial.sample()
+            assert crashy.state_dict() == serial.state_dict()
+            # ...and the next batch respawns workers and re-adopts.
+            serial.observe_batch(batch2)
+            crashy.observe_batch(EventBatch.from_events(events[150:]))
+            assert_indistinguishable(crashy, serial)
+        finally:
+            crashy.close()
+        assert self._segments() - before == set()
 
 
 class SnapshotContinuationMachine(RuleBasedStateMachine):

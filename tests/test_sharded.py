@@ -15,10 +15,13 @@ import pytest
 from repro import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
+    EventBatch,
     ProcessExecutor,
     SamplerConfig,
     SerialExecutor,
     ShardedSampler,
+    SharedMemoryExecutor,
+    ThreadExecutor,
     UnitHasher,
     make_sampler,
     restore,
@@ -310,6 +313,7 @@ class TestExecutionBackends:
         assert isinstance(sampler.executor, SerialExecutor)
         assert sampler.config.executor == "serial"
 
+    @pytest.mark.parametrize("executor", ["process", "shm", "thread"])
     @pytest.mark.parametrize(
         "variant,window",
         [
@@ -321,7 +325,9 @@ class TestExecutionBackends:
             ("sharded:sliding-local-push", 10),
         ],
     )
-    def test_process_backend_is_bit_identical_to_serial(self, variant, window):
+    def test_parallel_backend_is_bit_identical_to_serial(
+        self, variant, window, executor
+    ):
         def build(executor):
             return make_sampler(
                 variant,
@@ -334,8 +340,13 @@ class TestExecutionBackends:
                 workers=2,
             )
 
-        serial, parallel = build("serial"), build("process")
-        assert isinstance(parallel.executor, ProcessExecutor)
+        backend_types = {
+            "process": ProcessExecutor,
+            "shm": SharedMemoryExecutor,
+            "thread": ThreadExecutor,
+        }
+        serial, parallel = build("serial"), build(executor)
+        assert isinstance(parallel.executor, backend_types[executor])
         if window:
             events = [
                 (site, item, slot)
@@ -461,12 +472,124 @@ class TestExecutionBackends:
             SamplerConfig(variant="sharded:infinite", workers=-1).validate()
         with pytest.raises(ConfigurationError, match="workers"):
             ProcessExecutor(workers=-2)
+        with pytest.raises(ConfigurationError, match="workers"):
+            SharedMemoryExecutor(workers=-2)
+        with pytest.raises(ConfigurationError, match="workers"):
+            ThreadExecutor(workers=-1)
         with pytest.raises(ConfigurationError, match="unknown executor"):
             from repro.runtime import make_executor
 
             make_executor(
                 SamplerConfig(variant="sharded:infinite", executor="nope")
             )
+
+
+class TestSharedMemoryBackendLifecycle:
+    """shm/thread backend lifecycle: context managers, idempotent close
+    with respawn-on-demand, in-process single observes, mixed ingest
+    paths, and the no-leaked-segments guarantee."""
+
+    @staticmethod
+    def _segments():
+        import os
+
+        try:
+            return {
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith("psm_")
+            }
+        except FileNotFoundError:
+            return set()
+
+    def _build(self, executor, workers=2):
+        return make_sampler(
+            "sharded:infinite",
+            num_sites=3,
+            sample_size=4,
+            shards=3,
+            seed=SEED,
+            algorithm="mix64",
+            executor=executor,
+            workers=workers,
+        )
+
+    def test_context_manager_closes_the_backend(self):
+        with self._build("shm") as sampler:
+            sampler.observe_batch(uniform_events(400, sites=3, universe=90))
+            sample = sampler.sample()
+            assert sampler.executor._workers is not None
+        assert sampler.executor._workers is None
+        # Queries after close still serve from the parent's state.
+        assert sampler.sample() == sample
+
+    def test_close_is_idempotent_and_workers_respawn(self):
+        sampler = self._build("shm")
+        events = uniform_events(600, sites=3, universe=100)
+        sampler.observe_batch(events[:300])
+        sampler.close()
+        sampler.close()
+        # The backend stays usable: workers respawn on demand.
+        sampler.observe_batch(events[300:])
+        with self._build("serial") as serial:
+            serial.observe_batch(events)
+            assert sampler.sample() == serial.sample()
+        sampler.close()
+
+    def test_single_observe_never_spawns_workers(self):
+        sampler = self._build("shm")
+        for site, item in uniform_events(200, sites=3, universe=50):
+            sampler.observe(site, item)
+        assert sampler.executor._workers is None
+        with self._build("serial") as serial:
+            serial.observe_batch(uniform_events(200, sites=3, universe=50))
+            assert sampler.sample() == serial.sample()
+        sampler.close()
+
+    @pytest.mark.parametrize("executor", ["shm", "thread"])
+    def test_mixed_ingest_paths_match_serial(self, executor):
+        events = uniform_events(900, sites=3, universe=150)
+        batch = EventBatch.from_events(events[:300])
+
+        def drive(sampler):
+            sampler.observe_batch(batch)  # columnar
+            _ = sampler.sample()  # mid-stream query forces a sync
+            for site, item in events[300:350]:
+                sampler.observe(site, item)  # single (in-parent)
+            sampler.observe_batch(events[350:600])  # tuple list
+            sampler.observe_batch(EventBatch.from_events(events[600:]))
+
+        serial, parallel = self._build("serial"), self._build(executor)
+        drive(serial)
+        drive(parallel)
+        assert parallel.sample() == serial.sample()
+        assert parallel.stats() == serial.stats()
+        assert parallel.state_dict() == serial.state_dict()
+        parallel.close()
+
+    def test_no_segments_leaked_across_the_lifecycle(self):
+        before = self._segments()
+        sampler = self._build("shm")
+        sampler.observe_batch(uniform_events(800, sites=3, universe=120))
+        _ = sampler.sample()
+        sampler.observe_batch(uniform_events(800, sites=3, universe=120, seed=7))
+        sampler.close()
+        assert self._segments() - before == set()
+
+    def test_serialization_counters_split_pickle_from_ipc(self):
+        sampler = self._build("shm")
+        sampler.observe_batch(
+            EventBatch.from_events(uniform_events(500, sites=3, universe=90))
+        )
+        _ = sampler.sample()
+        # Columns travel through /dev/shm: zero pickled event payload,
+        # nonzero request/reply framing.
+        assert sampler.executor.pickle_bytes == 0
+        assert sampler.executor.ipc_bytes > 0
+        sampler.observe_batch(uniform_events(100, sites=3, universe=90))
+        # The tuple fallback is honest: it counts its pickled payloads.
+        assert sampler.executor.pickle_bytes > 0
+        sampler.close()
 
 
 @pytest.mark.speedup
