@@ -23,7 +23,7 @@ Commands:
   ``benchmarks/accuracy_baseline.json`` (``compare --format markdown``
   emits the CI job-summary table).
 * ``repro lint [paths ...]`` — the project-invariant static analyzer
-  (AST rules RPR001-RPR007 over ``src/`` by default); ``--format json``
+  (AST rules RPR001-RPR008 over ``src/`` by default); ``--format json``
   emits the schema-versioned report CI archives, ``--list-rules`` prints
   the rule catalog.
 """
@@ -183,6 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="NAME",
             help="restrict to a variant (repeatable; default all)",
         )
+        p.add_argument(
+            "--read-ratio",
+            type=float,
+            default=4.0,
+            help="queries per ingest chunk for the sharded-mixed-rw "
+            "scenario (default 4.0; a workload parameter — compare "
+            "against a baseline generated at the same ratio)",
+        )
 
     perf_run = perf_sub.add_parser(
         "run", help="run the suite and write a JSON report"
@@ -209,6 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.25,
         help="max factor for the deterministic counters (default 1.25)",
+    )
+    perf_cmp.add_argument(
+        "--format",
+        choices=("human", "markdown"),
+        default="human",
+        help="output format (markdown renders the gate verdict plus the "
+        "query-path metrics table for CI step summaries)",
     )
 
     perf_prof = perf_sub.add_parser(
@@ -243,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_prof.add_argument("--seed", type=int, default=20150525)
     perf_prof.add_argument(
+        "--read-ratio",
+        type=float,
+        default=4.0,
+        help="queries per ingest chunk for sharded-mixed-rw",
+    )
+    perf_prof.add_argument(
         "--top",
         type=int,
         default=25,
@@ -251,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_p = sub.add_parser(
         "lint",
-        help="project-invariant static analysis (AST rules RPR001-RPR007)",
+        help="project-invariant static analysis (AST rules RPR001-RPR008)",
     )
     lint_p.add_argument(
         "paths",
@@ -574,6 +595,7 @@ def _perf_suite_config(args: argparse.Namespace):
         variants=tuple(args.variant or ()),
         shards=args.shards,
         workers=args.workers,
+        read_ratio=args.read_ratio,
     )
 
 
@@ -597,6 +619,7 @@ def _cmd_perf_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         workers=args.workers,
+        read_ratio=args.read_ratio,
     )
     variant_name = args.variant
     if variant_name is None:
@@ -683,6 +706,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         Tolerances,
         compare_reports,
         load_report,
+        render_markdown,
         run_suite,
         save_report,
     )
@@ -701,7 +725,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 count_factor=args.count_tolerance,
             ),
         )
-        print(comparison.render())
+        if args.format == "markdown":
+            print(render_markdown(comparison, current))
+        else:
+            print(comparison.render())
         return 0 if comparison.ok else 1
 
     if args.perf_command == "baseline":

@@ -123,7 +123,9 @@ class CentralizedWindowSampler:
     def sample(self) -> list[Any]:
         """Bottom-s over live distinct elements, ascending by hash."""
         self._evict()
-        scored = sorted(
+        # Deliberately brute-force: this is the reference oracle the
+        # differential tests trust, not a serving path.
+        scored = sorted(  # repro-lint: disable=RPR008
             (self.hasher.unit(element), element) for element in self._last_seen
         )
         return [element for _, element in scored[: self.sample_size]]

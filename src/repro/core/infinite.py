@@ -233,6 +233,12 @@ class BottomSFacadeBase(Sampler):
         """The coordinator's ``(hash, element)`` pairs, ascending by hash."""
         return self.coordinator.sample_store.pairs()
 
+    def sample_columns(self) -> tuple[np.ndarray, list[Any]]:
+        """Merge-side fast path: slice the coordinator's sorted store
+        directly (no :class:`~repro.core.protocol.SampleResult`, no
+        per-pair tuples)."""
+        return self.coordinator.sample_store.columns()
+
     @property
     def threshold(self) -> float:
         """The coordinator's current threshold u."""

@@ -46,6 +46,9 @@ from typing import (
     Union,
 )
 
+import numpy as np
+import numpy.typing as npt
+
 from ..errors import ConfigurationError, ProtocolError
 from ..netsim.message import MessageKind
 from ..netsim.network import MessageStats, Network
@@ -494,6 +497,25 @@ class Sampler(ABC):
     @abstractmethod
     def sample(self) -> SampleResult:
         """The current sample as a :class:`SampleResult`."""
+
+    def sample_columns(self) -> tuple[npt.NDArray[np.float64], list[Any]]:
+        """The current sample as parallel columns, ascending by hash.
+
+        Returns ``(hashes, items)`` where ``hashes`` is a float64 array
+        and ``items`` the matching elements, both in the same ascending
+        hash order :meth:`sample` reports.  This is the merge-side fast
+        path for composite facades (:class:`~repro.runtime.sharded
+        .ShardedSampler` concatenates the groups' columns and selects
+        the global bottom-``s`` with array kernels instead of sorting
+        tuples).  The default builds the columns from :meth:`sample`;
+        cores whose sample store already holds a sorted backing list
+        override it to slice that list directly.
+        """
+        pairs = self.sample().pairs
+        if not pairs:
+            return np.empty(0, dtype=np.float64), []
+        hashes, items = zip(*pairs)
+        return np.asarray(hashes, dtype=np.float64), list(items)
 
     def message_stats(self) -> MessageStats:
         """THE message-cost counters (canonical, via the runtime topology).

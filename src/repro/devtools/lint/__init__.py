@@ -12,6 +12,7 @@ RPR004    snapshot-symmetry           state keys written == keys consumed
 RPR005    determinism                 no wall-clock / unseeded RNG / set order
 RPR006    executor-shared-state       workers return results, never mutate parent
 RPR007    shm-unlink-pairing          SharedMemory creation paired with error-path unlink
+RPR008    no-python-sort-in-query-path  query/merge fast paths stay vectorized
 ========  ==========================  =========================================
 
 Entry points: :func:`run_lint` (library), ``repro lint`` (CLI), and the
@@ -37,6 +38,7 @@ from . import rules_columnar  # noqa: F401  (registration side effect)
 from . import rules_determinism  # noqa: F401
 from . import rules_executor  # noqa: F401
 from . import rules_pickle  # noqa: F401
+from . import rules_query  # noqa: F401
 from . import rules_registry  # noqa: F401
 from . import rules_shm  # noqa: F401
 from . import rules_snapshot  # noqa: F401

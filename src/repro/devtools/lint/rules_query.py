@@ -1,0 +1,91 @@
+"""RPR008 — no Python-level sorting inside query/merge fast paths.
+
+The query-time bottom-s merge (PR 9) is vectorized: every group exposes
+its sample as a float64 hash column (``sample_columns``/``columns``)
+and :meth:`repro.runtime.sharded.ShardedSampler._merge_groups` selects
+the global bottom-``s`` with ``np.concatenate`` + ``np.argpartition`` +
+a stable ``np.argsort`` tie-break.  The slow regression is one line
+away: ``sorted(pairs, key=...)`` or ``pairs.sort(...)`` over the
+per-pair tuples quietly reintroduces the Python comparison loop the
+merge was rebuilt to avoid — and, worse, a *non-stable-keyed* sort can
+break the pinned (hash, group, index) tie order.
+
+This rule flags ``sorted(...)`` calls and ``.sort(...)`` method calls
+inside the functions that make up the query fast path (``sample``,
+``sample_columns``, ``sample_pairs``, ``columns``, ``_merge_groups``).
+Sorting elsewhere — construction, reporting, test scaffolding — is
+fine; the invariant protects the per-query path only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["QueryPathPythonSortRule", "QUERY_FAST_PATH_FUNCTIONS"]
+
+#: Function names that constitute the query/merge hot path.
+QUERY_FAST_PATH_FUNCTIONS = frozenset(
+    {
+        "sample",
+        "sample_columns",
+        "sample_pairs",
+        "columns",
+        "_merge_groups",
+    }
+)
+
+
+@register_rule
+class QueryPathPythonSortRule(Rule):
+    code = "RPR008"
+    name = "no-python-sort-in-query-path"
+    summary = (
+        "query/merge fast paths (sample & co) must not sort in Python "
+        "(sorted()/.sort()); select over the hash column with "
+        "np.argpartition/np.argsort instead"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in QUERY_FAST_PATH_FUNCTIONS
+            ):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        where = f"query fast path {func.name!r}"
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id == "sorted":
+                yield self.violation(
+                    module,
+                    node,
+                    f"{where} sorts pairs in Python via sorted(); merge "
+                    "over the float64 hash column with np.argpartition "
+                    "+ stable np.argsort instead",
+                )
+            elif isinstance(callee, ast.Attribute) and callee.attr == "sort":
+                # np module-level sort (np.sort(...)) is the vectorized
+                # kernel this rule steers toward -- only flag the
+                # list.sort() method shape, which np arrays don't have
+                # as an attribute spelled through the np module object.
+                if (
+                    isinstance(callee.value, ast.Name)
+                    and callee.value.id in ("np", "numpy")
+                ):
+                    continue
+                yield self.violation(
+                    module,
+                    node,
+                    f"{where} sorts in Python via .sort(); keep the "
+                    "merge columnar (np.argpartition + stable "
+                    "np.argsort over the hash column)",
+                )

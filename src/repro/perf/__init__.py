@@ -15,7 +15,13 @@ CLI: ``repro perf run | compare | baseline`` (see README
 "Benchmarking & performance tracking").
 """
 
-from .regress import Comparison, MetricDelta, Tolerances, compare_reports
+from .regress import (
+    Comparison,
+    MetricDelta,
+    Tolerances,
+    compare_reports,
+    render_markdown,
+)
 from .report import (
     SCHEMA_VERSION,
     PerfRecord,
@@ -52,4 +58,5 @@ __all__ = [
     "MetricDelta",
     "Comparison",
     "compare_reports",
+    "render_markdown",
 ]

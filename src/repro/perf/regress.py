@@ -12,12 +12,16 @@ characteristics:
 A comparison *fails* (``ok`` is False) when any shared record exceeds a
 tolerance, when the current report lost coverage (a baseline record
 with no counterpart — a silently skipped variant is itself a
-regression), or when a record from a zero-copy backend (see
-:data:`ZERO_PICKLE_EXECUTORS`) reports a nonzero
-``pickle_bytes_per_event`` — an absolute invariant, not a baseline
-diff.  Records new in the current report are reported but never
-fail the gate, so adding scenarios/variants does not require touching
-the baseline in the same change.
+regression), or when a record violates an *absolute invariant* (not a
+baseline diff): a zero-copy backend (see :data:`ZERO_PICKLE_EXECUTORS`)
+reporting nonzero ``pickle_bytes_per_event``, a
+:data:`QUERY_CACHE_SCENARIOS` record whose cached query is not at least
+:data:`QUERY_CACHE_FLOOR` times faster than its cold query, or a
+:data:`MIXED_RW_SCENARIOS` record syncing as often as it queries
+(``syncs_per_query`` >= :data:`MAX_SYNCS_PER_QUERY`).  Records new in
+the current report are reported but never fail the gate, so adding
+scenarios/variants does not require touching the baseline in the same
+change.
 """
 
 from __future__ import annotations
@@ -33,7 +37,12 @@ __all__ = [
     "MetricDelta",
     "Comparison",
     "compare_reports",
+    "render_markdown",
     "ZERO_PICKLE_EXECUTORS",
+    "QUERY_CACHE_SCENARIOS",
+    "QUERY_CACHE_FLOOR",
+    "MIXED_RW_SCENARIOS",
+    "MAX_SYNCS_PER_QUERY",
 ]
 
 #: Suite parameters that shape the workload itself.  Two reports are only
@@ -47,6 +56,9 @@ WORKLOAD_PARAMS = (
     "seed",
     "algorithm",
     "shards",
+    # Read/write mix drives the mixed-rw query scenarios; reports taken
+    # at different ratios measure different workloads.
+    "read_ratio",
     # Pool size does not change the deterministic counters, but the
     # parallel cells' wall-clock is only comparable at equal W.
     "workers",
@@ -103,6 +115,18 @@ GATED_METRICS = ("elapsed_s", "messages_total", "bytes_total", "memory_total")
 #: whole contract, so any pickled event payload is a regression
 #: regardless of what the baseline recorded.
 ZERO_PICKLE_EXECUTORS = ("serial", "thread", "shm")
+
+#: Scenarios whose records must show the incremental merge cache working:
+#: a cached query at least :data:`QUERY_CACHE_FLOOR` times faster than a
+#: cold one.  Absolute invariants like the zero-pickle gate — the
+#: committed baseline's wall-clock numbers never excuse a violation.
+QUERY_CACHE_SCENARIOS = ("sharded-query-heavy",)
+QUERY_CACHE_FLOOR = 10.0
+
+#: Scenarios whose records must show queries sharing syncs: strictly
+#: fewer executor syncs than queries over the driver's mixed traffic.
+MIXED_RW_SCENARIOS = ("sharded-mixed-rw",)
+MAX_SYNCS_PER_QUERY = 1.0
 
 
 @dataclass(frozen=True)
@@ -244,9 +268,111 @@ def compare_reports(
                     factor=1.0,
                 )
             )
+        # Absolute invariant: on the query-heavy scenario a cached query
+        # must be at least QUERY_CACHE_FLOOR times faster than a cold
+        # one.  Encoded as "cached must not exceed cold/FLOOR" so the
+        # standard ratio > factor machinery reports it; appended only on
+        # violation, like the zero-pickle gate.
+        if record.scenario in QUERY_CACHE_SCENARIOS:
+            ceiling = _metric(record, "query_seconds_cold") / QUERY_CACHE_FLOOR
+            if record.query_seconds_cached > ceiling:
+                deltas.append(
+                    MetricDelta(
+                        scenario=key[0],
+                        variant=key[1],
+                        metric="query_seconds_cached",
+                        baseline=ceiling,
+                        current=record.query_seconds_cached,
+                        factor=1.0,
+                    )
+                )
+        # Absolute invariant: the mixed read/write scenario must share
+        # syncs across queries — strictly fewer syncs than queries
+        # (< MAX_SYNCS_PER_QUERY).  Appended only on violation with a
+        # zero baseline, so the ratio is inf and the delta regresses
+        # regardless of tolerance, exactly like the zero-pickle gate.
+        if (
+            record.scenario in MIXED_RW_SCENARIOS
+            and record.syncs_per_query >= MAX_SYNCS_PER_QUERY
+        ):
+            deltas.append(
+                MetricDelta(
+                    scenario=key[0],
+                    variant=key[1],
+                    metric="syncs_per_query",
+                    baseline=0.0,
+                    current=record.syncs_per_query,
+                    factor=1.0,
+                )
+            )
     added = [key for key in current_by_key if key not in baseline_by_key]
     return Comparison(
         deltas=tuple(deltas),
         missing=tuple(sorted(missing)),
         added=tuple(sorted(added)),
     )
+
+
+def render_markdown(comparison: Comparison, current: PerfReport) -> str:
+    """GitHub-flavored markdown summary (CI writes it to the step
+    summary page).
+
+    Leads with the gate verdict, lists every regression, then renders
+    the query-side metrics table for the query-path scenarios
+    (:data:`QUERY_CACHE_SCENARIOS` + :data:`MIXED_RW_SCENARIOS`) so the
+    cache-speedup and sync-sharing numbers are visible per run without
+    downloading the report artifact.
+    """
+    lines = ["### Perf regression gate", ""]
+    if comparison.ok:
+        lines.append(
+            f"**OK** — {len(comparison.deltas)} metric comparisons "
+            "within tolerance"
+        )
+    else:
+        lines.append(
+            f"**FAIL** — {len(comparison.regressions)} regression(s), "
+            f"{len(comparison.missing)} missing record(s)"
+        )
+        lines.append("")
+        lines.append("| scenario | variant | metric | current | baseline | ratio |")
+        lines.append("|---|---|---|---|---|---|")
+        for delta in comparison.regressions:
+            lines.append(
+                f"| {delta.scenario} | {delta.variant} | {delta.metric} "
+                f"| {delta.current:g} | {delta.baseline:g} "
+                f"| {delta.ratio:.2f}x > {delta.factor:g}x |"
+            )
+        for key in comparison.missing:
+            lines.append(f"| {key[0]} | {key[1]} | *missing* | — | — | — |")
+    query_scenarios = QUERY_CACHE_SCENARIOS + MIXED_RW_SCENARIOS
+    query_records = [
+        record
+        for record in current.records
+        if record.scenario in query_scenarios
+    ]
+    if query_records:
+        lines.append("")
+        lines.append("### Query-path metrics")
+        lines.append("")
+        lines.append(
+            "| scenario | variant | cold (µs) | cached (µs) "
+            "| cache speedup | syncs/query |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for record in query_records:
+            cold = record.query_seconds_cold
+            cached = record.query_seconds_cached
+            speedup = cold / cached if cached > 0 else float("inf")
+            lines.append(
+                f"| {record.scenario} | {record.variant} "
+                f"| {cold * 1e6:.1f} | {cached * 1e6:.2f} "
+                f"| {speedup:.1f}x | {record.syncs_per_query:.3f} |"
+            )
+    if comparison.added:
+        lines.append("")
+        lines.append(
+            "New (uncompared) records: "
+            + ", ".join(f"{key[0]}/{key[1]}" for key in comparison.added)
+        )
+    return "\n".join(lines)

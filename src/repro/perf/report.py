@@ -35,8 +35,10 @@ __all__ = [
 
 #: Current report schema version.  Readers must reject other majors.
 #: v2 added ``executor`` plus the per-event serialization counters
-#: (``pickle_bytes_per_event``, ``ipc_bytes_per_event``).
-SCHEMA_VERSION = 2
+#: (``pickle_bytes_per_event``, ``ipc_bytes_per_event``).  v3 added the
+#: query-side metrics (``query_seconds_cold``, ``query_seconds_cached``,
+#: ``syncs_per_query``).
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,17 @@ class PerfRecord:
     — and ``ipc_bytes_per_event`` is all request/reply framing bytes per
     event (plans, timings, state exchanges).  Both are identically 0.0
     for the in-process backends (serial, thread).
+
+    Query metrics (also from the last repeat, measured *after* the
+    driver finishes): ``query_seconds_cold`` is the best-of-several time
+    of one ``sample()`` with the merge cache dropped first (the full
+    columnar bottom-s merge), ``query_seconds_cached`` the best time of
+    a repeated ``sample()`` on the quiescent sampler (the cache hit),
+    and ``syncs_per_query`` the executor syncs the driver's own queries
+    actually triggered per query (0.0 when the driver never queried or
+    the sampler has no query counters).  The regression gate pins
+    cached ≥ 10x cold on ``sharded-query-heavy`` and
+    ``syncs_per_query`` < 1 on ``sharded-mixed-rw``.
     """
 
     scenario: str
@@ -75,6 +88,9 @@ class PerfRecord:
     executor: str
     pickle_bytes_per_event: float
     ipc_bytes_per_event: float
+    query_seconds_cold: float
+    query_seconds_cached: float
+    syncs_per_query: float
 
     @property
     def key(self) -> tuple[str, str]:
@@ -155,6 +171,9 @@ _RECORD_FIELDS = {
     "executor": str,
     "pickle_bytes_per_event": float,
     "ipc_bytes_per_event": float,
+    "query_seconds_cold": float,
+    "query_seconds_cached": float,
+    "syncs_per_query": float,
 }
 
 

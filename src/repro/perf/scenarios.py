@@ -38,6 +38,15 @@ Built-in scenarios:
   the serial twins by construction, wall-clock measuring real multi-core
   ingest.  The shm cell additionally pins ``pickle_bytes_per_event`` to
   exactly 0 — the zero-copy contract the regression gate enforces.
+* ``sharded-query-heavy`` — the columnar sharded ingest followed by a
+  burst of ``sample()``/``threshold``/``stats()`` queries on the
+  quiescent sampler; the cell where the incremental merge cache shows
+  up (``query_seconds_cached`` ≥ 10x faster than ``query_seconds_cold``
+  is gated).
+* ``sharded-mixed-rw`` — chunked ingest interleaved with query bursts
+  at ``ScenarioParams.read_ratio`` reads per chunk; the shared
+  per-quiescent-period sync keeps ``syncs_per_query`` near
+  ``1/read_ratio`` (gated < 1).
 
 Scenarios are registered via :func:`register_scenario`, mirroring
 :func:`repro.core.api.register_variant`.
@@ -78,12 +87,17 @@ class ScenarioParams:
         seed: Master seed; equal params must yield equal workloads.
         window: Window size in slots used by slotted scenarios to shape
             churn (and by the suite to configure windowed variants).
+        read_ratio: Queries issued per ingest chunk by the mixed
+            read/write scenario (``sharded-mixed-rw``); a workload
+            parameter like the others — reports generated at different
+            ratios are not comparable.
     """
 
     n_events: int = 20_000
     num_sites: int = 8
     seed: int = 20150525
     window: int = 64
+    read_ratio: float = 4.0
 
     def validate(self) -> "ScenarioParams":
         """Check ranges; returns self."""
@@ -93,6 +107,10 @@ class ScenarioParams:
             raise PerfError(f"num_sites must be >= 1, got {self.num_sites}")
         if self.window < 1:
             raise PerfError(f"window must be >= 1, got {self.window}")
+        if self.read_ratio < 0:
+            raise PerfError(
+                f"read_ratio must be >= 0, got {self.read_ratio}"
+            )
         return self
 
 
@@ -398,6 +416,89 @@ register_scenario(
         driver=_drive_engine_hash,
         variant_filter=lambda variant: variant.sharded and not variant.windowed,
         executor="shm",
+    )
+)
+#: Queries issued by the query-heavy scenario after ingest.  Large
+#: enough that the timed window is query-dominated: pre-cache, each
+#: query was a full sync + Python-sort merge; post-cache all but the
+#: first are O(1) hits.
+_QUERY_HEAVY_QUERIES = 256
+
+#: Ingest chunks for the mixed read/write scenario; with R queries per
+#: chunk the scenario issues ``32 * R`` queries but at most 32 syncs,
+#: so ``syncs_per_query <= 1/R``.
+_MIXED_RW_CHUNKS = 32
+
+
+def _drive_query_heavy(
+    sampler: Sampler, events: list, params: ScenarioParams
+) -> None:
+    """Ingest once, then hammer the query surface.
+
+    The read-dominated serving shape from the ROADMAP's north star: one
+    hash-routed columnar ingest followed by a burst of
+    ``sample()``/``threshold``/``stats()`` round-trips over the
+    quiescent sampler.  Before the merge cache every iteration forced an
+    executor sync plus a full Python-sort merge; with it, only the first
+    query after ingest does any work.
+    """
+    from ..runtime.engine import Engine
+
+    Engine(sampler, policy="hash", seed=params.seed).observe_batch(events)
+    for _ in range(_QUERY_HEAVY_QUERIES):
+        sampler.sample()
+        _ = sampler.threshold
+        sampler.stats()
+
+
+def _drive_mixed_rw(
+    sampler: Sampler, events: list, params: ScenarioParams
+) -> None:
+    """Interleave chunked ingest with query bursts at ``read_ratio``.
+
+    Each of the 32 ingest chunks is followed by ``round(read_ratio)``
+    queries; only the first query per chunk can trigger an executor
+    sync or a re-merge, so ``syncs_per_query`` lands near
+    ``1 / read_ratio`` (gated < 1 by ``perf compare``).
+    """
+    from ..runtime.engine import Engine
+
+    engine = Engine(sampler, policy="hash", seed=params.seed)
+    reads = max(1, int(round(params.read_ratio)))
+    n = len(events)
+    chunk = max(1, -(-n // _MIXED_RW_CHUNKS))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        if isinstance(events, EventBatch):
+            run = events.select(np.arange(start, stop))
+        else:
+            run = events[start:stop]
+        engine.observe_batch(run)
+        for _ in range(reads):
+            sampler.sample()
+            _ = sampler.threshold
+
+
+register_scenario(
+    Scenario(
+        name="sharded-query-heavy",
+        summary="sharded-uniform-columnar's ingest, then a burst of "
+        "sample/threshold/stats queries over the quiescent sampler "
+        "(cached >= 10x cold gated by perf compare)",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_query_heavy,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+    )
+)
+register_scenario(
+    Scenario(
+        name="sharded-mixed-rw",
+        summary="chunked columnar ingest interleaved with query bursts "
+        "at a configurable read:write ratio (syncs_per_query < 1 gated "
+        "by perf compare)",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_mixed_rw,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
     )
 )
 register_scenario(

@@ -27,7 +27,46 @@ __all__ = [
     "build_sampler_for",
     "close_sampler",
     "warmup_sampler",
+    "measure_query_metrics",
 ]
+
+#: Best-of repeats for the query-side measurements.  The cold merge is
+#: microseconds and the cached hit sub-microsecond, so these are cheap;
+#: min-of-N is the same noise-floor estimator the ingest timing uses.
+_QUERY_COLD_REPEATS = 5
+_QUERY_CACHED_REPEATS = 32
+
+
+def measure_query_metrics(sampler: Sampler) -> tuple[float, float, float]:
+    """Measure ``(cold_seconds, cached_seconds, syncs_per_query)``.
+
+    Called after a scenario's driver finishes, on the quiescent sampler.
+    ``syncs_per_query`` is read from the sampler's own
+    ``query_count``/``sync_count`` counters *before* the timed queries
+    below touch them, so it reflects the driver's query traffic (0.0 for
+    samplers without counters or drivers that never query).  The cold
+    timing drops the merge cache first via ``invalidate_merge_cache``
+    when the sampler has one — the executor sync stays shared, so this
+    isolates the merge recompute; samplers without a cache simply time
+    ``sample()`` twice and the two numbers converge.
+    """
+    queries = getattr(sampler, "query_count", 0)
+    syncs = getattr(sampler, "sync_count", 0)
+    syncs_per_query = (syncs / queries) if queries else 0.0
+    invalidate = getattr(sampler, "invalidate_merge_cache", None)
+    cold = float("inf")
+    for _ in range(_QUERY_COLD_REPEATS):
+        if invalidate is not None:
+            invalidate()
+        started = time.perf_counter()
+        sampler.sample()
+        cold = min(cold, time.perf_counter() - started)
+    cached = float("inf")
+    for _ in range(_QUERY_CACHED_REPEATS):
+        started = time.perf_counter()
+        sampler.sample()
+        cached = min(cached, time.perf_counter() - started)
+    return cold, cached, syncs_per_query
 
 
 def close_sampler(sampler: Sampler) -> None:
@@ -71,6 +110,9 @@ class SuiteConfig:
             execution backend (``sharded-uniform-parallel``,
             ``sharded-uniform-shm``, ``sharded-uniform-thread``); serial
             cells ignore it.
+        read_ratio: Queries per ingest chunk for the mixed
+            read/write scenario (``sharded-mixed-rw``); other scenarios
+            ignore it.
     """
 
     n_events: int = 20_000
@@ -84,6 +126,7 @@ class SuiteConfig:
     algorithm: str = "mix64"
     shards: int = 4
     workers: int = 4
+    read_ratio: float = 4.0
 
     def scenario_names(self) -> tuple:
         """Scenario names this run covers (validated)."""
@@ -108,6 +151,7 @@ class SuiteConfig:
             num_sites=self.num_sites,
             seed=self.seed,
             window=self.window,
+            read_ratio=self.read_ratio,
         ).validate()
 
 
@@ -187,6 +231,9 @@ def run_suite(
                 scenario.driver(sampler, events, params)
                 elapsed = time.perf_counter() - started
                 best = min(best, elapsed)
+            query_cold, query_cached, syncs_per_query = (
+                measure_query_metrics(sampler)
+            )
             stats = sampler.stats()
             result = sampler.sample()
             backend = getattr(sampler, "executor", None)
@@ -210,6 +257,9 @@ def run_suite(
                 executor=executor_name,
                 pickle_bytes_per_event=pickle_bytes * per_event,
                 ipc_bytes_per_event=ipc_bytes * per_event,
+                query_seconds_cold=query_cold,
+                query_seconds_cached=query_cached,
+                syncs_per_query=syncs_per_query,
             )
             records.append(record)
             if progress is not None:

@@ -403,14 +403,16 @@ class _ShmWorker:
 class _ShmSession:
     """Where one sampler's canonical group state currently lives."""
 
-    __slots__ = ("session_id", "workers_canonical", "in_sync")
+    __slots__ = ("session_id", "workers_canonical", "dirty")
 
     def __init__(self, session_id: int) -> None:
         self.session_id = session_id
         #: True once the workers hold adopted (authoritative) groups.
         self.workers_canonical = False
-        #: True while the parent's copies match the workers'.
-        self.in_sync = True
+        #: Group ids whose worker-held copies have advanced past the
+        #: parent's since the last sync.  Empty means fully in sync;
+        #: ``sync()`` collects exactly these groups and nothing else.
+        self.dirty: set[int] = set()
 
 
 def _terminate_workers(workers: list[_ShmWorker]) -> None:
@@ -471,7 +473,9 @@ class ExecutionBackend(ABC):
 
         No-op for backends whose parent-side groups are always
         canonical (serial/thread/process).  The sharded facade calls
-        this before every query (``sample``/``stats``/``state_dict``).
+        this at most once per quiescent period — queries between two
+        mutations share a single sync — and a stateful backend should
+        itself collect only the groups dirtied since the last sync.
         """
 
     def invalidate(self, sharded: "ShardedSampler") -> None:
@@ -800,7 +804,7 @@ class SharedMemoryExecutor(ExecutionBackend):
         self._dead_sessions.clear()
         for session in list(self._sessions.values()):
             session.workers_canonical = False
-            session.in_sync = True
+            session.dirty.clear()
         if workers:
             _terminate_workers(workers)
 
@@ -940,21 +944,29 @@ class SharedMemoryExecutor(ExecutionBackend):
         for w in posted:
             self._reply(workers[w])
         session.workers_canonical = True
-        session.in_sync = True
+        session.dirty.clear()
 
     def sync(self, sharded: "ShardedSampler") -> None:
-        """Collect worker-held group states back into the parent copies."""
+        """Collect the *dirty* worker-held group states back into the
+        parent copies.
+
+        Partial by design: only the groups that ingested since the last
+        sync (``session.dirty``) cross the pipe — a clean group's parent
+        copy is already canonical, so collecting it would be pure IPC
+        waste on read-heavy workloads.
+        """
         session = self._sessions.get(sharded)
-        if session is None or not session.workers_canonical or session.in_sync:
+        if session is None or not session.workers_canonical or not session.dirty:
             return
         workers = self._workers
         if workers is None:
             # Workers were closed/crashed since the last ingest; the
             # parent's last-synchronized copies are all that remains.
             session.workers_canonical = False
+            session.dirty.clear()
             return
         per_worker: dict[int, list[int]] = {}
-        for g in range(len(sharded.groups)):
+        for g in sorted(session.dirty):
             per_worker.setdefault(g % len(workers), []).append(g)
         posted = []
         for w, group_ids in sorted(per_worker.items()):
@@ -963,7 +975,7 @@ class SharedMemoryExecutor(ExecutionBackend):
         for w in posted:
             for g, state in self._reply(workers[w]).items():
                 sharded.groups[g].load_state(state)
-        session.in_sync = True
+        session.dirty.clear()
 
     def invalidate(self, sharded: "ShardedSampler") -> None:
         """Sync, then make the parent's groups canonical again."""
@@ -1042,8 +1054,7 @@ class SharedMemoryExecutor(ExecutionBackend):
         for w in posted:
             for g, elapsed in self._reply(workers[w]).items():
                 sharded.group_ingest_seconds[g] += elapsed
-        if posted:
-            session.in_sync = False
+                session.dirty.add(g)
 
     @staticmethod
     def _plans_by_worker(

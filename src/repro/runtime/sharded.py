@@ -60,6 +60,7 @@ import time
 from typing import Any, Iterable, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.events import EventBatch
 from ..core.protocol import (
@@ -132,6 +133,23 @@ class ShardedSampler(Sampler):
         #: :class:`~repro.runtime.executor.ProcessExecutor` pool across
         #: many short-lived samplers).
         self.executor = make_executor(config)
+        #: Monotonic per-group mutation counters.  Every path that can
+        #: change a group's sample — single observe, advance, snapshot
+        #: restore, or a batch plan shipped to an executor — bumps the
+        #: owning group's counter, and the cached merged sample below is
+        #: keyed on the whole vector, so a stale cache entry can only be
+        #: dropped, never served.  Bumps are deliberately conservative
+        #: (plan-build time, before execution): over-counting costs one
+        #: cache miss, under-counting would be a correctness bug.
+        self._group_generation = [0] * len(groups)
+        self._merge_key: Optional[tuple[tuple[int, ...], Optional[int]]] = None
+        self._merge_result: Optional[SampleResult] = None
+        self._synced_key: Optional[tuple[int, ...]] = None
+        #: Query-side observability: total queries answered (cached or
+        #: cold) and executor syncs actually issued — the perf suite
+        #: reports their ratio as ``syncs_per_query``.
+        self.query_count = 0
+        self.sync_count = 0
         self._init_protocol()
 
     def close(self) -> None:
@@ -175,11 +193,14 @@ class ShardedSampler(Sampler):
     def _deliver(self, site_id: int, item: Any) -> None:
         """Deliver one item to its owning group's site (protocol hook)."""
         self.executor.invalidate(self)
-        self.groups[self.shard_of(item)]._deliver(site_id, item)
+        shard = self.shard_of(item)
+        self._group_generation[shard] += 1
+        self.groups[shard]._deliver(site_id, item)
 
     def _advance_to(self, slot: int) -> None:
         """Slot boundary: every group advances (independent maintenance)."""
         self.executor.invalidate(self)
+        self._bump_all_generations()
         for group in self.groups:
             group.advance(slot)
 
@@ -267,6 +288,7 @@ class ShardedSampler(Sampler):
                     plans[shard].append(
                         (None, [run[i] for i in index.tolist()])
                     )
+        self._bump_planned(plans)
         return plans, state[0], state[1]
 
     def _plan_columns(
@@ -303,7 +325,23 @@ class ShardedSampler(Sampler):
                 index = np.flatnonzero(shard_ids == shard)
                 if index.size:
                     plans[shard].append((None, run.select(index)))
+        self._bump_planned(plans)
         return plans, state[0], state[1]
+
+    def _bump_planned(self, plans: list[GroupPlan]) -> None:
+        """Invalidate the merge cache for every group a plan will touch.
+
+        Called at plan-build time, before the backend executes: if the
+        execution later fails the cache is merely cold, never stale.
+        """
+        for shard, tasks in enumerate(plans):
+            if tasks:
+                self._group_generation[shard] += 1
+
+    def _bump_all_generations(self) -> None:
+        generations = self._group_generation
+        for shard in range(len(generations)):
+            generations[shard] += 1
 
     def _commit_slots(self, last_slot: Optional[int], advances: int) -> None:
         """Adopt the slot bookkeeping of a successfully executed plan
@@ -318,6 +356,7 @@ class ShardedSampler(Sampler):
         timings = self.group_ingest_seconds
         groups = self.groups
         if len(groups) == 1:
+            self._group_generation[0] += 1
             started = time.perf_counter()
             groups[0].observe_columns(run)
             timings[0] += time.perf_counter() - started
@@ -331,6 +370,7 @@ class ShardedSampler(Sampler):
             if not index.size:
                 continue
             sub_run = run.select(index)
+            self._group_generation[shard] += 1
             started = time.perf_counter()
             groups[shard].observe_columns(sub_run)
             timings[shard] += time.perf_counter() - started
@@ -340,6 +380,7 @@ class ShardedSampler(Sampler):
             return
         timings = self.group_ingest_seconds
         if len(self.groups) == 1:
+            self._group_generation[0] += 1
             started = time.perf_counter()
             self.groups[0].observe_batch(batch)
             timings[0] += time.perf_counter() - started
@@ -351,25 +392,92 @@ class ShardedSampler(Sampler):
             if not index.size:
                 continue
             sub_batch = [batch[i] for i in index.tolist()]
+            self._group_generation[shard] += 1
             started = time.perf_counter()
             self.groups[shard].observe_batch(sub_batch)
             timings[shard] += time.perf_counter() - started
 
     # -- queries -------------------------------------------------------------
 
-    def sample(self) -> SampleResult:
-        """Query-time merge: bottom-s over the union of group samples."""
+    def _generation_key(self) -> tuple[int, ...]:
+        return tuple(self._group_generation)
+
+    def _sync_if_stale(self) -> None:
+        """Collect worker-held group state at most once per quiescent
+        period: ``sample()``/``stats()``/``message_stats()``/
+        ``state_dict()`` between two mutations share a single executor
+        sync instead of forcing one each.  The executors themselves
+        additionally collect only the groups that ingested since the
+        last sync (dirty bits), so even the one sync is partial.
+        """
+        key = self._generation_key()
+        if self._synced_key == key:
+            return
         self.executor.sync(self)
-        pairs: list[tuple[float, Any]] = []
-        for group in self.groups:
-            pairs.extend(group.sample().pairs)
-        pairs.sort(key=lambda pair: pair[0])
+        self.sync_count += 1
+        self._synced_key = key
+
+    def invalidate_merge_cache(self) -> None:
+        """Drop the cached merged sample (benchmark/test hook).
+
+        The next :meth:`sample` recomputes the merge from the group
+        columns; the shared executor sync is *not* forced (it stays a
+        no-op while no group mutated), so timing a query after this
+        isolates the cold-merge cost.
+        """
+        self._merge_key = None
+        self._merge_result = None
+
+    def sample(self) -> SampleResult:
+        """Query-time merge: bottom-s over the union of group samples.
+
+        The merged :class:`~repro.core.protocol.SampleResult` is cached
+        keyed on the per-group generation vector plus the current slot —
+        repeated queries over a quiescent sampler (the
+        :attr:`threshold` accessor, ``stats``-then-``sample`` call
+        sequences, read-heavy serving traffic) return the cached object
+        in O(1) with no executor sync and no re-merge.  A cold query
+        merges the groups' sorted hash columns with array kernels; ties
+        break deterministically by (hash, group, in-group index).
+        """
+        self.query_count += 1
+        key = (self._generation_key(), self._last_slot)
+        if self._merge_result is not None and self._merge_key == key:
+            return self._merge_result
+        self._sync_if_stale()
+        result = self._merge_groups()
+        self._merge_key = key
+        self._merge_result = result
+        return result
+
+    def _merge_groups(self) -> SampleResult:
+        """Cold merge: vectorized bottom-s over the group columns."""
         s = self._config.sample_size
-        top = tuple(pairs[:s])
-        threshold = top[-1][0] if len(top) == s else 1.0
+        columns = [group.sample_columns() for group in self.groups]
+        hashes = np.concatenate([hash_column for hash_column, _ in columns])
+        items: list[Any] = []
+        for _, group_items in columns:
+            items.extend(group_items)
+        order: npt.NDArray[np.intp]
+        if hashes.size > s:
+            # argpartition alone is free to order equal hashes that
+            # straddle the pivot either way; re-ranking every pair tied
+            # with the pivot through a stable argsort pins truncation to
+            # the (hash, group, index) order — which is exactly ascending
+            # position in the group-major concatenation, each group's
+            # column already being sorted.
+            pivot = hashes[np.argpartition(hashes, s - 1)[s - 1]]
+            candidates = np.flatnonzero(hashes <= pivot)
+            order = candidates[np.argsort(hashes[candidates], kind="stable")]
+            order = order[:s]
+        else:
+            order = np.argsort(hashes, kind="stable")
+        top_hashes: list[float] = hashes[order].tolist()
+        top_items = [items[position] for position in order.tolist()]
+        threshold = top_hashes[-1] if len(top_hashes) == s else 1.0
         return SampleResult(
-            items=tuple(item for _, item in top),
-            pairs=top,
+            items=tuple(top_items),
+            pairs=tuple(zip(top_hashes, top_items)),
             threshold=threshold,
             sample_size=s,
             window=self._config.window or None,
@@ -378,14 +486,16 @@ class ShardedSampler(Sampler):
 
     @property
     def threshold(self) -> float:
-        """The merged sample's acceptance threshold."""
+        """The merged sample's acceptance threshold (served from the
+        merge cache — no executor sync, no re-merge while quiescent)."""
         return self.sample().threshold
 
     # -- cost accounting -----------------------------------------------------
 
     def message_stats(self) -> MessageStats:
         """Aggregate message counters across all S group transports."""
-        self.executor.sync(self)
+        self.query_count += 1
+        self._sync_if_stale()
         return merge_message_stats(
             group.message_stats() for group in self.groups
         )
@@ -396,7 +506,8 @@ class ShardedSampler(Sampler):
         ``per_site_memory[i]`` sums physical site ``i``'s footprint over
         its S shard-local sites (one per group).
         """
-        self.executor.sync(self)
+        self.query_count += 1
+        self._sync_if_stale()
         return aggregate_sampler_stats(self.groups, self._slots_processed)
 
     @property
@@ -434,7 +545,7 @@ class ShardedSampler(Sampler):
     # -- persistence ---------------------------------------------------------
 
     def state_dict(self) -> dict[str, Any]:
-        self.executor.sync(self)
+        self._sync_if_stale()
         return {
             "protocol": {
                 "last_slot": self._last_slot,
@@ -458,6 +569,7 @@ class ShardedSampler(Sampler):
         last_slot = protocol.get("last_slot")
         self._last_slot = None if last_slot is None else int(last_slot)
         self._slots_processed = int(protocol.get("slots_processed", 0))
+        self._bump_all_generations()
         for group, group_state in zip(self.groups, groups):
             group.load_state(group_state)
 

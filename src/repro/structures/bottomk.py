@@ -12,6 +12,9 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Any, Optional
 
+import numpy as np
+import numpy.typing as npt
+
 __all__ = ["BottomK"]
 
 
@@ -25,7 +28,7 @@ class BottomK:
         ValueError: If ``capacity < 1``.
     """
 
-    __slots__ = ("capacity", "_pairs", "_hashes")
+    __slots__ = ("capacity", "_pairs", "_hashes", "_columns_cache")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -33,6 +36,12 @@ class BottomK:
         self.capacity = capacity
         self._pairs: list[tuple[float, Any]] = []  # sorted ascending by hash
         self._hashes: dict[Any, float] = {}
+        # Lazily-built columnar view of _pairs; dropped on any mutation.
+        # Accepted offers become rare once the threshold tightens, so in
+        # read-heavy phases repeated merges reuse the same arrays.
+        self._columns_cache: Optional[
+            tuple[npt.NDArray[np.float64], list[Any]]
+        ] = None
 
     def __len__(self) -> int:
         return len(self._pairs)
@@ -75,6 +84,7 @@ class BottomK:
             return False, None
         insort(self._pairs, (hash_value, element))
         self._hashes[element] = hash_value
+        self._columns_cache = None
         evicted = None
         if len(self._pairs) > self.capacity:
             _, evicted = self._pairs.pop()
@@ -91,6 +101,7 @@ class BottomK:
         while idx < len(self._pairs) and self._pairs[idx][0] == h:
             if self._pairs[idx][1] == element:
                 del self._pairs[idx]
+                self._columns_cache = None
                 return True
             idx += 1
         raise AssertionError("BottomK index out of sync")  # pragma: no cover
@@ -103,6 +114,26 @@ class BottomK:
         """Retained ``(hash, element)`` pairs, ascending by hash."""
         return list(self._pairs)
 
+    def columns(self) -> tuple[npt.NDArray[np.float64], list[Any]]:
+        """Retained pairs as ``(hash column, element list)``, ascending.
+
+        One C-level transpose of the sorted backing list, cached until
+        the next mutation — the query-time merge consumes this instead
+        of :meth:`pairs` so no per-pair tuple is materialized on the hot
+        path and quiescent re-merges skip the transpose entirely.
+        Callers must not mutate the returned arrays.
+        """
+        if self._columns_cache is None:
+            if not self._pairs:
+                self._columns_cache = (np.empty(0, dtype=np.float64), [])
+            else:
+                hashes, elements = zip(*self._pairs)
+                self._columns_cache = (
+                    np.asarray(hashes, dtype=np.float64),
+                    list(elements),
+                )
+        return self._columns_cache
+
     def min_pair(self) -> Optional[tuple[float, Any]]:
         """The smallest ``(hash, element)`` pair, or None if empty."""
         return self._pairs[0] if self._pairs else None
@@ -111,6 +142,7 @@ class BottomK:
         """Drop all retained elements."""
         self._pairs.clear()
         self._hashes.clear()
+        self._columns_cache = None
 
     def check_invariants(self) -> None:
         """Assert sortedness, capacity, and index consistency (for tests)."""

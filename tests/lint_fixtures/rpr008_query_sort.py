@@ -1,0 +1,35 @@
+"""RPR008 fixture: Python sorts inside and outside query fast paths."""
+
+import numpy as np
+
+
+class BadMergingSampler:
+    def sample(self):
+        pairs = [(0.5, "a"), (0.25, "b")]
+        pairs.sort(key=lambda pair: pair[0])  # line 9: .sort() in sample
+        return pairs
+
+    def sample_columns(self):
+        pairs = sorted(self._pairs)  # line 13: sorted() in sample_columns
+        hashes, items = zip(*pairs)
+        return np.asarray(hashes), list(items)
+
+    def _merge_groups(self):
+        union = []
+        for group in self.groups:
+            union.extend(group.pairs())
+        return sorted(union, key=lambda pair: pair[0])  # line 21
+
+
+class GoodMergingSampler:
+    def sample(self):
+        # Vectorized selection over the hash column — must NOT fire.
+        hashes = np.asarray(self._hashes)
+        order = np.argsort(hashes, kind="stable")
+        top = np.sort(hashes)  # np module-level sort — must NOT fire
+        return hashes[order], top
+
+    def rebuild_index(self):
+        # Sorting outside the query fast path — must NOT fire.
+        self._entries.sort()
+        return sorted(self._entries)

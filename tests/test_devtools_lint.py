@@ -1,6 +1,6 @@
 """Fixture-based tests for the ``repro lint`` rule engine.
 
-Every rule (RPR001–RPR007) has a fixture under ``tests/lint_fixtures/``
+Every rule (RPR001–RPR008) has a fixture under ``tests/lint_fixtures/``
 with known violations on known lines, plus must-NOT-fire counterparts in
 the same file, so these tests pin both halves of each rule's contract.
 The suite also covers the suppression syntax, the JSON report schema,
@@ -37,7 +37,7 @@ def codes(report) -> list[str]:
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert [r.code for r in all_rules()] == [
             "RPR001",
             "RPR002",
@@ -46,6 +46,7 @@ class TestRegistry:
             "RPR005",
             "RPR006",
             "RPR007",
+            "RPR008",
         ]
 
     def test_every_rule_is_documented(self):
@@ -205,6 +206,24 @@ class TestRPR007ShmUnlinkPairing:
         assert "attach_only" not in messages
 
 
+class TestRPR008QueryPathPythonSort:
+    def test_fires_on_sort_and_sorted_in_query_fast_paths(self):
+        report = lint_fixture("rpr008_query_sort.py", "RPR008")
+        assert codes(report) == ["RPR008"] * 3
+        assert [v.line for v in report.violations] == [9, 13, 21]
+        messages = " ".join(v.message for v in report.violations)
+        assert "'sample'" in messages
+        assert "'sample_columns'" in messages
+        assert "'_merge_groups'" in messages
+
+    def test_numpy_kernels_and_non_query_sorts_are_clean(self):
+        report = lint_fixture("rpr008_query_sort.py", "RPR008")
+        lines = {v.line for v in report.violations}
+        # GoodMergingSampler.sample (np.argsort/np.sort) and
+        # rebuild_index (outside the fast path) must not fire.
+        assert all(line <= 21 for line in lines)
+
+
 class TestSuppressions:
     def test_same_line_previous_line_and_wildcard(self):
         report = lint_fixture("suppressed_lines.py", "RPR005")
@@ -298,7 +317,7 @@ class TestCLI:
         assert rc == 0
         out = capsys.readouterr().out
         for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                     "RPR006", "RPR007"):
+                     "RPR006", "RPR007", "RPR008"):
             assert code in out
 
     def test_unknown_rule_is_a_usage_error(self, capsys):

@@ -21,6 +21,7 @@ from repro.perf import (
     get_scenario,
     load_report,
     perf_scenarios,
+    render_markdown,
     report_from_dict,
     run_suite,
     save_report,
@@ -42,6 +43,8 @@ class TestScenarioRegistry:
             "adversarial",
             "bursty",
             "netsim-roundtrip",
+            "sharded-mixed-rw",
+            "sharded-query-heavy",
             "sharded-uniform",
             "sharded-uniform-columnar",
             "sharded-uniform-parallel",
@@ -428,6 +431,71 @@ class TestRegressionGate:
         )
         assert small_report.records[index].pickle_bytes_per_event > 0
         assert compare_reports(small_report, small_report).ok
+
+    def test_query_metrics_are_recorded(self, small_report):
+        """Schema v3 query metrics are populated for the query scenarios."""
+        query_records = [
+            r for r in small_report.records
+            if r.scenario in ("sharded-query-heavy", "sharded-mixed-rw")
+        ]
+        assert query_records
+        for record in query_records:
+            assert record.query_seconds_cold > 0.0
+            assert record.query_seconds_cached >= 0.0
+            assert record.query_seconds_cached <= record.query_seconds_cold
+            # Queries share syncs within a quiescent period.
+            assert record.syncs_per_query < 1.0
+
+    def test_query_cache_invariant_fails_slow_cached(self, small_report):
+        """A query-heavy record whose cached query is not 10x faster than
+        cold regresses regardless of the baseline."""
+        index = next(
+            i for i, r in enumerate(small_report.records)
+            if r.scenario == "sharded-query-heavy"
+        )
+        cold = small_report.records[index].query_seconds_cold
+        slow = _tweak(small_report, index, query_seconds_cached=cold / 2)
+        comparison = compare_reports(slow, small_report)
+        assert not comparison.ok
+        offenders = [
+            d for d in comparison.regressions
+            if d.metric == "query_seconds_cached"
+        ]
+        assert len(offenders) == 1
+        assert offenders[0].scenario == "sharded-query-heavy"
+
+    def test_mixed_rw_invariant_fails_sync_per_query(self, small_report):
+        """A mixed-rw record syncing once (or more) per query regresses."""
+        index = next(
+            i for i, r in enumerate(small_report.records)
+            if r.scenario == "sharded-mixed-rw"
+        )
+        chatty = _tweak(small_report, index, syncs_per_query=1.0)
+        comparison = compare_reports(chatty, small_report)
+        assert not comparison.ok
+        offenders = [
+            d for d in comparison.regressions
+            if d.metric == "syncs_per_query"
+        ]
+        assert len(offenders) == 1
+        assert offenders[0].scenario == "sharded-mixed-rw"
+
+    def test_render_markdown_ok_and_regressed(self, small_report):
+        ok = render_markdown(
+            compare_reports(small_report, small_report), small_report
+        )
+        assert "### Perf regression gate" in ok
+        assert "**OK**" in ok
+        assert "Query-path metrics" in ok
+        assert "sharded-query-heavy" in ok
+        assert "sharded-mixed-rw" in ok
+
+        slow = _tweak(
+            small_report, 0, elapsed_s=small_report.records[0].elapsed_s * 100
+        )
+        bad = render_markdown(compare_reports(slow, small_report), slow)
+        assert "**FAIL**" in bad
+        assert "elapsed_s" in bad
 
     def test_custom_tolerances(self, small_report):
         slow = _tweak(

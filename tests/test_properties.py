@@ -312,6 +312,95 @@ class TestExecutorEquivalence:
         assert_indistinguishable(parallel, serial)
 
 
+class TestQueryCacheCoherence:
+    """The incremental query path's safety property: after ANY
+    interleaving of observe / advance / query / snapshot-restore, the
+    cached merged sample is bit-identical to a from-scratch recompute
+    (cache dropped via ``invalidate_merge_cache``, merge re-run) — on
+    every execution backend."""
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_cached_sample_equals_fresh_recompute(
+        self, shared_executors, data
+    ):
+        backend = data.draw(
+            st.sampled_from(("serial",) + PARALLEL_EXECUTORS),
+            label="executor",
+        )
+        variant = data.draw(st.sampled_from(SHARDED_ALL), label="variant")
+        windowed = variant in SHARDED_WINDOWED
+        window = 6 if windowed else 0
+
+        def build():
+            sampler = make_sampler(
+                variant,
+                num_sites=3,
+                sample_size=data.draw(st.integers(1, 6), label="s"),
+                window=window,
+                shards=data.draw(st.integers(1, 3), label="shards"),
+                seed=data.draw(st.integers(0, 3), label="seed"),
+                executor=backend,
+                workers=2 if backend != "serial" else 0,
+            )
+            if backend != "serial":
+                # Pools are lazy; swapping before any ingest means the
+                # per-example executor never spawns its own workers.
+                sampler.executor = shared_executors[backend]
+            return sampler
+
+        sampler = build()
+        slot = 1 if windowed else 0
+        if windowed:
+            sampler.advance(1)
+
+        def check_coherence():
+            cached = sampler.sample()
+            assert sampler.sample() is cached  # cache holds while quiescent
+            sampler.invalidate_merge_cache()
+            fresh = sampler.sample()
+            assert fresh == cached
+            assert fresh.pairs == cached.pairs
+            assert fresh.threshold == cached.threshold
+
+        ops = data.draw(
+            st.lists(
+                st.sampled_from(
+                    ("observe", "batch", "advance", "query", "roundtrip")
+                ),
+                max_size=25,
+            ),
+            label="ops",
+        )
+        for op in ops:
+            if op == "observe":
+                sampler.observe(
+                    data.draw(st.integers(0, 2)), data.draw(st.integers(0, 40))
+                )
+            elif op == "batch":
+                sampler.observe_batch(
+                    data.draw(
+                        st.lists(
+                            st.tuples(
+                                st.integers(0, 2), st.integers(0, 40)
+                            ),
+                            max_size=10,
+                        )
+                    )
+                )
+            elif op == "advance":
+                slot += data.draw(st.integers(1, 3))
+                sampler.advance(slot)
+            elif op == "query":
+                check_coherence()
+            else:  # roundtrip: snapshot -> JSON -> restore
+                blob = json.loads(json.dumps(snapshot(sampler)))
+                sampler = restore(blob)
+                if backend != "serial":
+                    sampler.executor = shared_executors[backend]
+        check_coherence()
+
+
 class TestShmCrashRecovery:
     """A worker crash mid-batch must leak no /dev/shm segment, fall the
     sampler back to its last synchronized state, and heal on the next

@@ -592,6 +592,253 @@ class TestSharedMemoryBackendLifecycle:
         sampler.close()
 
 
+def python_sort_merge(sampler: ShardedSampler):
+    """The pre-cache reference merge: gather every group's sample pairs
+    in group order and Python-sort by hash (stable, so ties keep the
+    (group, in-group index) order).  The vectorized cold merge must be
+    bit-identical to this."""
+    pairs = [
+        pair for group in sampler.groups for pair in group.sample().pairs
+    ]
+    pairs.sort(key=lambda pair: pair[0])  # repro-lint: disable=RPR008
+    top = pairs[: sampler.sample_size]
+    threshold = top[-1][0] if len(top) == sampler.sample_size else 1.0
+    return tuple(top), threshold
+
+
+class TestQueryPathCache:
+    """The incremental query path: merge caching, shared syncs,
+    deterministic tie-breaking, bit-identity to the reference merge."""
+
+    def build(self, variant="sharded:infinite", window=0, executor="serial"):
+        kwargs = {} if executor == "serial" else {"workers": 2}
+        return make_sampler(
+            variant,
+            num_sites=3,
+            sample_size=8,
+            window=window,
+            shards=3,
+            seed=SEED,
+            executor=executor,
+            **kwargs,
+        )
+
+    def test_repeated_queries_share_one_sync(self):
+        """Regression: ``threshold`` used to force a full merge *and* an
+        executor sync on every access."""
+        sampler = self.build()
+        sampler.observe_batch(uniform_events(2000, sites=3, universe=300))
+        assert sampler.sync_count == 0
+        first = sampler.sample()
+        assert sampler.sync_count == 1
+        for _ in range(50):
+            sampler.threshold
+            sampler.sample()
+            sampler.stats()
+            sampler.message_stats()
+        # 200 queries later: still the single post-ingest sync.
+        assert sampler.sync_count == 1
+        assert sampler.query_count == 201
+        assert sampler.sample() is first
+
+    def test_mutation_invalidates_the_cache(self):
+        sampler = self.build()
+        sampler.observe_batch(uniform_events(1000, sites=3, universe=500))
+        before = sampler.sample()
+        # Find an element that displaces the current maximum hash.
+        sampler.observe_batch(
+            uniform_events(1000, sites=3, universe=500, seed=SEED + 7)
+        )
+        after = sampler.sample()
+        assert sampler.sync_count == 2
+        assert after is not before
+        assert after.pairs == python_sort_merge(sampler)[0]
+
+    def test_invalidate_merge_cache_recomputes_identically(self):
+        sampler = self.build()
+        sampler.observe_batch(uniform_events(1500, sites=3, universe=400))
+        cached = sampler.sample()
+        sampler.invalidate_merge_cache()
+        recomputed = sampler.sample()
+        assert recomputed is not cached
+        assert recomputed == cached
+        # The forced recompute shared the existing sync.
+        assert sampler.sync_count == 1
+
+    def test_colliding_hashes_break_ties_by_group_then_index(self):
+        """Equal hashes across groups must order by (hash, group,
+        in-group index) — the truncation boundary may not reorder them."""
+        sampler = self.build()
+        tied = 0.25
+        # Same hash in every group, two entries in group 0; plus
+        # distinct fillers on both sides of the tie.
+        stores = [group.coordinator.sample_store for group in sampler.groups]
+        stores[0].offer(0.1, "low0")
+        stores[0].offer(tied, "g0-first")
+        stores[0].offer(tied, "g0-second")
+        stores[1].offer(tied, "g1")
+        stores[2].offer(tied, "g2")
+        stores[2].offer(0.9, "high2")
+        result = sampler.sample()
+        assert result.pairs == (
+            (0.1, "low0"),
+            (tied, "g0-first"),
+            (tied, "g0-second"),
+            (tied, "g1"),
+            (tied, "g2"),
+            (0.9, "high2"),
+        )
+        # The same order must survive a truncating merge (size > s):
+        # ties straddling the argpartition pivot stay in group order.
+        small = make_sampler(
+            "sharded:infinite", num_sites=2, sample_size=3, shards=3, seed=SEED
+        )
+        for shard, store in enumerate(
+            group.coordinator.sample_store for group in small.groups
+        ):
+            store.offer(tied, f"tied-{shard}")
+            store.offer(0.5 + shard / 10, f"filler-{shard}")
+        assert small.sample().pairs == (
+            (tied, "tied-0"),
+            (tied, "tied-1"),
+            (tied, "tied-2"),
+        )
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process", "shm"])
+    @pytest.mark.parametrize(
+        "variant,window",
+        [
+            ("sharded:infinite", 0),
+            ("sharded:broadcast", 0),
+            ("sharded:caching", 0),
+            ("sharded:sliding", 10),
+            ("sharded:sliding-feedback", 10),
+            ("sharded:sliding-local-push", 10),
+        ],
+    )
+    def test_vectorized_merge_is_bit_identical_to_reference(
+        self, variant, window, executor
+    ):
+        """Acceptance gate: the cached/vectorized merge reproduces the
+        Python-sort reference merge bit-for-bit on every sharded variant
+        under every execution backend."""
+        sampler = self.build(variant, window, executor)
+        if window:
+            events = [
+                (site, item, slot)
+                for slot, arrivals in slotted_schedule(
+                    25, 5, sites=3, universe=80
+                )
+                for site, item in arrivals
+            ]
+            cut = len(events) // 2
+            sampler.observe_batch(events[:cut])
+            mid = sampler.sample()
+            assert mid.pairs == python_sort_merge(sampler)[0]
+            sampler.observe_batch(events[cut:])
+        else:
+            sampler.observe_batch(uniform_events(2000, sites=3, universe=250))
+        result = sampler.sample()
+        expected_pairs, expected_threshold = python_sort_merge(sampler)
+        assert result.pairs == expected_pairs
+        assert result.threshold == expected_threshold
+        assert result.items == tuple(item for _, item in expected_pairs)
+        assert sampler.sample() is result  # cache holds under queries
+        sampler.close()
+
+    def test_underfull_merge_threshold_is_one(self):
+        sampler = self.build()
+        sampler.observe(0, 101)
+        sampler.observe(1, 202)
+        result = sampler.sample()
+        assert len(result.pairs) == 2
+        assert result.threshold == 1.0
+
+    def test_snapshot_restore_resets_the_cache(self):
+        sampler = self.build()
+        sampler.observe_batch(uniform_events(800, sites=3, universe=200))
+        blob = snapshot(sampler)
+        baseline = sampler.sample()
+        clone = restore(blob)
+        assert clone.sample() == baseline
+        assert clone.sample().pairs == python_sort_merge(clone)[0]
+
+
+@pytest.mark.speedup
+class TestQueryPathSpeedup:
+    """Query-side acceptance gates (single-threaded wall-clock — no
+    core-count requirement): the merge cache must be >= 10x a cold
+    merge, and the vectorized cold merge >= 2x the Python-sort
+    reference at S=4, s=256."""
+
+    def _loaded_sampler(self):
+        sampler = make_sampler(
+            "sharded:infinite",
+            num_sites=4,
+            sample_size=256,
+            shards=4,
+            algorithm="mix64",
+            seed=SEED,
+        )
+        sampler.observe_batch(uniform_events(60_000, sites=4, universe=30_000))
+        return sampler
+
+    @staticmethod
+    def _best_of(repeats, calls, fn):
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in range(calls):
+                fn()
+            best = min(best, (time.perf_counter() - started) / calls)
+        return best
+
+    def test_cached_query_is_10x_cold(self):
+        sampler = self._loaded_sampler()
+        sampler.sample()
+
+        def cold():
+            sampler.invalidate_merge_cache()
+            sampler.sample()
+
+        gc.collect()
+        gc.disable()
+        try:
+            t_cold = self._best_of(5, 20, cold)
+            t_cached = self._best_of(5, 200, sampler.sample)
+        finally:
+            gc.enable()
+        speedup = t_cold / t_cached
+        assert speedup >= 10.0, (
+            f"cached query only {speedup:.1f}x cold "
+            f"(cold {t_cold * 1e6:.1f} us, cached {t_cached * 1e6:.1f} us)"
+        )
+
+    def test_vectorized_cold_merge_is_2x_python_sort(self):
+        sampler = self._loaded_sampler()
+        sampler.sample()  # sync once; both merges time pure merge cost
+
+        def vectorized():
+            sampler.invalidate_merge_cache()
+            sampler.sample()
+
+        def reference():
+            python_sort_merge(sampler)
+
+        gc.collect()
+        gc.disable()
+        try:
+            t_vec = self._best_of(5, 20, vectorized)
+            t_ref = self._best_of(5, 20, reference)
+        finally:
+            gc.enable()
+        speedup = t_ref / t_vec
+        assert speedup >= 2.0, (
+            f"vectorized merge only {speedup:.2f}x the Python-sort "
+            f"reference (vec {t_vec * 1e6:.1f} us, ref {t_ref * 1e6:.1f} us)"
+        )
+
+
 @pytest.mark.speedup
 class TestShardedScaleOut:
     """The scale-out acceptance gate: ingest throughput along the critical
