@@ -133,6 +133,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the shard groups (default: process "
         "when --workers > 0, serial otherwise)",
     )
+    demo_p.add_argument(
+        "--reshard",
+        type=int,
+        default=0,
+        metavar="S2",
+        help="elastically re-partition to this many coordinator groups "
+        "halfway through the stream (implies the sharded wrapper; the "
+        "final sample is bit-identical to a fresh S2-sharded run)",
+    )
+    demo_p.add_argument(
+        "--chaos-drop",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos mode: per-message drop probability (rewires the "
+        "group networks onto the seeded ChaosNetwork; forces the "
+        "serial executor)",
+    )
+    demo_p.add_argument(
+        "--chaos-duplicate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos mode: per-message duplication probability",
+    )
+    demo_p.add_argument(
+        "--chaos-reorder",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="chaos mode: per-delivery reorder probability",
+    )
+    demo_p.add_argument(
+        "--chaos-kill",
+        type=int,
+        action="append",
+        metavar="SITE",
+        help="chaos mode: blackhole this site for the first half of the "
+        "stream, then revive it (repeatable)",
+    )
+    demo_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the chaos fault schedule (reproducible faults)",
+    )
 
     perf_p = sub.add_parser(
         "perf", help="benchmark suite: run / compare / baseline"
@@ -509,8 +555,35 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     executor = args.executor or (
         "process" if args.workers > 0 else "serial"
     )
+    chaos_kill = args.chaos_kill or []
+    chaos = bool(
+        args.chaos_drop
+        or args.chaos_duplicate
+        or args.chaos_reorder
+        or chaos_kill
+    )
+    if chaos and executor != "serial":
+        print(
+            "error: chaos mode rewires the parent's group networks; "
+            "parallel workers rebuild on the default transport — use "
+            "the serial executor (drop --workers/--executor)",
+            file=sys.stderr,
+        )
+        return 2
+    if any(site not in range(args.sites) for site in chaos_kill):
+        print(
+            f"error: --chaos-kill sites must be in [0, {args.sites})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.reshard < 0:
+        print("error: --reshard must be >= 1", file=sys.stderr)
+        return 2
     if (
-        args.shards > 1 or args.workers > 0 or executor != "serial"
+        args.shards > 1
+        or args.workers > 0
+        or args.reshard
+        or executor != "serial"
     ) and not variant.startswith("sharded:"):
         variant = f"sharded:{variant}"
     system = make_sampler(
@@ -524,6 +597,47 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         executor=executor,
         workers=args.workers,
     )
+    initial_shards = args.shards
+    chaos_nets: list = []
+
+    def rewire_chaos() -> None:
+        from .netsim import ChaosNetwork
+
+        chaos_nets.clear()
+        groups = (
+            system.groups if variant.startswith("sharded:") else [system]
+        )
+        for group in groups:
+            net = ChaosNetwork.rewire(
+                group,
+                drop=args.chaos_drop,
+                duplicate=args.chaos_duplicate,
+                reorder=args.chaos_reorder,
+                seed=args.chaos_seed,
+            )
+            for site in chaos_kill:
+                net.kill_site(site)
+            chaos_nets.append(net)
+
+    def pump_chaos() -> None:
+        for net in chaos_nets:
+            net.pump()
+
+    def midpoint() -> None:
+        """Halfway through the stream: revive killed sites, reshard live."""
+        pump_chaos()
+        for net in chaos_nets:
+            for site in list(net.dead_sites):
+                net.revive_site(site)
+        if args.reshard:
+            system.reshard(args.reshard)
+            if chaos:
+                # reshard builds fresh groups (on the default transport);
+                # put the chaos faults back for the second half.
+                rewire_chaos()
+
+    if chaos:
+        rewire_chaos()
     started = time.perf_counter()
     truth = spec.n_distinct
     if args.window:
@@ -531,15 +645,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         live: set = set()
         final_slot = schedule.num_slots
         for slot, arrivals in schedule.slots():
+            if (args.reshard or chaos_kill) and slot == final_slot // 2:
+                midpoint()
             system.advance(slot)
             system.observe_batch(arrivals)
+            pump_chaos()
             if slot > final_slot - args.window:
                 live.update(element for _, element in arrivals)
         # The windowed estimate targets the *window's* distinct count.
         truth = len(live)
     else:
         sites = rng.integers(0, args.sites, ids.size).tolist()
-        system.observe_batch(list(zip(sites, ids.tolist())))
+        events = list(zip(sites, ids.tolist()))
+        if args.reshard or chaos:
+            half = len(events) // 2
+            system.observe_batch(events[:half])
+            midpoint()
+            system.observe_batch(events[half:])
+            pump_chaos()
+        else:
+            system.observe_batch(events)
     elapsed = time.perf_counter() - started
     result = system.sample()
     stats = system.stats()
@@ -566,7 +691,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             f"{critical:.3f}s {path_kind} "
             f"({spec.n_elements / critical / 1e6:.1f}M el/s across groups)"
         )
+        if args.reshard:
+            print(
+                f"resharded live mid-stream: {initial_shards} -> "
+                f"{system.shards} groups (no resampling; the merged "
+                "sample is bit-identical to a fresh "
+                f"{system.shards}-sharded run)"
+            )
+        if system.executor.recoveries:
+            print(f"crash-replay recoveries: {system.executor.recoveries}")
         system.close()
+    if chaos:
+        print(
+            "chaos: injected "
+            f"{sum(n.dropped_messages for n in chaos_nets):,} drops, "
+            f"{sum(n.duplicated_messages for n in chaos_nets):,} "
+            "duplicates, "
+            f"{sum(n.reordered_messages for n in chaos_nets):,} reorders"
+            + (
+                f"; sites {sorted(set(chaos_kill))} were dead for the "
+                "first half"
+                if chaos_kill
+                else ""
+            )
+        )
     print(f"sample (first 10 ids): {list(result.items[:10])}")
     try:
         estimate = estimate_from_sampler(system)

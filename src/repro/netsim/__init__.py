@@ -5,6 +5,7 @@ coordinator on a synchronous, zero-delay network.  The network's purpose is
 exact *message accounting* — the paper's performance metric.
 """
 
+from .chaos import ChaosNetwork
 from .clock import SlotClock
 from .delayed import DelayedNetwork
 from .message import COORDINATOR, Message, MessageKind
@@ -18,6 +19,7 @@ __all__ = [
     "MessageKind",
     "Network",
     "DelayedNetwork",
+    "ChaosNetwork",
     "MessageStats",
     "Node",
     "StreamSite",

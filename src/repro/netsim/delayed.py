@@ -55,14 +55,20 @@ class DelayedNetwork(Network):
     Args:
         rng: Optional randomness for interleaved delivery; None makes
             :meth:`pump` drain links in address order (deterministic).
+        record_kinds: Same contract as :class:`Network` — False skips the
+            per-kind counters.
     """
 
     __slots__ = ("_queues", "_rng", "delivered_messages")
 
     synchronous = False  # sends queue; replies land only at pump time
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        record_kinds: bool = True,
+    ) -> None:
+        super().__init__(record_kinds=record_kinds)
         self._queues: dict[tuple[int, int], deque[Message]] = {}
         self._rng = rng
         self.delivered_messages = 0
@@ -77,7 +83,13 @@ class DelayedNetwork(Network):
         payload: Any,
         size_bytes: int = 16,
     ) -> None:
-        """Count and enqueue one message; delivery happens at pump time."""
+        """Count and enqueue one message; delivery happens at pump time.
+
+        As in :class:`Network`, the counters move only after ``dst``
+        validates, and the per-kind counter honors ``record_kinds``.
+        """
+        if dst not in self._nodes:
+            raise ProtocolError(f"no node registered at address {dst}")
         stats = self.stats
         stats.total_messages += 1
         stats.total_bytes += size_bytes
@@ -85,9 +97,8 @@ class DelayedNetwork(Network):
             stats.site_to_coordinator += 1
         elif src == COORDINATOR:
             stats.coordinator_to_site += 1
-        stats.by_kind[kind] += 1
-        if dst not in self._nodes:
-            raise ProtocolError(f"no node registered at address {dst}")
+        if self._record_kinds:
+            stats.by_kind[kind] += 1
         self._queues.setdefault((src, dst), deque()).append(
             Message(src, dst, kind, payload, size_bytes)
         )
@@ -149,7 +160,12 @@ class DelayedNetwork(Network):
     # -- retrofit -------------------------------------------------------------
 
     @classmethod
-    def rewire(cls, system, rng: Optional[np.random.Generator] = None):
+    def rewire(
+        cls,
+        system,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: Any,
+    ):
         """Replace ``system.network`` with a delayed network in place.
 
         Re-registers the system's coordinator and sites; message counters
@@ -159,12 +175,15 @@ class DelayedNetwork(Network):
             system: Any facade exposing ``network``, ``coordinator``, and
                 ``sites`` (all of this package's systems do).
             rng: Optional randomness for interleaved delivery.
+            **kwargs: Extra constructor arguments for ``cls`` (e.g. the
+                chaos probabilities of
+                :class:`~repro.netsim.chaos.ChaosNetwork`).
 
         Returns:
             The new :class:`DelayedNetwork` (also assigned to
             ``system.network``).
         """
-        net = cls(rng)
+        net = cls(rng=rng, **kwargs)
         net.register(COORDINATOR, system.coordinator)
         for site in system.sites:
             net.register(site.site_id, site)

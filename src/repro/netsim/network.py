@@ -121,10 +121,17 @@ class Network:
     ) -> None:
         """Send and synchronously deliver one message.
 
+        A message is counted only once ``dst`` validates: a rejected send
+        never happened on the wire, so it must not skew the paper's
+        message-cost metric.
+
         Raises:
             ProtocolError: If ``dst`` is unregistered or dispatch nests
                 deeper than the protocol bound (a ping-pong loop).
         """
+        node = self._nodes.get(dst)
+        if node is None:
+            raise ProtocolError(f"no node registered at address {dst}")
         stats = self.stats
         stats.total_messages += 1
         stats.total_bytes += size_bytes
@@ -135,9 +142,6 @@ class Network:
         if self._record_kinds:
             stats.by_kind[kind] += 1
 
-        node = self._nodes.get(dst)
-        if node is None:
-            raise ProtocolError(f"no node registered at address {dst}")
         if self._depth >= _MAX_DISPATCH_DEPTH:
             raise ProtocolError(
                 "message dispatch nested deeper than the protocol allows; "

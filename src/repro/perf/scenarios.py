@@ -501,6 +501,58 @@ register_scenario(
         variant_filter=lambda variant: variant.sharded and not variant.windowed,
     )
 )
+#: Reshard steps driven by the elastic-resharding scenario, as factors
+#: of the configured shard count (min-clamped to 1): grow 2x, shrink
+#: back below, return home.  Every step is a full live re-partition of
+#: the retained group state.
+_RESHARD_FACTORS = (2.0, 0.5, 1.0)
+
+
+def _drive_reshard(
+    sampler: Sampler, events: list, params: ScenarioParams
+) -> None:
+    """Chunked hash-routed ingest with live reshard steps in between.
+
+    The elastic-resharding shape: ingest a chunk, re-partition the live
+    groups (S -> 2S -> S/2 -> S), query to force the post-reshard merge,
+    repeat.  Times the full repartition cost — state capture, hash
+    re-routing, group rebuild, merge-cache rebuild — under a workload
+    that keeps ingesting afterwards.
+    """
+    from ..runtime.engine import Engine
+
+    engine = Engine(sampler, policy="hash", seed=params.seed)
+    base_shards = sampler.shards
+    steps = [
+        max(1, int(round(base_shards * factor)))
+        for factor in _RESHARD_FACTORS
+    ]
+    n = len(events)
+    chunk = max(1, -(-n // (len(steps) + 1)))
+    for i, start in enumerate(range(0, n, chunk)):
+        stop = min(start + chunk, n)
+        if isinstance(events, EventBatch):
+            run = events.select(np.arange(start, stop))
+        else:
+            run = events[start:stop]
+        engine.observe_batch(run)
+        if i < len(steps):
+            sampler.reshard(steps[i])
+            sampler.sample()
+    sampler.sample()
+
+
+register_scenario(
+    Scenario(
+        name="sharded-reshard",
+        summary="chunked columnar ingest with live elastic reshard "
+        "steps (S -> 2S -> S/2 -> S), querying after every "
+        "re-partition",
+        build=_build_sharded_uniform_columnar,
+        driver=_drive_reshard,
+        variant_filter=lambda variant: variant.sharded and not variant.windowed,
+    )
+)
 register_scenario(
     Scenario(
         name="sharded-uniform-thread",

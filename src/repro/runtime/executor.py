@@ -63,14 +63,24 @@ property suite in ``tests/test_properties.py`` pins ``sample()``,
 ``stats()``, and the full ``state_dict`` across backends for every
 ``sharded:*`` variant.
 
-Failure and lifecycle semantics of the shm backend:
+Failure and lifecycle semantics of the parallel backends (crash-replay):
 
-* A worker crash (or in-worker replay error) raises
-  :class:`~repro.errors.ExecutorError`; the executor tears down the
-  remaining workers, and every session falls back to the parent's
-  last-synchronized state — like a distributed node crash losing work
-  since its last checkpoint.  The next batch respawns workers and
-  re-adopts.
+* Every in-flight batch plan is **retained until its worker acknowledges
+  it** — per batch for the process pool (whose replies double as acks),
+  and in a per-group replay log since the last sync for the persistent
+  shm workers.  When a worker dies, the executor tears the remaining
+  workers down and rebuilds each crashed worker's groups from the
+  parent's last-synchronized state by replaying the pending plans
+  in-process — the recovered groups are **bit-identical to a
+  never-crashed run** (same delivery order, same shared sampling hash),
+  so no acknowledged data is ever lost.  Ingest calls simply succeed;
+  the ``recoveries`` counter records that a replay happened, and the
+  next batch respawns workers and re-adopts.  Only a *deterministic*
+  in-worker protocol error (a poisoned plan) still raises — replaying it
+  in-process raises the same underlying error.
+* The shm replay log is trimmed at every sync/adopt boundary and, to
+  bound memory on sync-free workloads, the executor checkpoints (a
+  partial sync) every ``checkpoint_batches`` batches per session.
 * Shared-memory blocks are created/unlinked strictly per batch inside
   ``try/finally``; worker terminations are additionally registered via
   ``weakref.finalize`` (which hooks interpreter exit like ``atexit``)
@@ -94,13 +104,13 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
-import multiprocessing.pool
 import os
 import pickle
 import sys
 import time
 import weakref
 from abc import ABC, abstractmethod
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import resource_tracker, shared_memory
 from multiprocessing.connection import Connection
 from typing import TYPE_CHECKING, Any, Optional
@@ -403,7 +413,13 @@ class _ShmWorker:
 class _ShmSession:
     """Where one sampler's canonical group state currently lives."""
 
-    __slots__ = ("session_id", "workers_canonical", "dirty")
+    __slots__ = (
+        "session_id",
+        "workers_canonical",
+        "dirty",
+        "pending",
+        "batches_since_checkpoint",
+    )
 
     def __init__(self, session_id: int) -> None:
         self.session_id = session_id
@@ -413,6 +429,16 @@ class _ShmSession:
         #: parent's since the last sync.  Empty means fully in sync;
         #: ``sync()`` collects exactly these groups and nothing else.
         self.dirty: set[int] = set()
+        #: Per-group replay log: every batch plan shipped since the
+        #: group's parent copy was last synchronized, retained until a
+        #: sync/adopt boundary acknowledges the worker state back into
+        #: the parent.  On a worker crash, replaying ``pending[g]`` (in
+        #: ship order) against the parent's copy reproduces the
+        #: worker-held group bit for bit — zero acked-data loss.
+        self.pending: dict[int, GroupPlan] = {}
+        #: Batches since the replay log was last trimmed by a sync;
+        #: bounds log memory on sync-free workloads (``checkpoint_batches``).
+        self.batches_since_checkpoint = 0
 
 
 def _terminate_workers(workers: list[_ShmWorker]) -> None:
@@ -459,6 +485,9 @@ class ExecutionBackend(ABC):
     pickle_bytes: int = 0
     #: Cumulative bytes crossing a process boundary, any encoding.
     ipc_bytes: int = 0
+    #: Crash-replay recoveries performed (see the module docstring's
+    #: failure-semantics section).  Zero for the in-process backends.
+    recoveries: int = 0
 
     @abstractmethod
     def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
@@ -484,6 +513,16 @@ class ExecutionBackend(ABC):
         The sharded facade calls this before mutating groups in-process
         (single ``observe``, ``advance``, ``load_state``); stateful
         backends must re-adopt on the next batch.
+        """
+
+    def release(self, sharded: "ShardedSampler") -> None:
+        """Forget a sampler's session entirely (no state transfer).
+
+        Called when ``sharded``'s group objects are about to be replaced
+        wholesale (e.g. :meth:`~repro.runtime.sharded.ShardedSampler.reshard`)
+        and any worker-held copies are garbage.  Callers that need the
+        worker state back must :meth:`sync`/:meth:`invalidate` *first*.
+        No-op for stateless backends.
         """
 
     def close(self) -> None:
@@ -610,7 +649,7 @@ class ThreadExecutor(ExecutionBackend):
 
 
 class ProcessExecutor(ExecutionBackend):
-    """Multi-core ingest over a lazily created ``multiprocessing`` pool.
+    """Multi-core ingest over a lazily created process pool.
 
     Args:
         workers: Pool size ``W``; ``0`` picks ``min(8, cpu_count)``.
@@ -624,6 +663,13 @@ class ProcessExecutor(ExecutionBackend):
     so the backend pays off for large batches and is pure overhead for
     event-at-a-time ingest (single ``observe`` calls stay in-process).
 
+    The backend is stateless across batches, which makes crash recovery
+    cheap: a reply *is* the acknowledgement, and a group whose reply
+    never arrives (worker killed mid-batch) is simply replayed against
+    the parent's own copy — untouched since before the batch — giving a
+    result bit-identical to a never-crashed run.  ``recoveries`` counts
+    the replayed groups.
+
     Raises:
         ConfigurationError: For a negative ``workers``.
     """
@@ -635,29 +681,34 @@ class ProcessExecutor(ExecutionBackend):
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         self.workers = workers or min(8, os.cpu_count() or 1)
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        # A concurrent.futures pool rather than multiprocessing.Pool:
+        # only the former surfaces an abruptly killed worker as a
+        # BrokenProcessPool on the affected futures (Pool.map simply
+        # hangs — the long-standing bpo-22393 behavior), and crash
+        # recovery needs that signal.
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self.pickle_bytes = 0
         self.ipc_bytes = 0
+        self.recoveries = 0
 
     # -- pool lifecycle ------------------------------------------------------
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = multiprocessing.get_context().Pool(
-                processes=self.workers
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
             )
         return self._pool
 
     def warmup(self) -> None:
         """Force the worker processes into existence (benchmark hygiene:
         keeps pool start-up out of timed ingest windows)."""
-        self._ensure_pool().map(_noop, range(self.workers))
+        list(self._ensure_pool().map(_noop, range(self.workers)))
 
     def close(self) -> None:
-        """Terminate the pool (idempotent); the next ingest re-creates it."""
+        """Shut the pool down (idempotent); the next ingest re-creates it."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
@@ -680,6 +731,7 @@ class ProcessExecutor(ExecutionBackend):
         self._pool = None
         self.pickle_bytes = 0
         self.ipc_bytes = 0
+        self.recoveries = 0
 
     # -- ingest --------------------------------------------------------------
 
@@ -713,15 +765,52 @@ class ProcessExecutor(ExecutionBackend):
             shipped = sum(len(blob) for blob in blobs)
             self.pickle_bytes += shipped
             self.ipc_bytes += shipped
-            replies = self._ensure_pool().map(
-                _ingest_group_pickled, blobs, chunksize=1
-            )
-            for (g, _), reply in zip(payloads, replies):
+            pool = self._ensure_pool()
+            futures: list[tuple[int, "concurrent.futures.Future[bytes]"]] = []
+            lost: list[int] = []
+            try:
+                for (g, _), blob in zip(payloads, blobs):
+                    futures.append(
+                        (g, pool.submit(_ingest_group_pickled, blob))
+                    )
+            except BrokenProcessPool:
+                # Workers died before this batch even started; every
+                # unsubmitted group replays in-process below.
+                submitted = {g for g, _ in futures}
+                lost.extend(g for g, _ in payloads if g not in submitted)
+            replies: dict[int, bytes] = {}
+            failure: Optional[BaseException] = None
+            for g, future in futures:
+                try:
+                    replies[g] = future.result()
+                except BrokenProcessPool:
+                    lost.append(g)
+                except Exception as exc:
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                # A deterministic in-worker error (poisoned plan): keep
+                # the all-or-nothing contract — adopt nothing, commit
+                # nothing, surface the real error.
+                raise failure
+            for g, reply in replies.items():
                 self.pickle_bytes += len(reply)
                 self.ipc_bytes += len(reply)
                 state, elapsed = pickle.loads(reply)
                 sharded.groups[g].load_state(state)
                 sharded.group_ingest_seconds[g] += elapsed
+            if lost:
+                # Crash-replay: a reply doubles as the worker's ack, so
+                # a lost group's parent copy is exactly its pre-batch
+                # state — replaying the retained plan there reproduces
+                # the never-crashed result bit for bit (same delivery
+                # order, same sampling hash, same message counters).
+                self.close()
+                self.recoveries += len(lost)
+                for g in sorted(lost):
+                    sharded.group_ingest_seconds[g] += _replay_group(
+                        sharded.groups[g], plans[g]
+                    )
         sharded._commit_slots(last_slot, advances)
 
 
@@ -746,6 +835,10 @@ class SharedMemoryExecutor(ExecutionBackend):
 
     name = "shm"
 
+    #: Force a partial sync after this many batches per session, so the
+    #: crash-replay log cannot grow without bound on sync-free workloads.
+    checkpoint_batches: int = 64
+
     def __init__(self, workers: int = 0) -> None:
         workers = int(workers)
         if workers < 0:
@@ -753,6 +846,7 @@ class SharedMemoryExecutor(ExecutionBackend):
         self.workers = workers or min(8, os.cpu_count() or 1)
         self.pickle_bytes = 0
         self.ipc_bytes = 0
+        self.recoveries = 0
         self._workers: Optional[list[_ShmWorker]] = None
         self._finalizer: Optional[weakref.finalize] = None
         self._sessions: "weakref.WeakKeyDictionary[Any, _ShmSession]" = (
@@ -794,19 +888,45 @@ class SharedMemoryExecutor(ExecutionBackend):
             self._finalizer = None
 
     def _on_worker_failure(self) -> None:
-        """Tear everything down after a crash or in-worker error.
+        """Crash-replay recovery after a worker death or in-worker error.
 
-        Every session falls back to the parent's last-synchronized
-        state; the next batch respawns workers and re-adopts.
+        Tears the remaining workers down, then rebuilds every session's
+        worker-held groups *in the parent* by replaying the retained
+        batch plans (``session.pending``) against the parent's
+        last-synchronized copies — the exact serial delivery order the
+        worker would have run, so the recovered groups (message counters
+        included) are bit-identical to a never-crashed run.  The next
+        batch respawns workers and re-adopts.
+
+        A deterministic in-worker error reproduces during the replay and
+        propagates to the caller as the real exception; the failing
+        session keeps whatever replayed before the error (its pending
+        log is cleared either way — the poisoned plan must not loop).
         """
         workers, self._workers = self._workers, None
         self._drop_finalizer()
         self._dead_sessions.clear()
-        for session in list(self._sessions.values()):
-            session.workers_canonical = False
-            session.dirty.clear()
         if workers:
             _terminate_workers(workers)
+        replay_error: Optional[BaseException] = None
+        for sampler, session in list(self._sessions.items()):
+            try:
+                if session.workers_canonical:
+                    for g in sorted(session.pending):
+                        elapsed = _replay_group(
+                            sampler.groups[g], session.pending[g]
+                        )
+                        sampler.group_ingest_seconds[g] += elapsed
+            except BaseException as exc:
+                if replay_error is None:
+                    replay_error = exc
+            finally:
+                session.pending.clear()
+                session.dirty.clear()
+                session.batches_since_checkpoint = 0
+                session.workers_canonical = False
+        if replay_error is not None:
+            raise replay_error
 
     def close(self) -> None:
         """Collect every live session's state, then stop the workers.
@@ -849,6 +969,7 @@ class SharedMemoryExecutor(ExecutionBackend):
         self.workers = state["workers"]
         self.pickle_bytes = 0
         self.ipc_bytes = 0
+        self.recoveries = 0
         self._workers = None
         self._finalizer = None
         self._sessions = weakref.WeakKeyDictionary()
@@ -865,8 +986,9 @@ class SharedMemoryExecutor(ExecutionBackend):
         except (BrokenPipeError, OSError) as exc:
             self._on_worker_failure()
             raise ExecutorError(
-                f"shared-memory worker died (send failed: {exc}); worker "
-                "state since the last sync is lost"
+                f"shared-memory worker died (send failed: {exc}); the "
+                "retained batch plans were replayed into the parent's "
+                "groups — no acknowledged data was lost"
             ) from exc
         self.ipc_bytes += len(blob)
         return len(blob)
@@ -878,15 +1000,18 @@ class SharedMemoryExecutor(ExecutionBackend):
         except (EOFError, OSError) as exc:
             self._on_worker_failure()
             raise ExecutorError(
-                "shared-memory worker died mid-batch; worker state since "
-                "the last sync is lost (the next batch re-adopts from the "
-                "parent's last-synchronized groups)"
+                "shared-memory worker died mid-batch; the retained batch "
+                "plans were replayed into the parent's groups — no "
+                "acknowledged data was lost (the next batch respawns "
+                "workers and re-adopts)"
             ) from exc
         self.ipc_bytes += len(blob)
         status, value = pickle.loads(blob)
         if status == "error":
             # The worker survived, but its session groups may be
-            # partially replayed — reset to the parent's canonical copy.
+            # partially replayed — rebuild from the parent's canonical
+            # copy plus the retained plans (a deterministic plan error
+            # reproduces during that replay and propagates instead).
             self._on_worker_failure()
             raise ExecutorError(f"shared-memory worker failed: {value}")
         return value
@@ -945,6 +1070,10 @@ class SharedMemoryExecutor(ExecutionBackend):
             self._reply(workers[w])
         session.workers_canonical = True
         session.dirty.clear()
+        # Fresh epoch: the copies just shipped ARE the parent copies, so
+        # there is nothing to replay until the next batch.
+        session.pending.clear()
+        session.batches_since_checkpoint = 0
 
     def sync(self, sharded: "ShardedSampler") -> None:
         """Collect the *dirty* worker-held group states back into the
@@ -960,22 +1089,36 @@ class SharedMemoryExecutor(ExecutionBackend):
             return
         workers = self._workers
         if workers is None:
-            # Workers were closed/crashed since the last ingest; the
-            # parent's last-synchronized copies are all that remains.
+            # Workers were closed/crashed since the last ingest; crash
+            # recovery (or close) already settled the parent copies.
             session.workers_canonical = False
             session.dirty.clear()
+            session.pending.clear()
             return
         per_worker: dict[int, list[int]] = {}
         for g in sorted(session.dirty):
             per_worker.setdefault(g % len(workers), []).append(g)
-        posted = []
-        for w, group_ids in sorted(per_worker.items()):
-            self._post(workers[w], "collect", (session.session_id, group_ids))
-            posted.append(w)
-        for w in posted:
-            for g, state in self._reply(workers[w]).items():
-                sharded.groups[g].load_state(state)
+        try:
+            posted = []
+            for w, group_ids in sorted(per_worker.items()):
+                self._post(
+                    workers[w], "collect", (session.session_id, group_ids)
+                )
+                posted.append(w)
+            for w in posted:
+                for g, state in self._reply(workers[w]).items():
+                    sharded.groups[g].load_state(state)
+                    # The collected state supersedes the replay log —
+                    # the parent copy is canonical again for this group.
+                    session.pending.pop(g, None)
+        except ExecutorError:
+            # A worker died mid-collect.  _on_worker_failure already
+            # replayed every still-pending plan into the parent copies,
+            # which is exactly the state this sync was after — recovered.
+            self.recoveries += 1
+            return
         session.dirty.clear()
+        session.batches_since_checkpoint = 0
 
     def invalidate(self, sharded: "ShardedSampler") -> None:
         """Sync, then make the parent's groups canonical again."""
@@ -984,27 +1127,33 @@ class SharedMemoryExecutor(ExecutionBackend):
             return
         self.sync(sharded)
         session.workers_canonical = False
+        # The parent is canonical from here; worker-held copies (and any
+        # log entries for them) are garbage until the next adopt.
+        session.pending.clear()
+        session.batches_since_checkpoint = 0
+
+    def release(self, sharded: "ShardedSampler") -> None:
+        """Drop a sampler's session without any state transfer.
+
+        The facade calls this when it is about to replace its group
+        objects wholesale (resharding): the worker-held copies describe
+        groups that no longer exist, so they are queued for a ``drop``
+        that the next command flushes.
+        """
+        session = self._sessions.pop(sharded, None)
+        if session is None:
+            return
+        session.workers_canonical = False
+        session.pending.clear()
+        session.dirty.clear()
+        if self._workers is not None:
+            self._dead_sessions.append(session.session_id)
 
     # -- ingest --------------------------------------------------------------
 
     def ingest_events(self, sharded: "ShardedSampler", events: list[Any]) -> int:
         plans, last_slot, advances = sharded._plan_events(events)
-        workers = self._ensure_workers()
-        self._flush_dead_sessions(workers)
-        session = self._session_for(sharded)
-        self._adopt_if_needed(sharded, session, workers)
-        per_worker = self._plans_by_worker(plans, len(workers))
-        posted = []
-        for w, worker_plans in per_worker:
-            # The tuple fallback really does pickle event payloads
-            # across the pipe — count it honestly.
-            self.pickle_bytes += self._post(
-                workers[w],
-                "ingest_events",
-                (session.session_id, worker_plans),
-            )
-            posted.append(w)
-        self._collect_timings(sharded, session, workers, posted)
+        self._execute_batch(sharded, plans, hasher=None)
         sharded._commit_slots(last_slot, advances)
         return len(events)
 
@@ -1013,36 +1162,91 @@ class SharedMemoryExecutor(ExecutionBackend):
         plans, last_slot, advances = sharded._plan_columns(
             batch, warm_hasher=hasher
         )
-        workers = self._ensure_workers()
-        self._flush_dead_sessions(workers)
-        session = self._session_for(sharded)
-        self._adopt_if_needed(sharded, session, workers)
-        blocks, meta, range_plans = self._build_blocks(plans, hasher)
-        try:
-            per_worker = self._plans_by_worker_ranged(
-                range_plans, len(workers)
-            )
-            posted = []
-            for w, worker_plans in per_worker:
-                self._post(
-                    workers[w],
-                    "ingest_columns",
-                    (
-                        session.session_id,
-                        meta,
-                        (hasher.seed, hasher.algorithm),
-                        worker_plans,
-                    ),
-                )
-                posted.append(w)
-            self._collect_timings(sharded, session, workers, posted)
-        finally:
-            # The blocks never outlive the batch call: every worker has
-            # replied (or the executor is already torn down), so the
-            # segments can be unlinked unconditionally.
-            _release_blocks(blocks)
+        self._execute_batch(sharded, plans, hasher=hasher)
         sharded._commit_slots(last_slot, advances)
         return len(batch)
+
+    def _execute_batch(
+        self,
+        sharded: "ShardedSampler",
+        plans: list[GroupPlan],
+        hasher: Optional[UnitHasher],
+    ) -> None:
+        """Ship one batch to the workers, surviving worker crashes.
+
+        The batch's materialized plans join the session's replay log
+        *before* anything is posted, so a crash at any later point is
+        recoverable: ``_on_worker_failure`` replays the log (this batch
+        included) into the parent's groups and the resulting
+        :class:`ExecutorError` is swallowed here — the ingest call
+        succeeds with zero acked-data loss.  A crash *before* the plans
+        are logged (re-adopt or dead-session flush) leaves the parent at
+        its pre-batch state, so this batch is simply replayed in-process
+        directly.  Either way ``recoveries`` ticks once.
+        """
+        logged = False
+        try:
+            workers = self._ensure_workers()
+            self._flush_dead_sessions(workers)
+            session = self._session_for(sharded)
+            self._adopt_if_needed(sharded, session, workers)
+            for g, tasks in enumerate(plans):
+                if tasks:
+                    session.pending.setdefault(g, []).extend(tasks)
+            logged = True
+            if hasher is None:
+                per_worker = self._plans_by_worker(plans, len(workers))
+                posted = []
+                for w, worker_plans in per_worker:
+                    # The tuple fallback really does pickle event
+                    # payloads across the pipe — count it honestly.
+                    self.pickle_bytes += self._post(
+                        workers[w],
+                        "ingest_events",
+                        (session.session_id, worker_plans),
+                    )
+                    posted.append(w)
+                self._collect_timings(sharded, session, workers, posted)
+            else:
+                blocks, meta, range_plans = self._build_blocks(plans, hasher)
+                try:
+                    per_worker = self._plans_by_worker_ranged(
+                        range_plans, len(workers)
+                    )
+                    posted = []
+                    for w, worker_plans in per_worker:
+                        self._post(
+                            workers[w],
+                            "ingest_columns",
+                            (
+                                session.session_id,
+                                meta,
+                                (hasher.seed, hasher.algorithm),
+                                worker_plans,
+                            ),
+                        )
+                        posted.append(w)
+                    self._collect_timings(sharded, session, workers, posted)
+                finally:
+                    # The blocks never outlive the batch call: every
+                    # worker has replied (or the executor is already
+                    # torn down), so the segments can be unlinked
+                    # unconditionally.
+                    _release_blocks(blocks)
+            session.batches_since_checkpoint += 1
+            if session.batches_since_checkpoint >= self.checkpoint_batches:
+                self.sync(sharded)
+        except ExecutorError:
+            self.recoveries += 1
+            if not logged:
+                # The crash predates this batch's log entry; the
+                # recovery replay restored the pre-batch state, so
+                # apply the batch in-process now.
+                for g, tasks in enumerate(plans):
+                    if tasks:
+                        sharded.group_ingest_seconds[g] += _replay_group(
+                            sharded.groups[g], tasks
+                        )
 
     def _collect_timings(
         self,

@@ -1,0 +1,454 @@
+"""Elastic re-partitioning of sharded group state (snapshot-v2 level).
+
+A :class:`~repro.runtime.sharded.ShardedSampler` owns S coordinator
+groups over hash-partitioned key spaces.  Because every group shares the
+*same sampling hash* — the property that makes the query-time bottom-s
+merge exact — the retained per-group state can be re-partitioned under a
+new group count **without resampling**: each retained element already
+carries its true sampling hash, and the routing layer is a pure function
+of (seed, algorithm, element), so re-routing a group's entries to S' new
+groups reproduces exactly the state those entries would occupy had the
+sampler always had S' groups.
+
+Why the merged query stays exact (at the reshard instant *and* under
+continued ingest):
+
+* **Infinite family** (``infinite`` / ``broadcast`` / ``caching``): the
+  union of the old groups' bottom-s stores is a superset of the global
+  bottom-s.  Routing that union and keeping each new group's bottom-s
+  preserves the superset property, so the facade merge — the s smallest
+  of the union — is unchanged.  New site thresholds are set to their new
+  group's store threshold, the same "any value >= the true u is safe"
+  rule the soft snapshot-restore path uses.
+* **Windowed family** (``sliding*``): an entry pruned by s-dominance had
+  s smaller-hash, later-expiry entries in its old group, so while it is
+  live it is never in the *global* bottom-s — re-partitioning the
+  surviving entries therefore preserves the facade-level merge at every
+  future slot, even though a single group's restricted sample may differ
+  from a from-scratch run's.  Survivor sets are insertion-order
+  independent (``SortedDominanceSet.observe`` keeps the maximal expiry
+  per element and prunes to the unique minimal survivor set), so the new
+  coordinator simply observes every routed live entry.  Site protocol
+  fields reset to their safe report-everything states (``u_local = 1``,
+  no suppressed feedback), which costs a transient burst of extra
+  reports and loses nothing.
+
+Aggregate observability counters (message stats, ``reports_received``,
+``reports_sent``, ...) are preserved as *totals*: the sums land on new
+group 0 (site-indexed counters on group 0's matching site) and every
+other group starts at zero, so the facade-level aggregates are unchanged
+by a reshard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.protocol import SamplerConfig, decode_expiry, revive_element
+from ..errors import ConfigurationError
+from ..streams.partition import HashDistributor
+
+__all__ = ["repartition_group_states"]
+
+#: Variants whose group state this module knows how to re-partition
+#: (the shardable registry, spelled locally to avoid an import cycle
+#: with :mod:`repro.core.api`).
+_INFINITE_FAMILY = ("infinite", "broadcast", "caching")
+_WINDOWED_FAMILY = ("sliding", "sliding-feedback", "sliding-local-push")
+
+
+def _base_variant(config: SamplerConfig) -> str:
+    name = config.variant
+    return name.split(":", 1)[1] if name.startswith("sharded:") else name
+
+
+def _zero_network() -> dict[str, Any]:
+    return {
+        "total_messages": 0,
+        "total_bytes": 0,
+        "site_to_coordinator": 0,
+        "coordinator_to_site": 0,
+        "by_kind": {},
+    }
+
+
+def _summed_network(states: list[dict[str, Any]]) -> dict[str, Any]:
+    total = _zero_network()
+    by_kind: dict[str, int] = {}
+    for state in states:
+        network = state["network"]
+        for key in (
+            "total_messages",
+            "total_bytes",
+            "site_to_coordinator",
+            "coordinator_to_site",
+        ):
+            total[key] += int(network.get(key, 0))
+        for name, count in network.get("by_kind", {}).items():
+            by_kind[name] = by_kind.get(name, 0) + int(count)
+    total["by_kind"] = by_kind
+    return total
+
+
+def _validate_group_states(
+    group_states: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Structural up-front validation: every group state must be a full
+    snapshot-v2 group wrapper before anything is rebuilt from it."""
+    if not isinstance(group_states, list) or not group_states:
+        raise ConfigurationError(
+            "snapshot must carry a non-empty list of shard group states"
+        )
+    for g, state in enumerate(group_states):
+        if not isinstance(state, dict):
+            raise ConfigurationError(
+                f"shard group {g} state is not a dict: {type(state).__name__}"
+            )
+        for key in ("protocol", "network", "system"):
+            if not isinstance(state.get(key), dict):
+                raise ConfigurationError(
+                    f"shard group {g} state is missing the {key!r} section"
+                )
+    return group_states
+
+
+def repartition_group_states(
+    group_states: list[dict[str, Any]],
+    config: SamplerConfig,
+    new_shards: int,
+) -> list[dict[str, Any]]:
+    """Re-partition S captured group states into ``new_shards`` states.
+
+    Args:
+        group_states: The ``"groups"`` list of a sharded snapshot — one
+            ``state_dict()`` per old group, any old group count >= 1.
+        config: The facade's config (supplies the shared routing recipe:
+            seed, algorithm, sample size, site count; ``variant`` may be
+            the ``sharded:<base>`` registry key or the bare base name).
+        new_shards: The target group count S' (>= 1).
+
+    Returns:
+        ``new_shards`` group state dicts, loadable by freshly built base
+        groups via ``group.load_state``.
+
+    Raises:
+        ConfigurationError: For a malformed snapshot, an unsupported
+            variant, or ``new_shards < 1``.
+    """
+    new_shards = int(new_shards)
+    if new_shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {new_shards}")
+    group_states = _validate_group_states(group_states)
+    base = _base_variant(config)
+    # Late import: sharded.py lazily imports this module, so the salt can
+    # be imported here without a cycle at module-load time.
+    from .sharded import _SHARD_SALT
+
+    router = HashDistributor(
+        new_shards,
+        seed=config.seed,
+        algorithm=config.algorithm,
+        salt=_SHARD_SALT,
+    )
+    systems = [state["system"] for state in group_states]
+    if base in _INFINITE_FAMILY:
+        new_systems = _repartition_infinite_family(
+            base, systems, config, router, new_shards
+        )
+    elif base in _WINDOWED_FAMILY:
+        new_systems = _repartition_windowed_family(
+            base, systems, config, router, new_shards
+        )
+    else:
+        raise ConfigurationError(
+            f"variant {config.variant!r} does not support re-partitioning"
+        )
+    protocol = dict(group_states[0]["protocol"])
+    return [
+        {
+            "protocol": dict(protocol),
+            "network": (
+                _summed_network(group_states) if g == 0 else _zero_network()
+            ),
+            "system": system,
+        }
+        for g, system in enumerate(new_systems)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Infinite family: route the bottom-s stores, soft-reset site thresholds
+# ---------------------------------------------------------------------------
+
+
+def _repartition_infinite_family(
+    base: str,
+    systems: list[dict[str, Any]],
+    config: SamplerConfig,
+    router: HashDistributor,
+    new_shards: int,
+) -> list[dict[str, Any]]:
+    s = config.sample_size
+    k = config.num_sites
+    routed: list[list[tuple[float, Any]]] = [[] for _ in range(new_shards)]
+    reports_received = 0
+    reports_accepted = 0
+    broadcasts_sent = 0
+    suppressed = 0
+    for system in systems:
+        try:
+            rows = system["sample"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"malformed {base} group state: missing {exc}"
+            ) from exc
+        for h, element in rows:
+            g = router.assign_one(revive_element(element))
+            routed[g].append((float(h), element))
+        reports_received += int(system.get("reports_received", 0))
+        reports_accepted += int(system.get("reports_accepted", 0))
+        broadcasts_sent += int(system.get("broadcasts_sent", 0))
+        if base == "caching":
+            suppressed += sum(
+                int(site.get("suppressed", 0))
+                for site in system.get("sites", [])
+            )
+    out: list[dict[str, Any]] = []
+    for g in range(new_shards):
+        # Keep each new group's bottom-s: ascending by hash, truncated to
+        # capacity.  Elements are distinct across groups by construction,
+        # so no dedup pass is needed.
+        routed[g].sort(key=lambda row: row[0])
+        rows = routed[g][:s]
+        threshold = rows[-1][0] if len(rows) == s else 1.0
+        first = g == 0
+        system_state: dict[str, Any] = {
+            "sample": [[h, element] for h, element in rows],
+            "reports_received": reports_received if first else 0,
+        }
+        if base == "broadcast":
+            system_state["site_thresholds"] = [threshold] * k
+            system_state["broadcasts_sent"] = broadcasts_sent if first else 0
+        elif base == "caching":
+            system_state["reports_accepted"] = reports_accepted if first else 0
+            system_state["sites"] = [
+                {
+                    "u_local": threshold,
+                    "cache": [],
+                    "suppressed": suppressed if first and i == 0 else 0,
+                }
+                for i in range(k)
+            ]
+        else:  # infinite
+            system_state["site_thresholds"] = [threshold] * k
+            system_state["reports_accepted"] = reports_accepted if first else 0
+        out.append(system_state)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Windowed family: route live dominance entries, reset site protocol state
+# ---------------------------------------------------------------------------
+
+
+def _route_live_entries(
+    rows: list[list[Any]],
+    clock: int,
+    router: HashDistributor,
+    buckets: list[list[list[Any]]],
+) -> None:
+    """Route every still-live ``[element, expiry, hash]`` row."""
+    for element, expiry, h in rows:
+        expiry = int(expiry)
+        if expiry <= clock:
+            continue
+        g = router.assign_one(revive_element(element))
+        buckets[g].append([element, expiry, float(h)])
+
+
+def _repartition_windowed_family(
+    base: str,
+    systems: list[dict[str, Any]],
+    config: SamplerConfig,
+    router: HashDistributor,
+    new_shards: int,
+) -> list[dict[str, Any]]:
+    k = config.num_sites
+    clock_key = "now" if base == "sliding-local-push" else "clock"
+    try:
+        clock = max(int(system[clock_key]) for system in systems)
+        site_lists = [system["sites"] for system in systems]
+        coord_states = [system["coordinator"] for system in systems]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"malformed {base} group state: missing {exc}"
+        ) from exc
+    # Everything live lands at the new coordinators (survivor sets are
+    # order-independent, and a coordinator knowing *more* live entries
+    # than a from-scratch run is always safe — queries take the bottom-s
+    # of the live set either way).  Site candidate sets keep physical
+    # locality: new group g's site i receives only entries that lived at
+    # some old group's site i.
+    coord_entries: list[list[list[Any]]] = [[] for _ in range(new_shards)]
+    site_entries: list[list[list[list[Any]]]] = [
+        [[] for _ in range(k)] for _ in range(new_shards)
+    ]
+    reports_received = 0
+    reports_sent = [0] * k
+    fallbacks = [0] * k
+    paper_mode = base == "sliding" and coord_states[0].get("entries") is None
+    for coord_state, sites in zip(coord_states, site_lists):
+        reports_received += int(coord_state.get("reports_received", 0))
+        rows = coord_state.get("entries")
+        if rows is not None:
+            _route_live_entries(rows, clock, router, coord_entries)
+        elif base == "sliding":
+            # Paper-mode coordinator: the single retained (e*, u*, t*)
+            # tuple is its whole candidate state.
+            element, u_star, expiry = coord_state["sample"]
+            stamp = decode_expiry(expiry)
+            if element is not None and stamp > clock:
+                g = router.assign_one(revive_element(element))
+                coord_entries[g].append([element, int(stamp), float(u_star)])
+        if len(sites) != k:
+            raise ConfigurationError(
+                f"malformed {base} group state: expected {k} sites, "
+                f"got {len(sites)}"
+            )
+        for i, site_state in enumerate(sites):
+            _route_live_entries(
+                site_state.get("entries", []),
+                clock,
+                router,
+                [bucket[i] for bucket in site_entries],
+            )
+            reports_sent[i] += int(site_state.get("reports_sent", 0))
+            fallbacks[i] += int(site_state.get("fallbacks", 0))
+    out: list[dict[str, Any]] = []
+    for g in range(new_shards):
+        # The new coordinator observes every live entry routed to its key
+        # space — its own plus the sites' — so its candidate structure is
+        # a superset of what any report schedule could have built.
+        all_entries = list(coord_entries[g])
+        for i in range(k):
+            all_entries.extend(site_entries[g][i])
+        first = g == 0
+        if base == "sliding":
+            out.append(
+                _sliding_group_state(
+                    all_entries,
+                    site_entries[g],
+                    paper_mode,
+                    clock,
+                    reports_received if first else 0,
+                    reports_sent if first else [0] * k,
+                    fallbacks if first else [0] * k,
+                )
+            )
+        elif base == "sliding-feedback":
+            out.append(
+                {
+                    "clock": clock,
+                    "coordinator": {
+                        "reports_received": reports_received if first else 0,
+                        "entries": all_entries,
+                    },
+                    "sites": [
+                        {
+                            "entries": site_entries[g][i],
+                            # Report-everything reset: the first reply
+                            # re-establishes the genuine (u, valid_until).
+                            "u_local": 1.0,
+                            "valid_until": None,  # encode_expiry(inf)
+                            "reports_sent": reports_sent[i] if first else 0,
+                            "fallbacks": fallbacks[i] if first else 0,
+                        }
+                        for i in range(k)
+                    ],
+                }
+            )
+        else:  # sliding-local-push
+            out.append(
+                {
+                    "now": clock,
+                    "coordinator": {
+                        "reports_received": reports_received if first else 0,
+                        "entries": all_entries,
+                    },
+                    "sites": [
+                        {
+                            "entries": site_entries[g][i],
+                            # Empty push memory: the next local observe
+                            # re-pushes its bottom-s (idempotent at the
+                            # coordinator, which already has the entries).
+                            "reported": [],
+                            "reports_sent": reports_sent[i] if first else 0,
+                        }
+                        for i in range(k)
+                    ],
+                }
+            )
+    return out
+
+
+def _min_hash_entry(entries: list[list[Any]]) -> Optional[list[Any]]:
+    best: Optional[list[Any]] = None
+    for entry in entries:
+        if best is None or entry[2] < best[2]:
+            best = entry
+    return best
+
+
+def _sliding_group_state(
+    all_entries: list[list[Any]],
+    site_entries: list[list[list[Any]]],
+    paper_mode: bool,
+    clock: int,
+    reports_received: int,
+    reports_sent: list[int],
+    fallbacks: list[int],
+) -> dict[str, Any]:
+    """One new s = 1 sliding group: exact mode keeps the full candidate
+    staircase (the query refreshes the cached tuple from it); paper mode
+    keeps only the minimum-hash live entry, the best its single-tuple
+    coordinator can represent."""
+    if paper_mode:
+        best = _min_hash_entry(all_entries)
+        sample = (
+            [None, 1.0, -1.0]
+            if best is None
+            else [best[0], best[2], float(best[1])]
+        )
+        coordinator = {
+            "reports_received": reports_received,
+            "sample": sample,
+            "entries": None,
+        }
+    else:
+        coordinator = {
+            "reports_received": reports_received,
+            # Stale-expired cache tuple: the next query recomputes it
+            # from the candidate entries.
+            "sample": [None, 1.0, -1.0],
+            "entries": all_entries,
+        }
+    return {
+        "clock": clock,
+        "coordinator": coordinator,
+        "sites": [
+            {
+                "entries": entries,
+                # Report-everything, never-fallback reset: u = 1 accepts
+                # every arrival, an infinite local expiry never triggers
+                # the fallback path.
+                "sample_element": None,
+                "u_local": 1.0,
+                "sample_expiry": None,  # encode_expiry(inf)
+                "reports_sent": sent,
+                "fallbacks": fell,
+            }
+            for entries, sent, fell in zip(
+                site_entries, reports_sent, fallbacks
+            )
+        ],
+    }

@@ -88,6 +88,13 @@ __all__ = ["ShardedSampler"]
 _SHARD_SALT = 0x51A2DED0C0FFEE42
 
 
+def _base_name(variant: str) -> str:
+    """The base-variant registry key behind a ``sharded:<base>`` name."""
+    return (
+        variant.split(":", 1)[1] if variant.startswith("sharded:") else variant
+    )
+
+
 class ShardedSampler(Sampler):
     """S hash-partitioned coordinator groups behind one Sampler facade.
 
@@ -542,6 +549,70 @@ class ShardedSampler(Sampler):
         """The :class:`SamplerConfig` reconstructing this sampler."""
         return self._config
 
+    # -- elastic resharding --------------------------------------------------
+
+    def reshard(self, new_shards: int) -> "ShardedSampler":
+        """Re-partition the S groups into ``new_shards`` groups, live.
+
+        No resampling: every group shares the same sampling hash, so the
+        retained bottom-s stores and window bookkeeping are re-routed
+        under a new-count :class:`HashDistributor` (see
+        :mod:`repro.runtime.reshard` for the exactness argument).  Any
+        query after the reshard — and after arbitrary continued ingest —
+        is bit-identical to a fresh ``new_shards`` sampler fed the same
+        stream.  Per-group ingest timers restart at zero; aggregate
+        message/report counters are preserved as totals.
+
+        Returns ``self`` (re-configured in place, so existing references
+        and executor sharing stay valid).
+
+        Raises:
+            ConfigurationError: For ``new_shards < 1`` or a variant whose
+                group state cannot be re-partitioned.
+        """
+        from dataclasses import replace
+
+        from ..core.api import get_variant
+        from .reshard import repartition_group_states
+
+        new_shards = int(new_shards)
+        if new_shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {new_shards}")
+        if new_shards == len(self.groups):
+            return self
+        # Pull worker-held state home first: the captured group states
+        # must be canonical, and the old worker-side groups must not
+        # survive the shard-count change.
+        self.executor.invalidate(self)
+        old_states = [group.state_dict() for group in self.groups]
+        self.executor.release(self)
+        new_states = repartition_group_states(
+            old_states, self._config, new_shards
+        )
+        config = replace(self._config, shards=new_shards)
+        base = get_variant(_base_name(config.variant))
+        inner = replace(
+            config, variant=_base_name(config.variant), shards=1,
+            executor="serial", workers=0,
+        )
+        new_groups = [base.factory(inner) for _ in range(new_shards)]
+        for group, group_state in zip(new_groups, new_states):
+            group.load_state(group_state)
+        self.groups = new_groups
+        self._config = config
+        self._router = HashDistributor(
+            new_shards,
+            seed=config.seed,
+            algorithm=config.algorithm,
+            salt=_SHARD_SALT,
+        )
+        self.group_ingest_seconds = [0.0] * new_shards
+        self._group_generation = [0] * new_shards
+        self._merge_key = None
+        self._merge_result = None
+        self._synced_key = None
+        return self
+
     # -- persistence ---------------------------------------------------------
 
     def state_dict(self) -> dict[str, Any]:
@@ -555,23 +626,60 @@ class ShardedSampler(Sampler):
         }
 
     def load_state(self, state: dict[str, Any]) -> None:
+        """Restore a sharded snapshot — taken at *any* shard count.
+
+        A snapshot whose group count differs from this sampler's is
+        re-partitioned first (:mod:`repro.runtime.reshard`), so an S=4
+        snapshot restores into an S=8 or S=2 sampler exactly.  The
+        restore is atomic: every group state is validated up front, and a
+        failure inside the per-group load loop rolls the sampler back to
+        its pre-call state before re-raising.
+
+        Raises:
+            ConfigurationError: For a malformed snapshot (the sampler is
+                left exactly as it was).
+        """
         self.executor.invalidate(self)
         try:
             protocol = state["protocol"]
             groups = state["groups"]
         except (KeyError, TypeError) as exc:
             raise ConfigurationError(f"malformed sampler state: {exc}") from exc
-        if len(groups) != len(self.groups):
+        if not isinstance(groups, list):
             raise ConfigurationError(
-                f"snapshot has {len(groups)} shard groups, sampler has "
-                f"{len(self.groups)}"
+                "malformed sampler state: 'groups' must be a list, got "
+                f"{type(groups).__name__}"
             )
+        if len(groups) != len(self.groups):
+            from .reshard import repartition_group_states
+
+            groups = repartition_group_states(
+                groups, self._config, len(self.groups)
+            )
+        # Parse the protocol fields before touching anything, then keep a
+        # rollback copy so a failure on group k cannot leave the sampler
+        # half-restored.
         last_slot = protocol.get("last_slot")
-        self._last_slot = None if last_slot is None else int(last_slot)
-        self._slots_processed = int(protocol.get("slots_processed", 0))
+        last_slot = None if last_slot is None else int(last_slot)
+        slots_processed = int(protocol.get("slots_processed", 0))
+        backup_protocol = (self._last_slot, self._slots_processed)
+        backup_groups = [group.state_dict() for group in self.groups]
+        loaded = 0
+        try:
+            for group, group_state in zip(self.groups, groups):
+                group.load_state(group_state)
+                loaded += 1
+        except Exception:
+            # The failing group may itself be half-loaded — roll it back
+            # along with every group already restored.
+            touched = backup_groups[: loaded + 1]
+            for group, group_state in zip(self.groups, touched):
+                group.load_state(group_state)
+            self._bump_all_generations()
+            raise
+        self._last_slot = last_slot
+        self._slots_processed = slots_processed
         self._bump_all_generations()
-        for group, group_state in zip(self.groups, groups):
-            group.load_state(group_state)
 
     def _state(self) -> dict[str, Any]:  # pragma: no cover - unused
         raise NotImplementedError

@@ -129,6 +129,40 @@ class TestFaultInjection:
         with pytest.raises(ProtocolError):
             net.send(0, 99, MessageKind.REPORT, None)
 
+    def test_rejected_send_counts_nothing(self):
+        # Regression: the queued transport moved every counter before
+        # validating the destination, unlike the synchronous Network.
+        net = DelayedNetwork()
+
+        class Sink:
+            def handle_message(self, message, network):
+                pass
+
+        net.register(0, Sink())
+        net.send(COORDINATOR, 0, MessageKind.REPORT, None, size_bytes=4)
+        with pytest.raises(ProtocolError, match="no node registered"):
+            net.send(COORDINATOR, 99, MessageKind.REPORT, None, size_bytes=4)
+        assert net.stats.total_messages == 1
+        assert net.stats.total_bytes == 4
+        assert net.in_flight == 1
+
+    def test_record_kinds_parity_with_synchronous_network(self):
+        # Regression: DelayedNetwork.__init__ silently ignored the
+        # record_kinds knob the base Network exposes.
+        class Sink:
+            def handle_message(self, message, network):
+                pass
+
+        recording = DelayedNetwork(record_kinds=True)
+        silent = DelayedNetwork(record_kinds=False)
+        for net in (recording, silent):
+            net.register(0, Sink())
+            net.send(COORDINATOR, 0, MessageKind.THRESHOLD, 0.5)
+            net.pump()
+        assert recording.kind_count(MessageKind.THRESHOLD) == 1
+        assert silent.kind_count(MessageKind.THRESHOLD) == 0
+        assert silent.stats.total_messages == 1
+
     def test_fifo_per_link(self):
         received = []
 

@@ -122,6 +122,19 @@ class TestAccounting:
         net.send(COORDINATOR, 0, MessageKind.THRESHOLD, 0.5, size_bytes=24)
         assert net.stats.total_bytes == 24
 
+    def test_rejected_send_counts_nothing(self):
+        # Regression: counters used to move BEFORE the destination was
+        # validated, so a rejected send inflated every statistic.
+        net = Network()
+        net.register(0, Recorder())
+        net.send(0, 0, MessageKind.REPORT, None, size_bytes=8)
+        with pytest.raises(ProtocolError, match="no node registered"):
+            net.send(0, 99, MessageKind.REPORT, None, size_bytes=8)
+        stats = net.stats
+        assert stats.total_messages == 1
+        assert stats.total_bytes == 8
+        assert net.kind_count(MessageKind.REPORT) == 1
+
     def test_kind_counters(self):
         net = Network()
         net.register(0, Recorder())

@@ -45,6 +45,7 @@ class TestScenarioRegistry:
             "netsim-roundtrip",
             "sharded-mixed-rw",
             "sharded-query-heavy",
+            "sharded-reshard",
             "sharded-uniform",
             "sharded-uniform-columnar",
             "sharded-uniform-parallel",

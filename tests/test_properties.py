@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -47,8 +48,8 @@ from hypothesis.stateful import (
 from repro import (
     CentralizedDistinctSampler,
     CentralizedWindowSampler,
+    DistinctSamplerSystem,
     EventBatch,
-    ExecutorError,
     ProcessExecutor,
     SharedMemoryExecutor,
     ThreadExecutor,
@@ -57,6 +58,7 @@ from repro import (
     restore,
     snapshot,
 )
+from repro.netsim import ChaosNetwork
 
 SHARDED_INFINITE = ("sharded:infinite", "sharded:broadcast", "sharded:caching")
 SHARDED_WINDOWED = (
@@ -401,10 +403,39 @@ class TestQueryCacheCoherence:
         check_coherence()
 
 
-class TestShmCrashRecovery:
-    """A worker crash mid-batch must leak no /dev/shm segment, fall the
-    sampler back to its last synchronized state, and heal on the next
-    batch (fresh workers re-adopt the parent's state)."""
+def _kill_executor_workers(executor) -> bool:
+    """SIGKILL every live worker process of a parallel backend; returns
+    whether anything was actually killed (pools are lazy)."""
+    if isinstance(executor, SharedMemoryExecutor):
+        workers = executor._workers
+        if not workers:
+            return False
+        for worker in workers:
+            worker.process.kill()
+        for worker in workers:
+            worker.process.join()
+        return True
+    pool = executor._pool
+    if pool is None:
+        return False
+    processes = list(pool._processes.values())
+    for process in processes:
+        process.kill()
+    for process in processes:
+        process.join()
+    return True
+
+
+class TestCrashReplayRecovery:
+    """Crash-replay: killing workers mid-stream must lose NO acked data.
+
+    Both parallel process backends retain every in-flight batch plan
+    until its worker acknowledges it; on a crash the executor rebuilds
+    the lost groups from the parent's last-synchronized state by
+    replaying the pending plans in-process.  The recovered sampler must
+    be *bit-identical* (sample, stats, full state_dict, message
+    counters) to a never-crashed serial twin — and the shm backend must
+    still leak no /dev/shm segment."""
 
     @staticmethod
     def _segments():
@@ -419,10 +450,9 @@ class TestShmCrashRecovery:
         except FileNotFoundError:  # non-Linux: nothing to leak-check
             return set()
 
-    def test_worker_crash_mid_batch(self):
+    @pytest.mark.parametrize("backend", ["shm", "process"])
+    def test_worker_crash_mid_stream_loses_nothing(self, backend):
         events = [(i % 3, (i * 17) % 211) for i in range(300)]
-        batch1 = EventBatch.from_events(events[:150])
-        batch2 = EventBatch.from_events(events[150:])
 
         def build(executor):
             return make_sampler(
@@ -437,28 +467,73 @@ class TestShmCrashRecovery:
             )
 
         before = self._segments()
-        serial, crashy = build("serial"), build("shm")
+        serial, crashy = build("serial"), build(backend)
         try:
-            serial.observe_batch(batch1)
+            serial.observe_batch(EventBatch.from_events(events[:150]))
             crashy.observe_batch(EventBatch.from_events(events[:150]))
-            # Querying synchronizes the parent's copy of the state.
+            # Query → the parent's copies synchronize here ...
             assert crashy.sample() == serial.sample()
-            for worker in crashy.executor._workers:
-                worker.process.kill()
-                worker.process.join()
-            with pytest.raises(ExecutorError):
-                crashy.observe_batch(EventBatch.from_events(events[150:]))
-            # The failed batch was lost wholesale; the parent fell back
-            # to the last synchronized state...
-            assert crashy.sample() == serial.sample()
-            assert crashy.state_dict() == serial.state_dict()
-            # ...and the next batch respawns workers and re-adopts.
-            serial.observe_batch(batch2)
-            crashy.observe_batch(EventBatch.from_events(events[150:]))
+            # ... then one more acked batch with NO query after it, so a
+            # lossy recovery would visibly rewind it.
+            serial.observe_batch(EventBatch.from_events(events[150:200]))
+            crashy.observe_batch(EventBatch.from_events(events[150:200]))
+            assert _kill_executor_workers(crashy.executor)
+            # The next batch hits dead workers; recovery must replay —
+            # not raise, not rewind.
+            serial.observe_batch(EventBatch.from_events(events[200:]))
+            crashy.observe_batch(EventBatch.from_events(events[200:]))
+            assert crashy.executor.recoveries >= 1
+            assert_indistinguishable(crashy, serial)
+            assert crashy.message_stats() == serial.message_stats()
+            # The executor healed: another kill-free batch stays exact.
+            more = [(i % 3, (i * 31) % 97) for i in range(60)]
+            serial.observe_batch(EventBatch.from_events(more))
+            crashy.observe_batch(EventBatch.from_events(more))
             assert_indistinguishable(crashy, serial)
         finally:
             crashy.close()
         assert self._segments() - before == set()
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_crash_replay_is_bit_identical_property(self, data):
+        backend = data.draw(st.sampled_from(("process", "shm")), label="backend")
+        variant = data.draw(st.sampled_from(SHARDED_ALL), label="variant")
+        windowed = variant in SHARDED_WINDOWED
+        shards = data.draw(st.integers(1, 3), label="shards")
+        seed = data.draw(st.integers(0, 3), label="seed")
+        if windowed:
+            k, window, events = data.draw(slotted_streams(), label="stream")
+        else:
+            k, events = data.draw(flat_streams(), label="stream")
+            window = 0
+        cut = data.draw(
+            st.integers(0, max(0, len(events) - 1)), label="crash_after"
+        )
+
+        def build(executor, workers):
+            return make_sampler(
+                variant,
+                num_sites=k,
+                sample_size=3,
+                window=window,
+                shards=shards,
+                seed=seed,
+                executor=executor,
+                workers=workers,
+            )
+
+        serial, crashy = build("serial", 0), build(backend, 2)
+        try:
+            serial.observe_batch(list(events[:cut]))
+            crashy.observe_batch(list(events[:cut]))
+            _kill_executor_workers(crashy.executor)
+            serial.observe_batch(list(events[cut:]))
+            crashy.observe_batch(list(events[cut:]))
+            assert_indistinguishable(crashy, serial)
+            assert crashy.message_stats() == serial.message_stats()
+        finally:
+            crashy.close()
 
 
 class SnapshotContinuationMachine(RuleBasedStateMachine):
@@ -547,3 +622,111 @@ SnapshotContinuationMachine.TestCase.settings = settings(
     max_examples=15, stateful_step_count=20, deadline=None
 )
 TestSnapshotContinuation = SnapshotContinuationMachine.TestCase
+
+
+class ChaosConvergenceMachine(RuleBasedStateMachine):
+    """Chaos-mode netsim: with ``drop == 0``, duplication, reordering,
+    partial delivery, and site crash/revive cycles must all be invisible
+    at quiescence — after reviving every site and draining the network,
+    the faulty system's sample is indistinguishable from a no-fault twin
+    fed the same arrivals.
+
+    The model of a crashed site: no arrivals land there while it is down
+    (both runs see the same arrival sequence, routed to live sites), it
+    sends nothing, and everything addressed to it is dropped.  A revived
+    site resumes with a stale-high threshold — safe, so convergence is
+    exact, not approximate.
+    """
+
+    SITES = 3
+
+    @initialize(
+        seed=st.integers(0, 5),
+        duplicate=st.floats(0.0, 0.5),
+        reorder=st.floats(0.0, 0.5),
+    )
+    def setup(self, seed, duplicate, reorder):
+        self.chaotic = DistinctSamplerSystem(
+            self.SITES, 4, hasher=UnitHasher(seed)
+        )
+        ChaosNetwork.rewire(
+            self.chaotic,
+            rng=np.random.default_rng(seed + 50),
+            duplicate=duplicate,
+            reorder=reorder,
+            seed=seed + 99,
+        )
+        self.twin = DistinctSamplerSystem(
+            self.SITES, 4, hasher=UnitHasher(seed)
+        )
+
+    @rule(site=st.integers(0, SITES - 1), item=st.integers(0, 80))
+    def observe(self, site, item):
+        # Arrivals land on live sites only (a crashed site ingests
+        # nothing); both runs see the identical arrival sequence.
+        live = [
+            s
+            for s in range(self.SITES)
+            if s not in self.chaotic.network.dead_sites
+        ]
+        if not live:
+            return
+        site = live[site % len(live)]
+        self.chaotic.observe(site, item)
+        self.twin.observe(site, item)
+
+    @rule(site=st.integers(0, SITES - 1))
+    def kill_site(self, site):
+        self.chaotic.network.kill_site(site)
+
+    @rule(site=st.integers(0, SITES - 1))
+    def revive_site(self, site):
+        self.chaotic.network.revive_site(site)
+
+    @rule(limit=st.integers(0, 5))
+    def partial_pump(self, limit):
+        self.chaotic.network.pump(limit=limit)
+
+    @rule()
+    def quiesce_and_compare(self):
+        for site in list(self.chaotic.network.dead_sites):
+            self.chaotic.network.revive_site(site)
+        self.chaotic.network.pump()
+        assert self.chaotic.network.in_flight == 0
+        assert self.chaotic.sample() == self.twin.sample()
+
+    def teardown(self):
+        self.quiesce_and_compare()
+
+
+ChaosConvergenceMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestChaosConvergence = ChaosConvergenceMachine.TestCase
+
+
+class TestChaosSafetyUnderDrop:
+    """With ``drop > 0`` exactness is forfeited (lost REPORTs are lost
+    data) but safety is not: the coordinator's threshold never falls
+    below the lossless oracle's, and every sampled element is a genuine
+    observed element."""
+
+    @given(
+        seed=st.integers(0, 4),
+        drop=st.floats(0.05, 0.6),
+        stream=flat_streams(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_threshold_and_membership_safety(self, seed, drop, stream):
+        k, events = stream
+        system = DistinctSamplerSystem(k, 4, hasher=UnitHasher(seed))
+        ChaosNetwork.rewire(system, drop=drop, seed=seed + 7)
+        oracle = CentralizedDistinctSampler(4, UnitHasher(seed, "murmur2"))
+        observed = set()
+        for site, item in events:
+            system.observe(site, item)
+            oracle.observe(item)
+            observed.add(item)
+        system.network.pump()
+        assert system.coordinator.threshold >= oracle.threshold
+        assert set(system.sample()) <= observed

@@ -5,6 +5,7 @@ centralized oracle restricted to that group's key space."""
 
 from __future__ import annotations
 
+import copy
 import gc
 import json
 import time
@@ -184,15 +185,181 @@ class TestShardedPersistence:
         assert revived.sample() == sampler.sample()
         assert revived.stats() == sampler.stats()
 
-    def test_load_state_rejects_group_count_mismatch(self):
+    def test_load_state_rejects_malformed_snapshots(self):
         sampler = make_sampler(
             "sharded:infinite", num_sites=2, sample_size=2, shards=2
         )
-        other = make_sampler(
-            "sharded:infinite", num_sites=2, sample_size=2, shards=3
+        with pytest.raises(ConfigurationError, match="malformed"):
+            sampler.load_state({"protocol": {}})
+        with pytest.raises(ConfigurationError, match="malformed"):
+            sampler.load_state(
+                {
+                    "protocol": {"last_slot": None, "slots_processed": 0},
+                    "groups": "nope",
+                }
+            )
+
+    def test_load_state_is_atomic_on_mid_restore_failure(self):
+        sampler = make_sampler(
+            "sharded:infinite", num_sites=3, sample_size=4, shards=3, seed=SEED
         )
-        with pytest.raises(ConfigurationError, match="shard groups"):
-            other.load_state(sampler.state_dict())
+        sampler.observe_batch(uniform_events(800, sites=3, universe=120))
+        baseline_sample = sampler.sample()
+        baseline_state = copy.deepcopy(sampler.state_dict())
+        poisoned = copy.deepcopy(baseline_state)
+        # Group 0 loads fine; group 1 blows up mid-loop.  The restore
+        # must roll group 0 (and the half-loaded group 1) back.
+        poisoned["groups"][1]["system"] = {"sample": "not-a-sample"}
+        with pytest.raises(Exception):
+            sampler.load_state(poisoned)
+        assert sampler.sample() == baseline_sample
+        assert sampler.state_dict() == baseline_state
+        # Still fully usable after the rejected restore.
+        sampler.observe_batch(uniform_events(100, sites=3, universe=120))
+
+
+class TestElasticResharding:
+    """``reshard(S→S')`` and cross-count ``load_state`` must be *exact*:
+    every group shares the same sampling hash, so re-routing the retained
+    per-group state under a new-count distributor reproduces, through the
+    query-time merge, bit for bit what a fresh S'-sharded sampler fed the
+    same stream returns (see ``repro.runtime.reshard`` for the argument).
+    """
+
+    INFINITE = ["sharded:infinite", "sharded:broadcast", "sharded:caching"]
+    WINDOWED = [
+        "sharded:sliding",
+        "sharded:sliding-feedback",
+        "sharded:sliding-local-push",
+    ]
+
+    @classmethod
+    def _make(cls, variant, shards):
+        kwargs = {"num_sites": 3, "shards": shards, "seed": SEED}
+        if variant in cls.WINDOWED:
+            kwargs["window"] = 12
+            if variant == "sharded:sliding-feedback":
+                kwargs["sample_size"] = 4
+        else:
+            kwargs["sample_size"] = 6
+        return make_sampler(variant, **kwargs)
+
+    @pytest.mark.parametrize("new_shards", [8, 2])
+    @pytest.mark.parametrize("variant", INFINITE + WINDOWED)
+    def test_reshard_matches_fresh_twin(self, variant, new_shards):
+        windowed = variant in self.WINDOWED
+        sampler = self._make(variant, 4)
+        twin = self._make(variant, new_shards)
+        if windowed:
+            schedule = list(slotted_schedule(80, 5, sites=3, universe=70))
+            for slot, arrivals in schedule[:40]:
+                sampler.advance(slot)
+                twin.advance(slot)
+                for site, item in arrivals:
+                    sampler.observe(site, item)
+                    twin.observe(site, item)
+        else:
+            events = uniform_events(2400, sites=3, universe=300)
+            sampler.observe_batch(events[:1200])
+            twin.observe_batch(events[:1200])
+        assert sampler.reshard(new_shards) is sampler
+        assert sampler.shards == new_shards
+        assert len(sampler.groups) == new_shards
+        assert sampler.sample() == twin.sample()
+        if windowed:
+            for slot, arrivals in schedule[40:]:
+                sampler.advance(slot)
+                twin.advance(slot)
+                for site, item in arrivals:
+                    sampler.observe(site, item)
+                    twin.observe(site, item)
+                assert sampler.sample() == twin.sample(), slot
+        else:
+            events_tail = events[1200:]
+            sampler.observe_batch(events_tail)
+            twin.observe_batch(events_tail)
+            assert sampler.sample() == twin.sample()
+
+    @pytest.mark.parametrize("variant", INFINITE)
+    def test_reshard_oracle_pinned_infinite(self, variant):
+        sampler = self._make(variant, 4)
+        oracle = CentralizedDistinctSampler(6, UnitHasher(SEED, "murmur2"))
+        events = uniform_events(3000, sites=3, universe=350)
+        for site, item in events[:1500]:
+            sampler.observe(site, item)
+            oracle.observe(item)
+        sampler.reshard(3)
+        for site, item in events[1500:]:
+            sampler.observe(site, item)
+            oracle.observe(item)
+        result = sampler.sample()
+        assert list(result.items) == oracle.sample()
+        assert list(result.pairs) == oracle.sample_pairs()
+        assert result.threshold == oracle.threshold
+
+    @pytest.mark.parametrize("variant", WINDOWED)
+    def test_reshard_oracle_pinned_windowed(self, variant):
+        sampler = self._make(variant, 4)
+        s = 4 if variant == "sharded:sliding-feedback" else 1
+        oracle = CentralizedWindowSampler(12, s, UnitHasher(SEED, "murmur2"))
+        for slot, arrivals in slotted_schedule(100, 5, sites=3, universe=80):
+            if slot == 50:
+                sampler.reshard(5)
+            sampler.advance(slot)
+            oracle.advance(slot)
+            for site, item in arrivals:
+                sampler.observe(site, item)
+                oracle.observe(item, slot)
+            if s == 1:
+                assert sampler.sample().first == oracle.min_element(), slot
+            else:
+                assert list(sampler.sample().items) == oracle.sample(), slot
+
+    def test_reshard_validates_and_noops(self):
+        sampler = self._make("sharded:infinite", 2)
+        with pytest.raises(ConfigurationError, match="shards"):
+            sampler.reshard(0)
+        assert sampler.reshard(2) is sampler
+        assert sampler.shards == 2
+
+    @pytest.mark.parametrize("new_shards", [8, 2])
+    def test_snapshot_restores_into_any_shard_count(self, new_shards):
+        donor = self._make("sharded:infinite", 4)
+        events = uniform_events(2000, sites=3, universe=250)
+        donor.observe_batch(events[:1400])
+        target = self._make("sharded:infinite", new_shards)
+        target.load_state(donor.state_dict())
+        assert target.sample() == donor.sample()
+        # Continued ingest after the cross-count restore stays exact
+        # against a fresh twin born at the target shard count.
+        twin = self._make("sharded:infinite", new_shards)
+        twin.observe_batch(events[:1400])
+        target.observe_batch(events[1400:])
+        twin.observe_batch(events[1400:])
+        assert target.sample() == twin.sample()
+
+    def test_windowed_snapshot_restores_into_other_shard_count(self):
+        donor = self._make("sharded:sliding-feedback", 3)
+        schedule = list(slotted_schedule(60, 5, sites=3, universe=50))
+        for slot, arrivals in schedule[:30]:
+            donor.advance(slot)
+            for site, item in arrivals:
+                donor.observe(site, item)
+        target = self._make("sharded:sliding-feedback", 2)
+        target.load_state(donor.state_dict())
+        assert target.sample() == donor.sample()
+        twin = self._make("sharded:sliding-feedback", 2)
+        for slot, arrivals in schedule[:30]:
+            twin.advance(slot)
+            for site, item in arrivals:
+                twin.observe(site, item)
+        for slot, arrivals in schedule[30:]:
+            target.advance(slot)
+            twin.advance(slot)
+            for site, item in arrivals:
+                target.observe(site, item)
+                twin.observe(site, item)
+            assert target.sample() == twin.sample(), slot
 
 
 class TestShardedConfigSurface:
